@@ -1,0 +1,27 @@
+"""Ablation: analog integrator step size vs cost and timing accuracy.
+
+The RCSJ solver's dt trades wall-clock for pulse-time accuracy; the min-max
+pair at dt=0.05 (default) is the reference.
+"""
+
+import pytest
+
+from repro.analog import min_max_netlist, simulate
+
+A_TIMES, B_TIMES = (115,), (64,)
+
+
+def reference_times():
+    res = simulate(min_max_netlist(A_TIMES, B_TIMES), 220.0, 0.025)
+    return res.pulses["low"][0], res.pulses["high"][0]
+
+
+@pytest.mark.parametrize("dt", [0.2, 0.1, 0.05])
+def test_step_size(benchmark, dt):
+    low_ref, high_ref = reference_times()
+    netlist = min_max_netlist(A_TIMES, B_TIMES)
+    result = benchmark.pedantic(
+        lambda: simulate(netlist, 220.0, dt), rounds=1, iterations=1
+    )
+    assert result.pulses["low"][0] == pytest.approx(low_ref, abs=0.5)
+    assert result.pulses["high"][0] == pytest.approx(high_ref, abs=0.5)

@@ -1,0 +1,49 @@
+"""Ablation: zone-inclusion subsumption in the model checker's passed list.
+
+With subsumption off, the passed list only deduplicates identical zones;
+more symbolic states are explored for the same verdict. On small networks
+the O(zones) inclusion scans can cost more than they save — the interesting
+output of this ablation is the states-explored gap, which widens with
+design size (see tests/test_mc.py for the states assertion).
+"""
+
+from repro.core.circuit import fresh_circuit
+from repro.core.helpers import inp
+from repro.core.simulation import Simulation
+from repro.mc import ModelChecker
+from repro.sfq import and_s, dro
+from repro.ta import no_error_query, translate_circuit
+
+
+def build_network():
+    with fresh_circuit() as circuit:
+        from repro.core.helpers import inp_at
+
+        a = inp_at(30, 115, 230, name="A")
+        b = inp_at(65, 130, 245, name="B")
+        clk = inp(start=50, period=50, n=5, name="CLK")
+        and_s(a, b, clk, name="Q")
+    translation = translate_circuit(circuit)
+    return translation
+
+
+def test_with_inclusion_pruning(benchmark):
+    translation = build_network()
+    query = no_error_query(translation)
+    result = benchmark.pedantic(
+        lambda: ModelChecker(translation.network, use_inclusion=True).run([query]),
+        rounds=1, iterations=1,
+    )
+    assert result.satisfied
+
+
+def test_without_inclusion_pruning(benchmark):
+    translation = build_network()
+    query = no_error_query(translation)
+    result = benchmark.pedantic(
+        lambda: ModelChecker(
+            translation.network, use_inclusion=False, max_states=100_000
+        ).run([query]),
+        rounds=1, iterations=1,
+    )
+    assert not result.violations

@@ -1,0 +1,34 @@
+"""Figure 10: simulation cost of the memory hole (Functional element)."""
+
+from repro.core.circuit import fresh_circuit
+from repro.core.helpers import inp, inp_at
+from repro.core.simulation import Simulation
+from repro.designs import make_memory
+
+
+def build():
+    with fresh_circuit() as circuit:
+        memory = make_memory()
+
+        def bits(name, value, at):
+            return [
+                inp_at(*([at] if (value >> k) & 1 else []), name=f"{name}{k}")
+                for k in reversed(range(4))
+            ]
+
+        ra = bits("ra", 5, 60.0)
+        wa = bits("wa", 5, 10.0)
+        d1 = inp_at(10.0, name="d1")
+        d0 = inp_at(10.0, name="d0")
+        we = inp_at(10.0, name="we")
+        clk = inp(start=25.0, period=50.0, n=3, name="clk")
+        q1, q0 = memory(*ra, *wa, d1, d0, we, clk)
+        q1.observe("q1")
+        q0.observe("q0")
+    return circuit
+
+
+def test_memory_hole_simulation(benchmark):
+    circuit = build()
+    events = benchmark(lambda: Simulation(circuit).simulate())
+    assert events["q1"] == [80.0]

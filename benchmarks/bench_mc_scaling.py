@@ -1,0 +1,29 @@
+"""Model-checker scaling: symbolic states vs input-schedule length.
+
+The zone graph grows with the number of environment pulses; this pins the
+growth curve on the AND cell (the paper's Table 3 'States' column, swept).
+"""
+
+import pytest
+
+from repro.core.circuit import fresh_circuit
+from repro.core.helpers import inp, inp_at
+from repro.mc import ModelChecker
+from repro.sfq import and_s
+from repro.ta import no_error_query, translate_circuit
+
+
+@pytest.mark.parametrize("n_clocks", [2, 4, 6])
+def test_and_verification_scaling(benchmark, n_clocks):
+    with fresh_circuit() as circuit:
+        a = inp_at(*[30.0 + 100.0 * k for k in range(n_clocks // 2)], name="A")
+        b = inp_at(*[65.0 + 100.0 * k for k in range(n_clocks // 2)], name="B")
+        clk = inp(start=50, period=50, n=n_clocks, name="CLK")
+        and_s(a, b, clk, name="Q")
+    translation = translate_circuit(circuit)
+    query = no_error_query(translation)
+    result = benchmark.pedantic(
+        lambda: ModelChecker(translation.network).run([query]),
+        rounds=1, iterations=1,
+    )
+    assert result.satisfied

@@ -1,0 +1,23 @@
+"""Scaling: discrete-event simulation cost vs sorter size (2..16 inputs).
+
+Extends Table 2's bitonic row into a scaling curve: cell count grows as
+O(n log^2 n) and simulation time follows the pulse count.
+"""
+
+import pytest
+
+from repro.core.circuit import fresh_circuit
+from repro.core.helpers import inp_at
+from repro.core.simulation import Simulation
+from repro.designs import bitonic_delay, bitonic_sorter
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_bitonic_scaling(benchmark, n):
+    times = [((k * 37) % n) * 12.0 + 5.0 for k in range(n)]
+    with fresh_circuit() as circuit:
+        ins = [inp_at(t, name=f"i{k}") for k, t in enumerate(times)]
+        bitonic_sorter(ins, output_names=[f"o{k}" for k in range(n)])
+    events = benchmark(lambda: Simulation(circuit).simulate())
+    firsts = [events[f"o{k}"][0] for k in range(n)]
+    assert firsts == sorted(t + bitonic_delay(n) for t in times)

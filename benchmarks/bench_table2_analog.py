@@ -1,0 +1,35 @@
+"""Table 2 (schematic side): RCSJ transient-simulation time.
+
+One round per design is plenty — the point is the orders-of-magnitude gap
+against bench_table2_pylse.py, not microbenchmark precision.
+"""
+
+import pytest
+
+from repro.analog import (
+    bitonic_netlist,
+    c_element_netlist,
+    inv_c_netlist,
+    min_max_netlist,
+    simulate,
+)
+
+A_TIMES, B_TIMES = (115, 215, 315), (64, 184, 304)
+SORT_TIMES = (20, 70, 10, 45, 5, 90, 33, 60)
+
+
+@pytest.mark.parametrize(
+    "name,netlist,t_end",
+    [
+        ("C", c_element_netlist(A_TIMES, B_TIMES), 420.0),
+        ("InvC", inv_c_netlist(A_TIMES, B_TIMES), 420.0),
+        ("MinMax", min_max_netlist(A_TIMES, B_TIMES), 420.0),
+        ("Bitonic8", bitonic_netlist(SORT_TIMES), 450.0),
+    ],
+    ids=lambda x: x if isinstance(x, str) else "",
+)
+def test_analog_simulation(benchmark, name, netlist, t_end):
+    result = benchmark.pedantic(
+        lambda: simulate(netlist, t_end), rounds=1, iterations=1
+    )
+    assert any(result.pulses.values())

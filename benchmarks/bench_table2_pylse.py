@@ -1,0 +1,58 @@
+"""Table 2 (PyLSE side): discrete-event simulation time of the four designs.
+
+Pairs with bench_table2_analog.py; the ratio between the two is the paper's
+"9879x less time to simulate" claim (shape: orders of magnitude).
+"""
+
+import pytest
+
+from repro.core.circuit import fresh_circuit
+from repro.core.helpers import inp_at
+from repro.core.simulation import Simulation
+from repro.designs import bitonic_sorter, min_max
+from repro.sfq import c, c_inv
+
+A_TIMES, B_TIMES = (115, 215, 315), (64, 184, 304)
+SORT_TIMES = (20, 70, 10, 45, 5, 90, 33, 60)
+
+
+def build_c():
+    a = inp_at(*A_TIMES, name="A")
+    b = inp_at(*B_TIMES, name="B")
+    c(a, b, name="q")
+
+
+def build_inv_c():
+    a = inp_at(*A_TIMES, name="A")
+    b = inp_at(*B_TIMES, name="B")
+    c_inv(a, b, name="q")
+
+
+def build_min_max():
+    a = inp_at(*A_TIMES, name="A")
+    b = inp_at(*B_TIMES, name="B")
+    low, high = min_max(a, b)
+    low.observe("low")
+    high.observe("high")
+
+
+def build_bitonic8():
+    ins = [inp_at(t, name=f"i{k}") for k, t in enumerate(SORT_TIMES)]
+    bitonic_sorter(ins, output_names=[f"o{k}" for k in range(8)])
+
+
+@pytest.mark.parametrize(
+    "name,build",
+    [
+        ("C", build_c),
+        ("InvC", build_inv_c),
+        ("MinMax", build_min_max),
+        ("Bitonic8", build_bitonic8),
+    ],
+    ids=lambda x: x if isinstance(x, str) else "",
+)
+def test_pylse_simulation(benchmark, name, build):
+    with fresh_circuit() as circuit:
+        build()
+    events = benchmark(lambda: Simulation(circuit).simulate())
+    assert any(events.values())

@@ -1,0 +1,27 @@
+"""Table 3: cost of translating PyLSE circuits into Timed Automata."""
+
+import pytest
+
+from repro.exp.registry import build_in_fresh_circuit, registry
+from repro.ta import translate_circuit
+
+ENTRIES = {entry.name: entry for entry in registry()}
+
+
+@pytest.mark.parametrize(
+    "name", ["JTL", "AND", "JOIN", "Min-Max", "Race Tree", "Bitonic Sort 8"]
+)
+def test_translate(benchmark, name):
+    circuit = build_in_fresh_circuit(ENTRIES[name])
+    result = benchmark(lambda: translate_circuit(circuit))
+    assert result.cell_stats()["ta"] >= 2
+
+
+def test_translate_all_22_designs(benchmark):
+    circuits = [build_in_fresh_circuit(e) for e in registry()]
+
+    def run():
+        return [translate_circuit(c) for c in circuits]
+
+    results = benchmark(run)
+    assert len(results) == 22

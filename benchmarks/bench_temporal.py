@@ -1,0 +1,35 @@
+"""Scaling of the race-logic toolkit: min-trees and winner-take-all.
+
+Winner-take-all is quadratic in cells (each input is split n ways and
+inhibits every other); the min tree is linear. The benchmark pins both the
+elaboration and simulation cost as n grows.
+"""
+
+import pytest
+
+from repro.core.circuit import fresh_circuit
+from repro.core.simulation import Simulation
+from repro.temporal import TemporalCode, min_n, tree_latency, winner_take_all
+
+CODE = TemporalCode(offset=10.0, unit=8.0)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_min_tree_scaling(benchmark, n):
+    values = [(k * 5) % n + k % 3 for k in range(n)]
+    with fresh_circuit() as circuit:
+        min_n(CODE.encode_inputs(values), name="MIN")
+    events = benchmark(lambda: Simulation(circuit).simulate())
+    decoded = CODE.from_time(events["MIN"][0], tree_latency(n))
+    assert decoded == min(values)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_winner_take_all_scaling(benchmark, n):
+    values = [float(3 * k + 5) for k in range(n)]
+    labels = [f"w{k}" for k in range(n)]
+    with fresh_circuit() as circuit:
+        winner_take_all(CODE.encode_inputs(values), names=labels)
+    events = benchmark(lambda: Simulation(circuit).simulate())
+    winners = [k for k, label in enumerate(labels) if events[label]]
+    assert winners == [0]

@@ -1,0 +1,47 @@
+"""Section 5.2: cost of variability-enabled simulation.
+
+Measures the overhead of Gaussian per-delay sampling on the bitonic-8
+sorter relative to the deterministic baseline.
+"""
+
+import pytest
+
+from repro.core.circuit import fresh_circuit
+from repro.core.helpers import inp_at
+from repro.core.simulation import Simulation
+from repro.designs import bitonic_sorter
+
+SORT_TIMES = (20, 70, 10, 45, 5, 90, 33, 60)
+
+
+def build():
+    with fresh_circuit() as circuit:
+        ins = [inp_at(t, name=f"i{k}") for k, t in enumerate(SORT_TIMES)]
+        bitonic_sorter(ins, output_names=[f"o{k}" for k in range(8)])
+    return circuit
+
+
+def test_deterministic_baseline(benchmark):
+    circuit = build()
+    events = benchmark(lambda: Simulation(circuit).simulate())
+    assert events["o0"] == [155.0]
+
+
+def test_gaussian_variability(benchmark):
+    circuit = build()
+    events = benchmark(
+        lambda: Simulation(circuit).simulate(
+            variability={"stddev": 0.2}, seed=1
+        )
+    )
+    assert len(events["o0"]) == 1
+
+
+def test_custom_function_variability(benchmark):
+    circuit = build()
+    events = benchmark(
+        lambda: Simulation(circuit).simulate(
+            variability=lambda d, node: d * 1.01, seed=1
+        )
+    )
+    assert len(events["o0"]) == 1

@@ -1,0 +1,12 @@
+"""Benchmark fixtures: fresh working circuit per benchmark."""
+
+import pytest
+
+from repro.core.circuit import reset_working_circuit
+
+
+@pytest.fixture(autouse=True)
+def clean_circuit():
+    reset_working_circuit()
+    yield
+    reset_working_circuit()

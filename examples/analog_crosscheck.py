@@ -1,0 +1,49 @@
+"""Cross-checking abstraction levels: PyLSE vs junction-level simulation.
+
+Runs the min-max pair at both levels (Section 5.1 / Figure 16): the
+pulse-transfer simulation completes in microseconds; the RCSJ transient
+simulation integrates hundreds of thousands of time steps. Functional
+behavior must agree; absolute delays differ — the composability discrepancy
+the paper discusses (their circuit min-max is 22 ps vs the 25 ps
+compositional model; ours shows the same effect).
+
+Run:  python examples/analog_crosscheck.py
+"""
+
+import time
+
+import repro as pylse
+from repro.analog import min_max_netlist, pulse_map, simulate as analog_simulate
+from repro.designs import min_max
+
+A_TIMES, B_TIMES = [115, 215, 315], [64, 184, 304]
+
+# --- pulse-transfer level ---------------------------------------------------
+pylse.reset_working_circuit()
+a = pylse.inp_at(*A_TIMES, name="A")
+b = pylse.inp_at(*B_TIMES, name="B")
+low, high = min_max(a, b)
+low.observe("low")
+high.observe("high")
+start = time.perf_counter()
+events = pylse.Simulation().simulate()
+pylse_seconds = time.perf_counter() - start
+
+# --- junction level ---------------------------------------------------------
+netlist = min_max_netlist(A_TIMES, B_TIMES)
+start = time.perf_counter()
+analog = pulse_map(analog_simulate(netlist, 420.0))
+analog_seconds = time.perf_counter() - start
+
+print(f"PyLSE   ({pylse_seconds * 1e3:8.3f} ms): low={events['low']} "
+      f"high={events['high']}")
+print(f"analog  ({analog_seconds * 1e3:8.1f} ms, {netlist.n_junctions} JJs): "
+      f"low={analog['low']} high={analog['high']}")
+
+for name in ("low", "high"):
+    assert len(events[name]) == len(analog[name]), name
+pylse_delay = events["low"][0] - min(A_TIMES[0], B_TIMES[0])
+analog_delay = analog["low"][0] - min(A_TIMES[0], B_TIMES[0])
+print(f"\nmin-path delay: {pylse_delay:.1f} ps compositional vs "
+      f"{analog_delay:.1f} ps at circuit level")
+print(f"speedup from abstraction: {analog_seconds / pylse_seconds:.0f}x")

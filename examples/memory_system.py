@@ -1,0 +1,54 @@
+"""Mixing abstraction levels: a memory hole driving transition-level cells.
+
+The Hole Description level (Figure 9) wraps plain Python in a pulse
+interface so unfinished blocks can be modeled abstractly while the rest of
+the design stays at the pulse-transfer level. Here the 16x2 memory hole's
+read port feeds real DRO cells, demonstrating holes and cells interoperate.
+
+Run:  python examples/memory_system.py
+"""
+
+import repro as pylse
+from repro.designs import make_memory
+
+pylse.reset_working_circuit()
+memory = make_memory()
+
+
+def address_bits(prefix: str, address: int, at: float):
+    """Four input wires encoding ``address``, pulsing at time ``at``."""
+    return [
+        pylse.inp_at(*([at] if (address >> k) & 1 else []), name=f"{prefix}{k}")
+        for k in reversed(range(4))
+    ]
+
+
+# Period 1 (clk @ 25): write 0b11 to address 9.
+# Period 2 (clk @ 75): read address 9 -> both bits pulse.
+# Period 3 (clk @ 125): read address 0 (never written) -> no pulses.
+ra = address_bits("ra", 9, at=60.0)
+wa = address_bits("wa", 9, at=10.0)
+d1 = pylse.inp_at(10.0, name="d1")
+d0 = pylse.inp_at(10.0, name="d0")
+we = pylse.inp_at(10.0, name="we")
+clk = pylse.inp(start=25.0, period=50.0, n=3, name="clk")
+
+q1, q0 = memory(*ra, *wa, d1, d0, we, clk)
+pylse.inspect(q1, "q1")
+pylse.inspect(q0, "q0")
+
+# Latch the read bits into real transition-level DRO cells, read out by a
+# later readout strobe: holes and PyLSE Machines share one circuit.
+readout = pylse.inp(start=100.0, period=50.0, n=2, name="readout")
+r1, r0 = pylse.split(readout)
+bit1 = pylse.dro(q1, r1, name="bit1")
+bit0 = pylse.dro(q0, r0, name="bit0")
+
+sim = pylse.Simulation()
+events = sim.simulate()
+
+print("memory outputs: q1 =", events["q1"], " q0 =", events["q0"])
+print("DRO readouts:   bit1 =", events["bit1"], " bit0 =", events["bit0"])
+assert len(events["q1"]) == 1 and len(events["q0"]) == 1
+assert len(events["bit1"]) == 1 and len(events["bit0"]) == 1
+sim.plot()

@@ -1,0 +1,39 @@
+"""Quickstart: the paper's Figure 12, end to end.
+
+Builds a Synchronous And Element, drives it with the published stimulus,
+verifies the output pulse times, and prints the waveform.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro as pylse
+
+# Two data inputs and a periodic clock (times in picoseconds).
+a = pylse.inp_at(125, 175, 225, 275, name="A")
+b = pylse.inp_at(75, 185, 225, 265, name="B")
+clk = pylse.inp(start=50, period=50, n=6, name="CLK")
+
+# The AND fires q a firing-delay (9.2 ps) after a clock pulse that closes a
+# period in which both A and B pulsed.
+out = pylse.and_s(a, b, clk, name="Q")
+
+sim = pylse.Simulation()
+events = sim.simulate()
+
+# Line 8 of Figure 12a: exact output times.
+assert events["Q"] == [209.2, 259.2, 309.2], events["Q"]
+print("Q pulses at:", events["Q"])
+sim.plot()
+
+# Timing checks are always on: shifting B's first pulse to 99 ps violates
+# the AND's 2.8 ps setup time (Figure 13).
+pylse.reset_working_circuit()
+a = pylse.inp_at(125, 175, 225, 275, name="A")
+b = pylse.inp_at(99, 185, 225, 265, name="B")
+clk = pylse.inp(start=50, period=50, n=6, name="CLK")
+out = pylse.and_s(a, b, clk, name="Q")
+try:
+    pylse.Simulation().simulate()
+except pylse.PriorInputViolation as err:
+    print("\nCaught the Figure 13 setup violation:")
+    print(err)

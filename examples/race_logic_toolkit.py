@@ -1,0 +1,53 @@
+"""Race-logic toolkit: temporal encoding, min/max trees, winner-take-all,
+and energy accounting.
+
+Race logic encodes values as pulse arrival times; the toolkit in
+``repro.temporal`` builds on the paper's cells (Inverted C = MIN,
+C = MAX, JTL = +constant, INH = inhibit). This example computes the min,
+max, and argmin of a value vector entirely in the temporal domain, then
+prints the estimated switching energy of the run.
+
+Run:  python examples/race_logic_toolkit.py
+"""
+
+import repro as pylse
+from repro.core.energy import energy_report
+from repro.sfq import C
+from repro.temporal import TemporalCode, max_n, min_n, tree_latency, winner_take_all
+
+VALUES = [6.0, 2.0, 9.0, 4.0]
+code = TemporalCode(offset=10.0, unit=5.0)
+
+# --- MIN --------------------------------------------------------------------
+pylse.reset_working_circuit()
+min_n(code.encode_inputs(VALUES), name="MIN")
+events = pylse.Simulation().simulate()
+decoded_min = code.from_time(events["MIN"][0], tree_latency(len(VALUES)))
+print(f"min{tuple(VALUES)} = {decoded_min}")
+assert decoded_min == min(VALUES)
+
+# --- MAX --------------------------------------------------------------------
+pylse.reset_working_circuit()
+max_n(code.encode_inputs(VALUES), name="MAX")
+events = pylse.Simulation().simulate()
+decoded_max = code.from_time(events["MAX"][0], tree_latency(len(VALUES), C))
+print(f"max{tuple(VALUES)} = {decoded_max}")
+assert decoded_max == max(VALUES)
+
+# --- ARGMIN (winner-take-all) ------------------------------------------------
+pylse.reset_working_circuit()
+labels = [f"w{k}" for k in range(len(VALUES))]
+winner_take_all(code.encode_inputs(VALUES), names=labels)
+sim = pylse.Simulation()
+events = sim.simulate()
+winners = [k for k, label in enumerate(labels) if events[label]]
+print(f"argmin{tuple(VALUES)} = {winners}")
+assert winners == [VALUES.index(min(VALUES))]
+
+# --- energy ------------------------------------------------------------------
+report = energy_report(sim)
+print(f"\nswitching energy of the winner-take-all run: "
+      f"{report.total_attojoules:.2f} aJ over {len(report.cells)} cells")
+print("hottest cells:")
+for cell in sorted(report.cells, key=lambda c: -c.energy_joules)[:3]:
+    print(f"  {cell.node} ({cell.cell}): {cell.energy_attojoules:.2f} aJ")

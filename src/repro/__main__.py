@@ -1,0 +1,234 @@
+"""Command-line interface to the library.
+
+Usage::
+
+    python -m repro list                      # cells and designs
+    python -m repro datasheet AND             # transition table for a cell
+    python -m repro dot DRO                   # Graphviz source for a cell
+    python -m repro simulate Min-Max          # simulate a registry design
+    python -m repro simulate Min-Max --vcd out.vcd
+    python -m repro verify JTL                # model-check a design
+    python -m repro energy Min-Max            # switching-energy estimate
+    python -m repro lint "Adder (Sync)"       # static design-rule report
+    python -m repro trace Min-Max             # dispatch-level trace + slack
+    python -m repro export Min-Max            # structural JSON
+
+(The table/figure experiments live under ``python -m repro.exp``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.analysis import balance_report, clock_skew, total_jjs
+from .core.energy import energy_report
+from .core.errors import PylseError
+from .core.serialize import circuit_to_json
+from .core.statictiming import slack_report
+from .core.simulation import Simulation, render_waveforms
+from .core.vcd import save_vcd
+from .exp.registry import build_in_fresh_circuit, registry
+from .mc.check import verify_design
+from .sfq import BASIC_CELLS, EXTENSION_CELLS
+from .sfq.datasheet import datasheet, machine_to_dot
+
+
+def _cells():
+    return {cell.name: cell for cell in BASIC_CELLS + EXTENSION_CELLS}
+
+
+def _designs():
+    return {entry.name: entry for entry in registry()}
+
+
+def cmd_list(_args) -> int:
+    print("Cells (use with `datasheet` / `dot`):")
+    for name in _cells():
+        print(f"  {name}")
+    print("\nDesigns (use with `simulate` / `verify` / `energy`):")
+    for name in _designs():
+        print(f"  {name}")
+    return 0
+
+
+def _require(table, name, kind):
+    if name not in table:
+        print(f"Unknown {kind} {name!r}; try `python -m repro list`.",
+              file=sys.stderr)
+        return None
+    return table[name]
+
+
+def cmd_datasheet(args) -> int:
+    cell = _require(_cells(), args.name, "cell")
+    if cell is None:
+        return 2
+    print(datasheet(cell))
+    return 0
+
+
+def cmd_dot(args) -> int:
+    cell = _require(_cells(), args.name, "cell")
+    if cell is None:
+        return 2
+    print(machine_to_dot(cell()._class_machine()), end="")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    entry = _require(_designs(), args.name, "design")
+    if entry is None:
+        return 2
+    circuit = build_in_fresh_circuit(entry)
+    sim = Simulation(circuit)
+    events = sim.simulate()
+    print(render_waveforms(events))
+    if args.vcd:
+        save_vcd(events, args.vcd, comment=f"repro design {entry.name}")
+        print(f"\nwrote {args.vcd}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    entry = _require(_designs(), args.name, "design")
+    if entry is None:
+        return 2
+    circuit = build_in_fresh_circuit(entry)
+    report = verify_design(
+        circuit, max_states=args.max_states, time_limit=args.time_limit
+    )
+    print(report.summary())
+    for violation in report.result.violations[:10]:
+        print(f"  {violation.query}: {violation.automaton}.{violation.location}"
+              f" — {violation.detail}")
+        if violation.trace:
+            print(violation.format_trace())
+    return 0 if report.ok else 1
+
+
+def cmd_energy(args) -> int:
+    entry = _require(_designs(), args.name, "design")
+    if entry is None:
+        return 2
+    circuit = build_in_fresh_circuit(entry)
+    sim = Simulation(circuit)
+    sim.simulate()
+    print(energy_report(sim).render())
+    return 0
+
+
+def cmd_lint(args) -> int:
+    entry = _require(_designs(), args.name, "design")
+    if entry is None:
+        return 2
+    circuit = build_in_fresh_circuit(entry)
+    print(f"lint report for {entry.name}:")
+    print(f"  cells: {len(circuit.cells())}, JJs: {total_jjs(circuit)}")
+    try:
+        findings = balance_report(circuit, tolerance=args.tolerance)
+    except PylseError as err:
+        print(f"  balance: skipped ({err})")
+        findings = []
+    if findings:
+        print(f"  path-balance findings ({len(findings)}):")
+        for finding in findings[:10]:
+            print(f"    {finding}")
+    else:
+        print("  path balance: clean")
+    clock_names = [
+        node.output_wires["out"].observed_as
+        for node in circuit.input_nodes()
+        if node.output_wires["out"].observed_as.lower().startswith("clk")
+    ]
+    for clock in clock_names:
+        try:
+            lo, hi = clock_skew(clock, circuit)
+            print(f"  clock {clock!r} skew: [{lo:g}, {hi:g}] ps")
+        except PylseError:
+            pass
+    return 1 if findings else 0
+
+
+def cmd_trace(args) -> int:
+    entry = _require(_designs(), args.name, "design")
+    if entry is None:
+        return 2
+    circuit = build_in_fresh_circuit(entry)
+    sim = Simulation(circuit)
+    sim.simulate(record=True)
+    print(sim.render_trace())
+    print()
+    print(slack_report(sim))
+    return 0
+
+
+def cmd_export(args) -> int:
+    entry = _require(_designs(), args.name, "design")
+    if entry is None:
+        return 2
+    circuit = build_in_fresh_circuit(entry)
+    try:
+        text = circuit_to_json(circuit)
+    except PylseError as err:
+        print(str(err), file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PyLSE reproduction: cells, designs, simulation, verification.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list cells and designs")
+    p = sub.add_parser("datasheet", help="print a cell's datasheet")
+    p.add_argument("name")
+    p = sub.add_parser("dot", help="print a cell's Graphviz state diagram")
+    p.add_argument("name")
+    p = sub.add_parser("simulate", help="simulate a registry design")
+    p.add_argument("name")
+    p.add_argument("--vcd", help="also write a VCD waveform file")
+    p = sub.add_parser("verify", help="model-check a registry design")
+    p.add_argument("name")
+    p.add_argument("--max-states", type=int, default=200_000)
+    p.add_argument("--time-limit", type=float, default=120.0)
+    p = sub.add_parser("energy", help="switching-energy estimate for a design")
+    p.add_argument("name")
+    p = sub.add_parser("lint", help="static design-rule report for a design")
+    p.add_argument("name")
+    p.add_argument("--tolerance", type=float, default=0.0,
+                   help="skew below this (ps) is not reported")
+    p = sub.add_parser("trace", help="dispatch trace + timing slack")
+    p.add_argument("name")
+    p = sub.add_parser("export", help="structural JSON for a design")
+    p.add_argument("name")
+    p.add_argument("-o", "--output", help="write to a file instead of stdout")
+    args = parser.parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "datasheet": cmd_datasheet,
+        "dot": cmd_dot,
+        "simulate": cmd_simulate,
+        "verify": cmd_verify,
+        "energy": cmd_energy,
+        "lint": cmd_lint,
+        "trace": cmd_trace,
+        "export": cmd_export,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        sys.exit(0)

@@ -1,0 +1,86 @@
+"""Junction-level analog simulation: the Cadence/SPICE substitute.
+
+Table 2 and Figure 16 of the paper compare PyLSE against schematic-level
+analog simulations (Cadence Virtuoso + the MITLL SFQ5ee PDK, both
+proprietary). This package implements the closest open equivalent from
+scratch: RCSJ Josephson-junction dynamics on ladder netlists, a fixed-step
+RK4 transient solver, pulse detection via 2-pi phase slips, and tuned
+netlists for the four Table 2 designs (C, InvC, min-max, bitonic-8).
+See DESIGN.md for why this preserves the experiments' shape.
+"""
+
+from .cells import (
+    add_c_element,
+    add_merger,
+    add_input_stage,
+    add_inv_c,
+    add_jtl,
+    add_splitter,
+)
+from .compose import (
+    BALANCE_STAGES,
+    add_min_max,
+    bitonic_netlist,
+    c_element_netlist,
+    connect,
+    inv_c_netlist,
+    min_max_netlist,
+    pulse_map,
+)
+from .netlist import Branch, JunctionBranch, JunctionNode, Netlist, PulseInput
+from .params import (
+    BIAS_FRACTION,
+    DEFAULT_JUNCTION,
+    DT,
+    JunctionParams,
+    L_CONNECT,
+    L_JTL,
+    PHI0,
+    PHI0_2PI,
+)
+from .solver import TransientResult, TransientSolver, simulate
+from .tune import (
+    BehaviorCheck,
+    check_behaviors,
+    margin_sweep,
+    measure_cell_delays,
+    scale_all_biases,
+)
+
+__all__ = [
+    "BALANCE_STAGES",
+    "BIAS_FRACTION",
+    "BehaviorCheck",
+    "Branch",
+    "JunctionBranch",
+    "DEFAULT_JUNCTION",
+    "DT",
+    "JunctionNode",
+    "JunctionParams",
+    "L_CONNECT",
+    "L_JTL",
+    "Netlist",
+    "PHI0",
+    "PHI0_2PI",
+    "PulseInput",
+    "TransientResult",
+    "TransientSolver",
+    "add_c_element",
+    "add_input_stage",
+    "add_inv_c",
+    "add_jtl",
+    "add_merger",
+    "add_min_max",
+    "add_splitter",
+    "bitonic_netlist",
+    "c_element_netlist",
+    "check_behaviors",
+    "connect",
+    "inv_c_netlist",
+    "margin_sweep",
+    "measure_cell_delays",
+    "min_max_netlist",
+    "pulse_map",
+    "scale_all_biases",
+    "simulate",
+]

@@ -1,0 +1,165 @@
+"""Analog (junction-level) netlist generators for the Table 2 cells.
+
+Each generator appends one cell to a :class:`~repro.analog.netlist.Netlist`
+and returns its port node indices. Cells follow standard SFQ topologies
+expressed in the junction-ladder form (see :mod:`repro.analog.netlist`):
+
+* **input stage** — a pulse-current source driving a junction (the
+  DC-to-SFQ converter of Section 5.1);
+* **JTL** — a chain of biased junctions joined by ~PHI0/(2 Ic) inductors;
+* **splitter** — an oversized junction driving two output branches;
+* **C element** — two input branches storing flux into an unbiased, oversized
+  coincidence junction that only switches when both quanta are present;
+* **Inverted C** — two input branches into a normally-biased junction that
+  switches on the first quantum; the resulting loop flux cancels the second
+  quantum (first-arrival semantics with second-pulse absorption).
+
+The numeric parameters (set at module top) were validated by the margin
+tests in ``tests/test_analog_cells.py``; the tuning harness
+(:mod:`repro.analog.tune`) sweeps them to map the working region.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .netlist import Netlist
+from .params import DEFAULT_JUNCTION, L_JTL
+
+# --- splitter parameters ---------------------------------------------------
+SPLITTER_SCALE = 1.6       # driver junction size, relative to default
+L_SPLIT_OUT = 12.0         # inductance to each output branch (pH)
+
+# --- C element parameters --------------------------------------------------
+C_JUNCTION_SCALE = 2.2     # coincidence junction size
+C_JUNCTION_BIAS = 0.1      # near-unbiased: needs both quanta to switch
+L_C_STORE = 11.0           # storage-loop inductance per input (pH)
+L_C_OUT = 14.0             # output coupling (pH)
+C_OUT_SCALE = 1.0
+C_OUT_BIAS = 0.68
+
+# --- inverted C parameters -------------------------------------------------
+INVC_INPUT_SCALE = 2.8     # oversized input buffers: immune to back-switching
+INVC_INPUT_BIAS = 0.6      # under-biased buffers widen the immunity margin
+INVC_TAPER_SCALE = 1.7     # taper stage so a unit JTL can drive the buffer
+L_INVC_TAPER = 8.0         # taper-to-buffer coupling (pH)
+INVC_CENTER_SCALE = 1.0    # normally-sized center: a single quantum flips it
+INVC_CENTER_BIAS = 0.85    # high bias: low switching barrier
+L_INVC_STORE = 22.0        # strong coupling: one quantum flips the center
+L_INVC_OUT = 20.0          # output coupling strong enough to cascade
+
+
+# --- merger (confluence buffer) parameters ---------------------------------
+MERGER_BRANCH_SCALE = 1.2  # series junctions coupling each input to the
+                           # common node (2-pi-periodic: no stored current)
+
+
+def add_merger(netlist: Netlist, label: str = "cb") -> Tuple[int, int, int]:
+    """A confluence buffer; returns ``(input a, input b, output)``.
+
+    Two series Josephson junctions couple the input nodes to a common
+    output junction; because a series junction's phase is 2-pi periodic,
+    the flux stored after a merge carries no static current, so the cell
+    re-arms for the next pulse from either side (unlike the inductively
+    coupled C/InvC loops).
+
+    Caveat (documented in ``tests/test_analog_merger.py``): like a minimal
+    unbuffered confluence buffer, each merge also launches one
+    back-propagating fluxon into the *idle* input's JTL — real cell
+    libraries add further buffer stages to absorb it. Use standalone or
+    behind expendable input JTLs.
+    """
+    in_a = netlist.add_node(label=f"{label}_a")
+    in_b = netlist.add_node(label=f"{label}_b")
+    common = netlist.add_node(label=f"{label}_v")
+    netlist.add_junction_branch(
+        in_a, common, DEFAULT_JUNCTION.scaled(MERGER_BRANCH_SCALE)
+    )
+    netlist.add_junction_branch(
+        in_b, common, DEFAULT_JUNCTION.scaled(MERGER_BRANCH_SCALE)
+    )
+    return in_a, in_b, common
+
+
+def add_input_stage(
+    netlist: Netlist, times: Sequence[float], label: str = "in"
+) -> int:
+    """A DC-to-SFQ converter stand-in; returns its output node."""
+    node = netlist.add_node(label=label)
+    netlist.add_pulse_input(node, times, label=label)
+    return node
+
+
+def add_jtl(netlist: Netlist, n_stages: int = 2, label: str = "jtl") -> Tuple[int, int]:
+    """A Josephson transmission line; returns ``(input node, output node)``."""
+    first = netlist.add_node(label=label)
+    prev = first
+    for _ in range(n_stages - 1):
+        nxt = netlist.add_node(label=label)
+        netlist.add_branch(prev, nxt, L_JTL)
+        prev = nxt
+    return first, prev
+
+
+def add_splitter(netlist: Netlist, label: str = "s") -> Tuple[int, int, int]:
+    """A pulse splitter; returns ``(input, left output, right output)``."""
+    driver = netlist.add_node(
+        DEFAULT_JUNCTION.scaled(SPLITTER_SCALE), label=f"{label}_drv"
+    )
+    left = netlist.add_node(label=f"{label}_l")
+    right = netlist.add_node(label=f"{label}_r")
+    netlist.add_branch(driver, left, L_SPLIT_OUT)
+    netlist.add_branch(driver, right, L_SPLIT_OUT)
+    return driver, left, right
+
+
+def add_c_element(netlist: Netlist, label: str = "c") -> Tuple[int, int, int]:
+    """A C (coincidence) element; returns ``(input a, input b, output)``."""
+    in_a = netlist.add_node(label=f"{label}_a")
+    in_b = netlist.add_node(label=f"{label}_b")
+    center = netlist.add_node(
+        DEFAULT_JUNCTION.scaled(C_JUNCTION_SCALE),
+        bias_fraction=C_JUNCTION_BIAS,
+        label=f"{label}_jj",
+    )
+    out = netlist.add_node(
+        DEFAULT_JUNCTION.scaled(C_OUT_SCALE),
+        bias_fraction=C_OUT_BIAS,
+        label=f"{label}_out",
+    )
+    netlist.add_branch(in_a, center, L_C_STORE)
+    netlist.add_branch(in_b, center, L_C_STORE)
+    netlist.add_branch(center, out, L_C_OUT)
+    return in_a, in_b, out
+
+
+def add_inv_c(netlist: Netlist, label: str = "icv") -> Tuple[int, int, int]:
+    """An Inverted C element; returns ``(input a, input b, output)``."""
+    taper_a = netlist.add_node(
+        DEFAULT_JUNCTION.scaled(INVC_TAPER_SCALE), label=f"{label}_ta"
+    )
+    taper_b = netlist.add_node(
+        DEFAULT_JUNCTION.scaled(INVC_TAPER_SCALE), label=f"{label}_tb"
+    )
+    in_a = netlist.add_node(
+        DEFAULT_JUNCTION.scaled(INVC_INPUT_SCALE),
+        bias_fraction=INVC_INPUT_BIAS,
+        label=f"{label}_a",
+    )
+    in_b = netlist.add_node(
+        DEFAULT_JUNCTION.scaled(INVC_INPUT_SCALE),
+        bias_fraction=INVC_INPUT_BIAS,
+        label=f"{label}_b",
+    )
+    center = netlist.add_node(
+        DEFAULT_JUNCTION.scaled(INVC_CENTER_SCALE),
+        bias_fraction=INVC_CENTER_BIAS,
+        label=f"{label}_jj",
+    )
+    out = netlist.add_node(label=f"{label}_out")
+    netlist.add_branch(taper_a, in_a, L_INVC_TAPER)
+    netlist.add_branch(taper_b, in_b, L_INVC_TAPER)
+    netlist.add_branch(in_a, center, L_INVC_STORE)
+    netlist.add_branch(in_b, center, L_INVC_STORE)
+    netlist.add_branch(center, out, L_INVC_OUT)
+    return taper_a, taper_b, out

@@ -1,0 +1,144 @@
+"""Composite analog designs: min-max pair and bitonic sorters (Table 2).
+
+These mirror the PyLSE designs of :mod:`repro.designs` at the junction
+level: each comparator is two splitters feeding an Inverted C (min path) and
+a C element (max path), and the bitonic network chains comparators exactly
+as :func:`repro.designs.bitonic.bitonic_comparators` prescribes.
+
+Just as Figure 11 balances the PyLSE min-max with a 2 ps JTL, the analog
+max path is padded with JTL stages (``BALANCE_STAGES``) because the C
+element switches faster than the Inverted C; the constant was calibrated
+with :func:`repro.analog.tune.measure_cell_delays`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.errors import PylseError
+from ..designs.bitonic import bitonic_comparators
+from .cells import (
+    add_c_element,
+    add_input_stage,
+    add_inv_c,
+    add_jtl,
+    add_splitter,
+)
+from .netlist import Netlist
+from .params import L_CONNECT
+
+#: JTL stages appended to the C-element (max) path of each comparator so
+#: both comparator outputs carry the same latency.
+BALANCE_STAGES = 4
+
+
+def connect(netlist: Netlist, out_node: int, in_node: int) -> None:
+    """Join one cell's output to another's input with a standard inductor."""
+    netlist.add_branch(out_node, in_node, L_CONNECT)
+
+
+def add_min_max(netlist: Netlist, a: int, b: int, label: str = "cmp") -> Tuple[int, int]:
+    """One temporal comparator; returns ``(low, high)`` output nodes.
+
+    ``a``/``b`` are upstream output nodes; the comparator adds it own input
+    splitters, exactly like Figure 11a.
+    """
+    sa_in, sa_l, sa_r = add_splitter(netlist, label=f"{label}_sa")
+    sb_in, sb_l, sb_r = add_splitter(netlist, label=f"{label}_sb")
+    connect(netlist, a, sa_in)
+    connect(netlist, b, sb_in)
+
+    low_a, low_b, low = add_inv_c(netlist, label=f"{label}_icv")
+    connect(netlist, sa_l, low_a)
+    connect(netlist, sb_l, low_b)
+
+    high_a, high_b, high = add_c_element(netlist, label=f"{label}_c")
+    connect(netlist, sa_r, high_a)
+    connect(netlist, sb_r, high_b)
+    if BALANCE_STAGES:
+        jtl_in, jtl_out = add_jtl(netlist, BALANCE_STAGES, label=f"{label}_bal")
+        connect(netlist, high, jtl_in)
+        high = jtl_out
+    return low, high
+
+
+def min_max_netlist(
+    a_times: Sequence[float], b_times: Sequence[float]
+) -> Netlist:
+    """A standalone min-max pair driven by two pulse schedules."""
+    netlist = Netlist("min_max")
+    a = add_input_stage(netlist, a_times, label="a")
+    b = add_input_stage(netlist, b_times, label="b")
+    low, high = add_min_max(netlist, a, b)
+    netlist.mark_output(low, "low")
+    netlist.mark_output(high, "high")
+    return netlist
+
+
+def c_element_netlist(
+    a_times: Sequence[float], b_times: Sequence[float]
+) -> Netlist:
+    """A standalone C element with input JTLs and an output probe."""
+    netlist = Netlist("c_element")
+    src_a = add_input_stage(netlist, a_times, label="a")
+    src_b = add_input_stage(netlist, b_times, label="b")
+    ja, oa = add_jtl(netlist)
+    jb, ob = add_jtl(netlist)
+    connect(netlist, src_a, ja)
+    connect(netlist, src_b, jb)
+    in_a, in_b, out = add_c_element(netlist)
+    connect(netlist, oa, in_a)
+    connect(netlist, ob, in_b)
+    netlist.mark_output(out, "q")
+    return netlist
+
+
+def inv_c_netlist(
+    a_times: Sequence[float], b_times: Sequence[float]
+) -> Netlist:
+    """A standalone Inverted C element with input JTLs and a probe."""
+    netlist = Netlist("inv_c")
+    src_a = add_input_stage(netlist, a_times, label="a")
+    src_b = add_input_stage(netlist, b_times, label="b")
+    ja, oa = add_jtl(netlist)
+    jb, ob = add_jtl(netlist)
+    connect(netlist, src_a, ja)
+    connect(netlist, src_b, jb)
+    in_a, in_b, out = add_inv_c(netlist)
+    connect(netlist, oa, in_a)
+    connect(netlist, ob, in_b)
+    netlist.mark_output(out, "q")
+    return netlist
+
+
+def bitonic_netlist(input_times: Sequence[float]) -> Netlist:
+    """An n-input bitonic sorter (n a power of two; 8 in Table 2/Figure 15).
+
+    ``input_times[i]`` is the single pulse time presented on input ``i``;
+    outputs are probed as ``o0..o(n-1)`` and should pulse in rank order.
+    """
+    n = len(input_times)
+    if n < 2 or n & (n - 1):
+        raise PylseError(f"Bitonic sorter size must be a power of two, got {n}")
+    netlist = Netlist(f"bitonic_{n}")
+    lanes: List[int] = [
+        add_input_stage(netlist, [t], label=f"i{k}")
+        for k, t in enumerate(input_times)
+    ]
+    for idx, (i, j, ascending) in enumerate(bitonic_comparators(n)):
+        low, high = add_min_max(netlist, lanes[i], lanes[j], label=f"cmp{idx}")
+        if ascending:
+            lanes[i], lanes[j] = low, high
+        else:
+            lanes[i], lanes[j] = high, low
+    for k, node in enumerate(lanes):
+        netlist.mark_output(node, f"o{k}")
+    return netlist
+
+
+def pulse_map(result) -> Dict[str, List[float]]:
+    """Round a TransientResult's pulses for comparisons and display."""
+    return {
+        name: [round(float(t), 2) for t in times]
+        for name, times in result.pulses.items()
+    }

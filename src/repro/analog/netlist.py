@@ -1,0 +1,187 @@
+"""Schematic-level netlists: junction nodes joined by inductive branches.
+
+The analog substrate models circuits in the standard discrete sine-Gordon
+form used for SFQ conceptual studies: every node carries one shunted
+Josephson junction to ground (plus a DC bias source), and nodes are joined
+by inductors. A single flux quantum then manifests as a 2-pi phase slip
+propagating from node to node — exactly the pulse the PyLSE level abstracts.
+
+The builder also renders a SPICE-style text listing (:meth:`Netlist.lines`)
+whose length is the "Schematic Lines" column of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import PylseError
+from .params import BIAS_FRACTION, DEFAULT_JUNCTION, JunctionParams
+
+
+@dataclass(frozen=True)
+class JunctionNode:
+    """One circuit node: shunted junction + bias source to ground."""
+
+    index: int
+    params: JunctionParams
+    bias: float          # absolute bias current (mA)
+    label: str
+
+
+@dataclass(frozen=True)
+class Branch:
+    """An inductor between two nodes."""
+
+    a: int
+    b: int
+    inductance: float    # pH
+
+
+@dataclass(frozen=True)
+class JunctionBranch:
+    """A Josephson junction in *series* between two nodes.
+
+    Its phase is the node-phase difference, so a stored 2-pi difference
+    carries no static current (sin is 2-pi periodic) — the property that
+    lets series junctions block back-propagation in confluence buffers,
+    unlike inductive branches which hold flux as circulating current.
+    """
+
+    a: int
+    b: int
+    params: JunctionParams
+
+
+@dataclass(frozen=True)
+class PulseInput:
+    """A current-pulse source into a node (the DC-to-SFQ converter stand-in).
+
+    Each entry of ``times`` produces one Gaussian current pulse of the given
+    amplitude and width, tuned to nucleate exactly one flux quantum.
+    """
+
+    node: int
+    times: Tuple[float, ...]
+    amplitude: float = 0.16   # mA
+    width: float = 2.0        # ps (Gaussian sigma)
+    label: str = "in"
+
+
+class Netlist:
+    """A mutable builder for junction-ladder circuits."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.nodes: List[JunctionNode] = []
+        self.branches: List[Branch] = []
+        self.junction_branches: List[JunctionBranch] = []
+        self.inputs: List[PulseInput] = []
+        #: node index -> output name, for pulse probing
+        self.outputs: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        params: Optional[JunctionParams] = None,
+        bias_fraction: float = BIAS_FRACTION,
+        label: str = "n",
+    ) -> int:
+        params = params if params is not None else DEFAULT_JUNCTION
+        node = JunctionNode(
+            index=len(self.nodes),
+            params=params,
+            bias=bias_fraction * params.ic,
+            label=f"{label}{len(self.nodes)}",
+        )
+        self.nodes.append(node)
+        return node.index
+
+    def add_branch(self, a: int, b: int, inductance: float) -> None:
+        for idx in (a, b):
+            if not 0 <= idx < len(self.nodes):
+                raise PylseError(f"Branch references unknown node {idx}")
+        if a == b:
+            raise PylseError("Branch endpoints must differ")
+        if inductance <= 0:
+            raise PylseError(f"Branch inductance must be positive, got {inductance}")
+        self.branches.append(Branch(a, b, inductance))
+
+    def add_junction_branch(
+        self,
+        a: int,
+        b: int,
+        params: Optional[JunctionParams] = None,
+    ) -> None:
+        """A series junction from node ``a`` to node ``b``."""
+        for idx in (a, b):
+            if not 0 <= idx < len(self.nodes):
+                raise PylseError(f"Junction branch references unknown node {idx}")
+        if a == b:
+            raise PylseError("Junction branch endpoints must differ")
+        self.junction_branches.append(
+            JunctionBranch(a, b, params if params is not None else DEFAULT_JUNCTION)
+        )
+
+    def add_pulse_input(
+        self,
+        node: int,
+        times: Sequence[float],
+        amplitude: float = 0.16,
+        width: float = 2.0,
+        label: str = "in",
+    ) -> None:
+        self.inputs.append(
+            PulseInput(node, tuple(sorted(times)), amplitude, width, label)
+        )
+
+    def mark_output(self, node: int, name: str) -> None:
+        if node in self.outputs:
+            raise PylseError(f"Node {node} is already output {self.outputs[node]!r}")
+        self.outputs[node] = name
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_junctions(self) -> int:
+        return len(self.nodes) + len(self.junction_branches)
+
+    def lines(self) -> List[str]:
+        """SPICE-style text listing (unflattened component per line)."""
+        out = [f"* {self.name}"]
+        for node in self.nodes:
+            p = node.params
+            out.append(
+                f"B{node.index} {node.label} gnd jj ic={p.ic:g} r={p.r:g} c={p.c:g}"
+            )
+            out.append(f"I{node.index} gnd {node.label} dc {node.bias:g}")
+        for k, branch in enumerate(self.branches):
+            out.append(
+                f"L{k} {self.nodes[branch.a].label} {self.nodes[branch.b].label} "
+                f"{branch.inductance:g}"
+            )
+        for k, jb in enumerate(self.junction_branches):
+            out.append(
+                f"BS{k} {self.nodes[jb.a].label} {self.nodes[jb.b].label} jj "
+                f"ic={jb.params.ic:g} r={jb.params.r:g} c={jb.params.c:g}"
+            )
+        for k, pulse in enumerate(self.inputs):
+            times = " ".join(f"{t:g}" for t in pulse.times)
+            out.append(
+                f"IP{k} gnd {self.nodes[pulse.node].label} pulse "
+                f"a={pulse.amplitude:g} w={pulse.width:g} times=[{times}]"
+            )
+        for node, name in sorted(self.outputs.items()):
+            out.append(f".probe v({self.nodes[node].label}) as {name}")
+        out.append(".tran")
+        out.append(".end")
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}: {self.n_junctions} junctions, "
+            f"{len(self.branches)} inductors, {len(self.inputs)} sources)"
+        )

@@ -1,0 +1,64 @@
+"""Physical constants and default device parameters for the analog level.
+
+Units are chosen so the numbers stay near 1 and match SFQ practice:
+
+* time — picoseconds (ps)
+* voltage — millivolts (mV)
+* current — milliamperes (mA)
+* resistance — ohms (mV/mA)
+* inductance — picohenries (pH = mV·ps/mA)
+* capacitance — picofarads (pF = mA·ps/mV)
+
+The magnetic flux quantum is then ``PHI0 = 2.0678 mV·ps``; an SFQ pulse has
+area exactly ``PHI0`` (a voltage pulse of ~0.5 mV lasting a few ps).
+
+Default junction parameters follow typical externally-shunted Nb junctions
+(critical current 0.1 mA, shunt resistance ~5 ohm for a McCumber parameter
+near critical damping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Magnetic flux quantum in mV * ps.
+PHI0 = 2.0678
+
+#: PHI0 / 2 pi — the phase-to-flux conversion factor.
+PHI0_2PI = PHI0 / 6.283185307179586
+
+
+@dataclass(frozen=True)
+class JunctionParams:
+    """RCSJ (resistively and capacitively shunted junction) parameters."""
+
+    ic: float = 0.1      # critical current (mA)
+    r: float = 5.0       # shunt resistance (ohm)
+    c: float = 0.15      # junction + shunt capacitance (pF)
+
+    def mccumber(self) -> float:
+        """The Stewart-McCumber damping parameter beta_c."""
+        return self.r * self.r * self.c * self.ic / PHI0_2PI / 1.0
+
+    def scaled(self, factor: float) -> "JunctionParams":
+        """A junction ``factor`` times larger (Ic and C scale up, R down)."""
+        return JunctionParams(
+            ic=self.ic * factor, r=self.r / factor, c=self.c * factor
+        )
+
+
+#: The workhorse junction every cell is built from.
+DEFAULT_JUNCTION = JunctionParams()
+
+#: Standard JTL loop inductance (LIc about PHI0/2).
+L_JTL = 10.0
+
+#: Inductance of inter-cell connections.
+L_CONNECT = 10.0
+
+#: Default bias, as a fraction of Ic.
+BIAS_FRACTION = 0.7
+
+#: Default integration step (ps). Pulse widths are ~4 ps, so this resolves
+#: each pulse with ~80 samples.
+DT = 0.05

@@ -1,0 +1,170 @@
+"""Parameter calibration for the analog cell library.
+
+Real SFQ cell design is a margin-tuning exercise; this module ships the
+harness used to set the constants in :mod:`repro.analog.cells`:
+
+* :func:`measure_cell_delays` — input-to-output latency of each cell (used
+  to choose ``BALANCE_STAGES`` for the comparator's max path);
+* :func:`check_behaviors` — the functional contract of every cell
+  (propagate / split / coincide / first-arrival+absorb) as pass/fail;
+* :func:`margin_sweep` — scale one global parameter (e.g. all bias
+  currents) and report where each behavior breaks, the analog analogue of a
+  critical-margin analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from .cells import add_c_element, add_input_stage, add_inv_c, add_jtl, add_splitter
+from .compose import connect, min_max_netlist
+from .netlist import Netlist
+from .params import DT
+from .solver import simulate
+
+
+def _single_cell(cell, a_times, b_times):
+    nl = Netlist("probe")
+    sa = add_input_stage(nl, a_times)
+    sb = add_input_stage(nl, b_times)
+    ja, oa = add_jtl(nl)
+    jb, ob = add_jtl(nl)
+    connect(nl, sa, ja)
+    connect(nl, sb, jb)
+    in_a, in_b, out = cell(nl)
+    connect(nl, oa, in_a)
+    connect(nl, ob, in_b)
+    jo, oo = add_jtl(nl)
+    connect(nl, out, jo)
+    nl.mark_output(oo, "q")
+    return nl
+
+
+def measure_cell_delays(dt: float = DT) -> Dict[str, float]:
+    """Input-to-output latency (ps) of JTL stage, splitter, C, and InvC."""
+    delays: Dict[str, float] = {}
+
+    nl = Netlist("jtl_delay")
+    src = add_input_stage(nl, [20.0])
+    i1, o1 = add_jtl(nl, 6)
+    connect(nl, src, i1)
+    nl.mark_output(i1, "first")
+    nl.mark_output(o1, "last")
+    res = simulate(nl, 80, dt)
+    delays["jtl_stage"] = (res.pulses["last"][0] - res.pulses["first"][0]) / 5
+
+    nl = Netlist("split_delay")
+    src = add_input_stage(nl, [20.0])
+    drv, left, _right = add_splitter(nl)
+    connect(nl, src, drv)
+    nl.mark_output(left, "l")
+    res = simulate(nl, 80, dt)
+    delays["splitter"] = res.pulses["l"][0] - 20.0
+
+    res = simulate(_single_cell(add_c_element, [20.0], [40.0]), 120, dt)
+    delays["c_after_second"] = res.pulses["q"][0] - 40.0
+
+    res = simulate(_single_cell(add_inv_c, [20.0], [40.0]), 120, dt)
+    delays["inv_c_after_first"] = res.pulses["q"][0] - 20.0
+    return delays
+
+
+@dataclass
+class BehaviorCheck:
+    """One functional contract and whether the current parameters meet it."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def check_behaviors(dt: float = DT) -> List[BehaviorCheck]:
+    """The functional contract of every analog cell, as pass/fail checks."""
+    checks: List[BehaviorCheck] = []
+
+    def record(name: str, passed: bool, detail: str) -> None:
+        checks.append(BehaviorCheck(name, passed, detail))
+
+    nl = Netlist("jtl")
+    src = add_input_stage(nl, [20.0, 60.0])
+    i1, o1 = add_jtl(nl, 4)
+    connect(nl, src, i1)
+    nl.mark_output(o1, "q")
+    pulses = simulate(nl, 120, dt).pulses["q"]
+    record("jtl propagates each pulse", len(pulses) == 2, f"got {len(pulses)}")
+
+    nl = Netlist("split")
+    src = add_input_stage(nl, [20.0])
+    drv, left, right = add_splitter(nl)
+    connect(nl, src, drv)
+    nl.mark_output(left, "l")
+    nl.mark_output(right, "r")
+    res = simulate(nl, 80, dt)
+    record(
+        "splitter duplicates",
+        len(res.pulses["l"]) == 1 and len(res.pulses["r"]) == 1,
+        f"l={len(res.pulses['l'])} r={len(res.pulses['r'])}",
+    )
+
+    pulses = simulate(_single_cell(add_c_element, [20.0], [50.0]), 130, dt).pulses["q"]
+    record(
+        "C fires once after second input",
+        len(pulses) == 1 and pulses[0] > 50.0,
+        f"pulses={pulses}",
+    )
+    pulses = simulate(_single_cell(add_c_element, [20.0], [400.0]), 200, dt).pulses["q"]
+    record("C holds on single input", len(pulses) == 0, f"pulses={pulses}")
+
+    pulses = simulate(_single_cell(add_inv_c, [20.0], [50.0]), 130, dt).pulses["q"]
+    record(
+        "InvC fires once after first input",
+        len(pulses) == 1 and pulses[0] < 60.0,
+        f"pulses={pulses}",
+    )
+    pulses = simulate(
+        _single_cell(add_inv_c, [20.0, 90.0], [55.0, 125.0]), 200, dt
+    ).pulses["q"]
+    record("InvC re-arms across rounds", len(pulses) == 2, f"pulses={pulses}")
+
+    res = simulate(min_max_netlist([60.0], [25.0]), 140, dt)
+    low, high = res.pulses["low"], res.pulses["high"]
+    record(
+        "min-max orders outputs",
+        len(low) == 1 and len(high) == 1 and low[0] < high[0],
+        f"low={low} high={high}",
+    )
+    return checks
+
+
+def margin_sweep(
+    mutate: Callable[[Netlist, float], None],
+    factors: Tuple[float, ...] = (0.8, 0.9, 1.0, 1.1, 1.2),
+    dt: float = DT,
+) -> Dict[float, bool]:
+    """Re-run the min-max contract under a global parameter perturbation.
+
+    ``mutate(netlist, factor)`` rewrites a built netlist in place (e.g.
+    scaling every bias current); the sweep reports for each factor whether
+    the min-max pair still orders its outputs correctly.
+    """
+    outcome: Dict[float, bool] = {}
+    for factor in factors:
+        nl = min_max_netlist([60.0], [25.0])
+        mutate(nl, factor)
+        res = simulate(nl, 140, dt)
+        low, high = res.pulses["low"], res.pulses["high"]
+        outcome[factor] = (
+            len(low) == 1 and len(high) == 1 and low[0] < high[0]
+        )
+    return outcome
+
+
+def scale_all_biases(netlist: Netlist, factor: float) -> None:
+    """A mutate function for :func:`margin_sweep`: global bias scaling."""
+    from .netlist import JunctionNode
+
+    netlist.nodes = [
+        JunctionNode(n.index, n.params, n.bias * factor, n.label)
+        for n in netlist.nodes
+    ]

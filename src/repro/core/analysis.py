@@ -1,0 +1,241 @@
+"""Static circuit analysis: path delays, balancing, and design-rule checks.
+
+Section 4.2 describes PyLSE's static checks and Figure 11 shows manual
+path-balancing arithmetic (11 + 14 = 25 vs 11 + 12 + 2 = 25). This module
+automates that arithmetic over whole circuits:
+
+* :func:`circuit_graph` — the circuit as a :mod:`networkx` DiGraph whose
+  edges carry nominal firing delays;
+* :func:`path_delays` — min/max accumulated delay from each circuit input
+  to each output;
+* :func:`balance_report` — per-cell input-arrival skew, flagging
+  convergent paths whose delays differ by more than a tolerance (the
+  situations Figure 11 fixes with a JTL);
+* :func:`clock_skew` — arrival-time spread of a clock wire across all the
+  clocked cells it reaches;
+* :func:`total_jjs` — the area metric (sum of per-instance ``jjs``).
+
+All results are *nominal* (distribution delays collapse to their mean; a
+cell's output delay is the max over its transitions firing that output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from .circuit import Circuit, working_circuit
+from .element import InGen
+from .errors import PylseError
+from .functional import Functional
+from .node import Node
+from .timing import nominal_delay
+from .transitional import Transitional
+from .wire import Wire
+
+
+def _output_delay(node: Node, port: str) -> float:
+    """Worst-case nominal firing delay of ``port`` on ``node``'s element."""
+    element = node.element
+    if isinstance(element, Transitional):
+        delays = [
+            nominal_delay(delay)
+            for t in element.machine.transitions
+            for out, delay in t.firing.items()
+            if out == port
+        ]
+        if not delays:
+            raise PylseError(
+                f"{node.name}: output {port!r} is never fired by any transition"
+            )
+        return max(delays)
+    if isinstance(element, Functional):
+        return nominal_delay(element.delays[port])
+    raise PylseError(f"{node.name}: cannot compute delays for {element!r}")
+
+
+def circuit_graph(circuit: Optional[Circuit] = None) -> nx.DiGraph:
+    """The circuit as a delay-weighted DiGraph.
+
+    Nodes are circuit node names (plus ``wire:<name>`` terminals for circuit
+    inputs and outputs); an edge ``u -> v`` with weight ``d`` means a pulse
+    leaving ``u`` arrives at ``v`` after ``d`` ps (the firing delay of the
+    producing output).
+    """
+    circuit = circuit if circuit is not None else working_circuit()
+    graph = nx.DiGraph()
+    for node in circuit.nodes:
+        if isinstance(node.element, InGen):
+            graph.add_node(f"in:{node.output_wires['out'].observed_as}",
+                           kind="input")
+        else:
+            graph.add_node(node.name, kind="cell",
+                           cell=node.element.name)
+    for wire, (src_node, src_port) in circuit.source_of.items():
+        if isinstance(src_node.element, InGen):
+            u, delay = f"in:{wire.observed_as}", 0.0
+        else:
+            u = src_node.name
+            delay = _output_delay(src_node, src_port)
+        dest = circuit.dest_of.get(wire)
+        if dest is None:
+            v = f"out:{wire.observed_as}"
+            graph.add_node(v, kind="output")
+            graph.add_edge(u, v, delay=delay, wire=wire.observed_as, port=None)
+        else:
+            dst_node, dst_port = dest
+            graph.add_edge(u, dst_node.name, delay=delay,
+                           wire=wire.observed_as, port=dst_port)
+    return graph
+
+
+def path_delays(circuit: Optional[Circuit] = None) -> Dict[Tuple[str, str], Tuple[float, float]]:
+    """(input name, output name) -> (min, max) accumulated nominal delay.
+
+    Only defined for acyclic circuits (feedback loops have unbounded path
+    sets); raises on cycles.
+    """
+    graph = circuit_graph(circuit)
+    if not nx.is_directed_acyclic_graph(graph):
+        raise PylseError("Circuit contains feedback loops; path delays are unbounded")
+    inputs = [n for n, d in graph.nodes(data=True) if d.get("kind") == "input"]
+    outputs = [n for n, d in graph.nodes(data=True) if d.get("kind") == "output"]
+    result: Dict[Tuple[str, str], Tuple[float, float]] = {}
+    for src in inputs:
+        for dst in outputs:
+            paths = list(nx.all_simple_paths(graph, src, dst))
+            if not paths:
+                continue
+            totals = [
+                sum(graph[u][v]["delay"] for u, v in zip(path, path[1:]))
+                for path in paths
+            ]
+            result[(src[3:], dst[4:])] = (min(totals), max(totals))
+    return result
+
+
+@dataclass
+class SkewFinding:
+    """One convergence point whose input paths are imbalanced."""
+
+    node: str
+    cell: str
+    arrivals: Dict[str, Tuple[float, float]]  # input port -> (min, max)
+    skew: float
+
+    def __str__(self) -> str:
+        detail = ", ".join(
+            f"{port}: [{lo:g}, {hi:g}]" for port, (lo, hi) in self.arrivals.items()
+        )
+        return f"{self.node} ({self.cell}): skew {self.skew:g} ps ({detail})"
+
+
+def balance_report(
+    circuit: Optional[Circuit] = None,
+    tolerance: float = 0.0,
+    ignore_ports: Tuple[str, ...] = ("clk",),
+) -> List[SkewFinding]:
+    """Find multi-input cells whose data inputs arrive with unequal delay.
+
+    ``arrivals`` per input port are (min, max) accumulated delays from any
+    circuit input. Ports named in ``ignore_ports`` (clocks by default) are
+    excluded — clock-to-data skew is intentional in synchronous designs;
+    use :func:`clock_skew` for the clock network itself.
+    """
+    circuit = circuit if circuit is not None else working_circuit()
+    graph = circuit_graph(circuit)
+    if not nx.is_directed_acyclic_graph(graph):
+        raise PylseError("Circuit contains feedback loops; skew is undefined")
+    inputs = [n for n, d in graph.nodes(data=True) if d.get("kind") == "input"]
+
+    # Earliest/latest arrival at each graph node.
+    order = list(nx.topological_sort(graph))
+    earliest: Dict[str, float] = {}
+    latest: Dict[str, float] = {}
+    for n in order:
+        if n in inputs:
+            earliest[n] = latest[n] = 0.0
+    # Arrival at a node via each in-edge (port-resolved).
+    port_arrivals: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for n in order:
+        preds = list(graph.pred[n])
+        reachable = [p for p in preds if p in earliest]
+        if n not in inputs and reachable:
+            earliest[n] = min(earliest[p] + graph[p][n]["delay"] for p in reachable)
+            latest[n] = max(latest[p] + graph[p][n]["delay"] for p in reachable)
+        ports: Dict[str, Tuple[float, float]] = {}
+        for p in reachable:
+            port = graph[p][n]["port"]
+            if port is None:
+                continue
+            lo = earliest[p] + graph[p][n]["delay"]
+            hi = latest[p] + graph[p][n]["delay"]
+            if port in ports:
+                lo = min(lo, ports[port][0])
+                hi = max(hi, ports[port][1])
+            ports[port] = (lo, hi)
+        port_arrivals[n] = ports
+
+    findings: List[SkewFinding] = []
+    for node in circuit.cells():
+        ports = {
+            port: window
+            for port, window in port_arrivals.get(node.name, {}).items()
+            if port not in ignore_ports
+        }
+        if len(ports) < 2:
+            continue
+        lows = [lo for lo, _ in ports.values()]
+        highs = [hi for _, hi in ports.values()]
+        skew = max(highs) - min(lows)
+        if skew > tolerance:
+            findings.append(
+                SkewFinding(
+                    node=node.name,
+                    cell=node.element.name,
+                    arrivals=ports,
+                    skew=skew,
+                )
+            )
+    findings.sort(key=lambda f: -f.skew)
+    return findings
+
+
+def clock_skew(clock_name: str, circuit: Optional[Circuit] = None) -> Tuple[float, float]:
+    """(min, max) arrival delay of a clock input across all cells it reaches.
+
+    The clock tree's leaf skew — the quantity that made the naive adder
+    design fail (see ``repro.designs.adder_sync``).
+    """
+    circuit = circuit if circuit is not None else working_circuit()
+    graph = circuit_graph(circuit)
+    src = f"in:{clock_name}"
+    if src not in graph:
+        raise PylseError(f"No circuit input named {clock_name!r}")
+    arrivals: List[float] = []
+    lengths = nx.single_source_dijkstra_path_length(graph, src, weight="delay")
+    for node in circuit.cells():
+        if node.name not in lengths:
+            continue
+        consumed_ports = [
+            data["port"]
+            for _, _, data in graph.in_edges(node.name, data=True)
+        ]
+        if "clk" in consumed_ports:
+            # Arrival via the clk edge specifically.
+            for pred, _, data in graph.in_edges(node.name, data=True):
+                if data["port"] == "clk" and pred in lengths:
+                    arrivals.append(lengths[pred] + data["delay"])
+    if not arrivals:
+        raise PylseError(f"Clock {clock_name!r} reaches no clocked cell")
+    return min(arrivals), max(arrivals)
+
+
+def total_jjs(circuit: Optional[Circuit] = None) -> int:
+    """The area metric: total Josephson junction count over all cells."""
+    circuit = circuit if circuit is not None else working_circuit()
+    return sum(
+        getattr(node.element, "jjs", 0) for node in circuit.cells()
+    )

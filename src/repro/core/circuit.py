@@ -1,0 +1,203 @@
+"""The circuit workspace: a network of PyLSE Machines (Definition 3.2).
+
+A circuit is a set of nodes (placed elements) and the wires connecting them.
+Elaboration-through-execution (Section 4.1, Full-Circuit Design level) adds
+nodes to an ambient *working circuit* as Python code runs; the
+:class:`repro.core.simulation.Simulation` then simulates whatever workspace
+it is given (the working circuit by default).
+
+The circuit enforces the Section 4.2 structural checks:
+
+* every wire has exactly one driver (an element output or an input
+  generator);
+* every wire feeds at most one element input — SCE outputs cannot fan out
+  without an explicit splitter cell (:class:`~repro.core.errors.FanoutError`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .element import Element, InGen
+from .errors import FanoutError, PylseError, WireError
+from .node import Node
+from .wire import Wire
+
+
+class Circuit:
+    """A network of elements connected by single-reader wires."""
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        #: per-cell-type instance counters for node naming (c0, s0, s1, ...)
+        self._type_counts: Dict[str, int] = {}
+        #: wire -> (node, output port) producing pulses on it
+        self.source_of: Dict[Wire, Tuple[Node, str]] = {}
+        #: wire -> (node, input port) consuming pulses from it
+        self.dest_of: Dict[Wire, Tuple[Node, str]] = {}
+        self._wires: List[Wire] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        element: Element,
+        input_wires: Sequence[Wire],
+        output_wires: Optional[Sequence[Wire]] = None,
+        name: Optional[str] = None,
+    ) -> Node:
+        """Place ``element`` in the circuit, wiring its ports.
+
+        ``input_wires`` must already exist (they are outputs of other nodes or
+        input generators). ``output_wires`` are created fresh when omitted.
+        Returns the new :class:`Node`.
+        """
+        if output_wires is None:
+            output_wires = [Wire() for _ in element.outputs]
+        if name is None:
+            count = self._type_counts.get(element.name, 0)
+            self._type_counts[element.name] = count + 1
+            name = f"{element.name.lower()}{count}"
+        node = Node(element, input_wires, output_wires, name=name)
+
+        for port, wire in node.input_wires.items():
+            # A wire may be consumed before its driver is placed (feedback
+            # loops); validate() checks every consumed wire ends up driven.
+            if wire in self.dest_of:
+                other_node, other_port = self.dest_of[wire]
+                raise FanoutError(
+                    f"Wire {wire.name!r} already connects to input '{other_port}' of "
+                    f"'{other_node.element.name}'; SCE outputs cannot fan out — insert "
+                    "a splitter (see split())"
+                )
+            self.dest_of[wire] = (node, port)
+
+        for port, wire in node.output_wires.items():
+            if wire in self.source_of:
+                other_node, other_port = self.source_of[wire]
+                raise WireError(
+                    f"Wire {wire.name!r} is already driven by output '{other_port}' "
+                    f"of '{other_node.element.name}'"
+                )
+            self.source_of[wire] = (node, port)
+            self._wires.append(wire)
+
+        self.nodes.append(node)
+        return node
+
+    def add_input(self, element: InGen, name: Optional[str] = None) -> Wire:
+        """Place an input generator; returns its output wire."""
+        wire = Wire(name)
+        self.add_node(element, [], [wire])
+        return wire
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def wires(self) -> List[Wire]:
+        """All wires, in creation order."""
+        return list(self._wires)
+
+    def node_of_wire(self, wire: Wire) -> Optional[Tuple[Node, str]]:
+        """The (node, input port) consuming this wire, or None (circuit output)."""
+        return self.dest_of.get(wire)
+
+    def output_wires(self) -> List[Wire]:
+        """Wires with no consumer: the circuit's outputs."""
+        return [w for w in self._wires if w not in self.dest_of]
+
+    def input_nodes(self) -> List[Node]:
+        """Nodes whose element is an input generator."""
+        return [n for n in self.nodes if isinstance(n.element, InGen)]
+
+    def cells(self) -> List[Node]:
+        """Nodes that are actual cells (not input generators)."""
+        return [n for n in self.nodes if not isinstance(n.element, InGen)]
+
+    def find_wire(self, name: str) -> Wire:
+        """Look up a wire by its name or observation alias."""
+        for wire in self._wires:
+            if wire.name == name or wire.observed_as == name:
+                return wire
+        raise WireError(f"No wire named {name!r} in this circuit")
+
+    def validate(self) -> None:
+        """Run whole-circuit structural checks.
+
+        Add-time checks already guarantee single-driver/single-reader; this
+        re-verifies and additionally rejects empty circuits and duplicate
+        observation names, which would make the events dict ambiguous.
+        """
+        if not self.nodes:
+            raise PylseError("Circuit is empty: nothing to simulate")
+        for wire, (node, port) in self.dest_of.items():
+            if wire not in self.source_of:
+                raise WireError(
+                    f"Wire {wire.name!r} (input '{port}' of "
+                    f"'{node.element.name}') has no driver; connect it to an "
+                    "element output or an input generator"
+                )
+        seen: Dict[str, Wire] = {}
+        for wire in self._wires:
+            label = wire.observed_as
+            if wire.is_user_named and label in seen:
+                raise WireError(
+                    f"Two wires observed under the same name {label!r}; names must "
+                    "be unique for simulation events to be unambiguous"
+                )
+            if wire.is_user_named:
+                seen[label] = wire
+
+    def reset_elements(self) -> None:
+        """Reset all element state so the circuit can be re-simulated."""
+        for node in self.nodes:
+            node.element.reset()
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"Circuit({len(self.nodes)} nodes, {len(self._wires)} wires)"
+
+
+# ----------------------------------------------------------------------
+# The ambient working circuit
+# ----------------------------------------------------------------------
+_working_circuit: Circuit = Circuit()
+
+
+def working_circuit() -> Circuit:
+    """The ambient circuit that the helper functions elaborate into."""
+    return _working_circuit
+
+
+def reset_working_circuit() -> Circuit:
+    """Discard the working circuit and start a fresh one.
+
+    Also restarts automatic wire/node naming so names like ``_0`` are stable
+    across tests. Returns the new circuit.
+    """
+    global _working_circuit
+    _working_circuit = Circuit()
+    Wire._reset_names()
+    Node._reset_ids()
+    return _working_circuit
+
+
+@contextlib.contextmanager
+def fresh_circuit() -> Iterator[Circuit]:
+    """Context manager giving a temporary, isolated working circuit.
+
+    >>> with fresh_circuit() as circ:
+    ...     pass  # build and simulate in isolation
+    """
+    global _working_circuit
+    saved = _working_circuit
+    _working_circuit = Circuit()
+    try:
+        yield _working_circuit
+    finally:
+        _working_circuit = saved

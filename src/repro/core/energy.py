@@ -1,0 +1,107 @@
+"""Switching-activity energy estimation.
+
+The paper's opening motivation is SCE's "sub-attojoule ultra-high-speed
+switching": each Josephson junction dissipates roughly ``E_jj = Ic * PHI0``
+per 2-pi phase slip (~2 x 10^-19 J at Ic = 0.1 mA). Combining the
+simulator's switching-activity counters with each cell's ``jjs`` area
+metric gives a first-order dynamic-energy estimate for a run:
+
+    E(cell) ~= input pulses consumed * jjs(cell) * E_jj
+
+(a worst-case model: every junction in the cell switches once per processed
+pulse — real cells switch a subset, so this is an upper bound; bias-network
+static power is out of scope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .errors import PylseError
+from .simulation import Simulation
+
+#: Flux quantum in J/A (Wb): 2.07e-15.
+PHI0_WB = 2.067833848e-15
+
+#: Default junction critical current (A), matching repro.analog's 0.1 mA.
+DEFAULT_IC_A = 1e-4
+
+#: Energy per junction switching event (J): Ic * PHI0 ~ 0.207 aJ.
+E_JJ = DEFAULT_IC_A * PHI0_WB
+
+
+@dataclass
+class CellEnergy:
+    """Energy attributed to one placed cell in a simulation run."""
+
+    node: str
+    cell: str
+    jjs: int
+    pulses_in: int
+    pulses_out: int
+    energy_joules: float
+
+    @property
+    def energy_attojoules(self) -> float:
+        return self.energy_joules * 1e18
+
+
+@dataclass
+class EnergyReport:
+    """Whole-run energy summary."""
+
+    cells: List[CellEnergy]
+    total_joules: float
+
+    @property
+    def total_attojoules(self) -> float:
+        return self.total_joules * 1e18
+
+    def by_cell_type(self) -> Dict[str, float]:
+        """Total joules per cell type, for area/energy breakdowns."""
+        totals: Dict[str, float] = {}
+        for cell in self.cells:
+            totals[cell.cell] = totals.get(cell.cell, 0.0) + cell.energy_joules
+        return totals
+
+    def render(self) -> str:
+        lines = [
+            f"{'node':<12} {'cell':<8} {'jjs':>4} {'in':>5} {'out':>5} {'aJ':>9}"
+        ]
+        for cell in sorted(self.cells, key=lambda c: -c.energy_joules):
+            lines.append(
+                f"{cell.node:<12} {cell.cell:<8} {cell.jjs:>4} "
+                f"{cell.pulses_in:>5} {cell.pulses_out:>5} "
+                f"{cell.energy_attojoules:>9.3f}"
+            )
+        lines.append(f"total: {self.total_attojoules:.3f} aJ")
+        return "\n".join(lines)
+
+
+def energy_report(sim: Simulation, e_jj: float = E_JJ) -> EnergyReport:
+    """Estimate dynamic switching energy for the last ``sim.simulate()`` run.
+
+    Cells without a ``jjs`` attribute (holes) are counted with jjs = 0 —
+    they are behavioral placeholders with no physical junctions yet.
+    """
+    if not sim.activity:
+        raise PylseError("No activity recorded: run simulate() first")
+    cells: List[CellEnergy] = []
+    total = 0.0
+    for node in sim.circuit.cells():
+        pulses_in, pulses_out = sim.activity.get(node.name, [0, 0])
+        jjs = getattr(node.element, "jjs", 0)
+        energy = pulses_in * jjs * e_jj
+        total += energy
+        cells.append(
+            CellEnergy(
+                node=node.name,
+                cell=node.element.name,
+                jjs=jjs,
+                pulses_in=pulses_in,
+                pulses_out=pulses_out,
+                energy_joules=energy,
+            )
+        )
+    return EnergyReport(cells=cells, total_joules=total)

@@ -1,0 +1,74 @@
+"""Pulse events and the pending-pulse heap.
+
+The simulator of Section 4.3 "maintains a priority heap of pending pulses
+tagged with their destination cells"; ``getSimPulses`` (Figure 6) extracts
+the earliest set of simultaneous pulses destined for the same machine. This
+module provides that heap with a deterministic tie-break (node id) where the
+formal semantics allows a nondeterministic choice.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .node import Node
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """A pulse that will arrive at ``time`` on input ``port`` of ``node``."""
+
+    time: float
+    node: Node
+    port: str
+
+
+class PulseHeap:
+    """Priority heap of pending pulses, ordered by (time, node id).
+
+    Insertion order breaks any remaining ties so behaviour is reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, Pulse]] = []
+        self._counter = itertools.count()
+
+    def push(self, pulse: Pulse) -> None:
+        heapq.heappush(
+            self._heap, (pulse.time, pulse.node.node_id, next(self._counter), pulse)
+        )
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def pop_simultaneous(self) -> Tuple[Node, List[str], float]:
+        """Implements ``getSimPulses``.
+
+        Pops every pending pulse that shares the earliest time *and* the
+        destination machine of the heap's top entry, returning
+        ``(node, ports, time)``. Duplicate pulses on the same port at the
+        same instant collapse into one (a port either pulses at an instant
+        or it does not).
+        """
+        if not self._heap:
+            raise IndexError("pop from empty pulse heap")
+        time, node_id, _, first = self._heap[0]
+        node = first.node
+        ports: List[str] = []
+        while self._heap:
+            t, nid, _, pulse = self._heap[0]
+            if t != time or nid != node_id:
+                break
+            heapq.heappop(self._heap)
+            if pulse.port not in ports:
+                ports.append(pulse.port)
+        return node, ports, time

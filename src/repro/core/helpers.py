@@ -1,0 +1,55 @@
+"""Input generators and wire utilities (Table 1 of the paper).
+
+* :func:`inp_at` — produce pulses at each given time;
+* :func:`inp` — produce a periodic pulse train;
+* :func:`inspect` — give a wire a name for observation during simulation.
+
+(``split`` lives with the cell library in :mod:`repro.sfq.functions`, since
+it instantiates splitter cells.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .circuit import working_circuit
+from .element import InGen
+from .errors import PylseError
+from .wire import Wire
+
+
+def inp_at(*times: float, name: Optional[str] = None) -> Wire:
+    """Produce pulses at each time in ``times``; returns the driven wire.
+
+    >>> a = inp_at(125, 175, 225, 275, name='A')  # doctest: +SKIP
+
+    An empty ``times`` is allowed and produces a wire that never pulses —
+    the encoding of a logical 0 operand in RSFQ designs.
+    """
+    return working_circuit().add_input(InGen(times), name)
+
+
+def inp(
+    start: float = 0.0,
+    period: float = 0.0,
+    n: int = 1,
+    name: Optional[str] = None,
+) -> Wire:
+    """Produce ``n`` pulses starting at ``start``, one every ``period``.
+
+    Matches Table 1: ``inp(start=50, period=50, n=6, name='CLK')`` pulses at
+    50, 100, ..., 300.
+    """
+    if n < 1:
+        raise PylseError(f"inp needs n >= 1, got {n}")
+    if n > 1 and period <= 0:
+        raise PylseError(f"inp with n={n} pulses needs a positive period")
+    times = [start + i * period for i in range(n)]
+    return working_circuit().add_input(InGen(times), name)
+
+
+def inspect(wire: Wire, name: str) -> Wire:
+    """Give a wire a name for observation during simulation."""
+    if not isinstance(wire, Wire):
+        raise PylseError(f"inspect expects a Wire, got {wire!r}")
+    return wire.observe(name)

@@ -1,0 +1,107 @@
+"""Self-contained HTML/SVG waveform rendering.
+
+matplotlib is unavailable in this environment (see DESIGN.md), so besides
+the ASCII renderer and the VCD exporter, this module draws the paper-style
+pulse plots (Figures 10/12/16) as a dependency-free HTML file with inline
+SVG — one row per wire, one vertical tick per pulse, hover titles with the
+exact times.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import List
+
+from .errors import PylseError
+from .simulation import Events
+
+ROW_HEIGHT = 34
+LABEL_WIDTH = 120
+PLOT_WIDTH = 760
+PULSE_HEIGHT = 22
+MARGIN = 12
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 1.5em; }
+h1 { font-size: 1.1em; }
+svg { background: #fafafa; border: 1px solid #ddd; }
+.wire-label { font-size: 12px; fill: #333; }
+.baseline { stroke: #bbb; stroke-width: 1; }
+.pulse { stroke: #0b63b5; stroke-width: 2; }
+.axis { font-size: 10px; fill: #888; }
+"""
+
+
+def events_to_html(events: Events, title: str = "repro simulation") -> str:
+    """Render the events dict as a standalone HTML page."""
+    if not events:
+        raise PylseError("No events to render")
+    names = list(events)
+    max_time = max((ts[-1] for ts in events.values() if ts), default=0.0)
+    span = max(max_time * 1.05, 1e-9)
+
+    def x_of(t: float) -> float:
+        return LABEL_WIDTH + (t / span) * PLOT_WIDTH
+
+    height = MARGIN * 2 + ROW_HEIGHT * len(names) + 20
+    width = LABEL_WIDTH + PLOT_WIDTH + MARGIN
+    rows: List[str] = []
+    for k, name in enumerate(names):
+        y0 = MARGIN + ROW_HEIGHT * k + ROW_HEIGHT - 6
+        rows.append(
+            f'<text class="wire-label" x="4" y="{y0 - 6}">{escape(name)}</text>'
+        )
+        rows.append(
+            f'<line class="baseline" x1="{LABEL_WIDTH}" y1="{y0}" '
+            f'x2="{LABEL_WIDTH + PLOT_WIDTH}" y2="{y0}"/>'
+        )
+        for t in events[name]:
+            x = x_of(t)
+            rows.append(
+                f'<line class="pulse" x1="{x:.1f}" y1="{y0}" '
+                f'x2="{x:.1f}" y2="{y0 - PULSE_HEIGHT}">'
+                f"<title>{escape(name)} @ {t:g} ps</title></line>"
+            )
+    # Time axis ticks at ~8 round intervals.
+    axis_y = MARGIN + ROW_HEIGHT * len(names) + 12
+    step = _round_step(span / 8)
+    ticks = []
+    t = 0.0
+    while t <= span:
+        x = x_of(t)
+        ticks.append(
+            f'<text class="axis" x="{x:.1f}" y="{axis_y}" '
+            f'text-anchor="middle">{t:g}</text>'
+        )
+        t += step
+    svg = (
+        f'<svg width="{width}" height="{height}" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+        + "".join(rows)
+        + "".join(ticks)
+        + "</svg>"
+    )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{escape(title)}</title><style>{_STYLE}</style></head>"
+        f"<body><h1>{escape(title)}</h1>{svg}"
+        "<p>One row per wire; each tick is an SFQ pulse (hover for the "
+        "exact time, in ps).</p></body></html>"
+    )
+
+
+def _round_step(raw: float) -> float:
+    """A 1/2/5-series step near ``raw``."""
+    if raw <= 0:
+        return 1.0
+    magnitude = 10 ** int(f"{raw:e}".split("e")[1])
+    for mult in (1, 2, 5, 10):
+        if mult * magnitude >= raw:
+            return mult * magnitude
+    return 10 * magnitude
+
+
+def save_html(events: Events, path: str, title: str = "repro simulation") -> None:
+    """Write :func:`events_to_html` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(events_to_html(events, title))

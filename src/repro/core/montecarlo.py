@@ -1,0 +1,123 @@
+"""Monte-Carlo timing-yield analysis.
+
+Section 5.2's robustness evaluation, packaged as a library: re-run a design
+many times under Gaussian delay variability and measure the *yield* — the
+fraction of runs whose outputs still satisfy a user-supplied correctness
+predicate and raise no timing violation. :func:`critical_sigma` then
+bisects for the noise level at which yield first drops below a target,
+giving a single robustness figure of merit per design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .circuit import Circuit
+from .errors import PylseError, SimulationError
+from .simulation import Events, Simulation
+
+#: A correctness predicate over simulation events.
+Predicate = Callable[[Events], bool]
+
+#: A builder that elaborates the design into a fresh circuit and returns it.
+CircuitFactory = Callable[[], Circuit]
+
+
+@dataclass
+class YieldResult:
+    """Outcome of one Monte-Carlo yield measurement."""
+
+    sigma: float
+    runs: int
+    passed: int
+    mis_behaved: int
+    violations: int
+    #: seed -> failure kind, for reproducing individual failures
+    failures: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def yield_fraction(self) -> float:
+        return self.passed / self.runs if self.runs else 0.0
+
+
+def measure_yield(
+    factory: CircuitFactory,
+    predicate: Predicate,
+    sigma: float,
+    seeds: Sequence[int] = tuple(range(50)),
+) -> YieldResult:
+    """Run the design once per seed at the given noise level.
+
+    ``factory`` must build a *fresh* circuit each call (element state and
+    instance naming are per-circuit); ``predicate`` judges the events of a
+    completed run. Timing violations count as failures of kind
+    "violation"; predicate failures as "mis-behaved".
+    """
+    if not seeds:
+        raise PylseError("measure_yield needs at least one seed")
+    passed = mis = viol = 0
+    failures: Dict[int, str] = {}
+    for seed in seeds:
+        circuit = factory()
+        try:
+            events = Simulation(circuit).simulate(
+                variability={"stddev": sigma}, seed=seed
+            )
+        except SimulationError:
+            viol += 1
+            failures[seed] = "violation"
+            continue
+        if predicate(events):
+            passed += 1
+        else:
+            mis += 1
+            failures[seed] = "mis-behaved"
+    return YieldResult(
+        sigma=sigma,
+        runs=len(seeds),
+        passed=passed,
+        mis_behaved=mis,
+        violations=viol,
+        failures=failures,
+    )
+
+
+def yield_curve(
+    factory: CircuitFactory,
+    predicate: Predicate,
+    sigmas: Sequence[float],
+    seeds: Sequence[int] = tuple(range(25)),
+) -> List[YieldResult]:
+    """Yield at each noise level, for plotting or tabulation."""
+    return [measure_yield(factory, predicate, s, seeds) for s in sigmas]
+
+
+def critical_sigma(
+    factory: CircuitFactory,
+    predicate: Predicate,
+    target_yield: float = 0.9,
+    sigma_hi: float = 8.0,
+    seeds: Sequence[int] = tuple(range(20)),
+    iterations: int = 6,
+) -> Optional[float]:
+    """Bisect for the smallest sigma at which yield drops below target.
+
+    Returns None if the design already fails at sigma = 0 (a functional
+    bug, not a robustness limit); returns ``sigma_hi`` if the design still
+    meets the target there (more robust than the search range).
+    """
+    if not 0 < target_yield <= 1:
+        raise PylseError(f"target_yield must be in (0, 1], got {target_yield}")
+    if measure_yield(factory, predicate, 0.0, seeds).yield_fraction < target_yield:
+        return None
+    if measure_yield(factory, predicate, sigma_hi, seeds).yield_fraction >= target_yield:
+        return sigma_hi
+    lo, hi = 0.0, sigma_hi
+    for _ in range(iterations):
+        mid = (lo + hi) / 2
+        if measure_yield(factory, predicate, mid, seeds).yield_fraction >= target_yield:
+            lo = mid
+        else:
+            hi = mid
+    return hi

@@ -1,0 +1,34 @@
+"""Optional graphical plotting backend.
+
+The paper's ``sim.plot()`` produces matplotlib pulse plots (Figures 10, 12b,
+16). matplotlib is not installed in this reproduction environment, so the
+primary renderer is the ASCII one in :mod:`repro.core.simulation`; this
+module provides the matplotlib path for environments that have it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def matplotlib_plot(events: Dict[str, List[float]], filename: str | None = None):
+    """Plot each wire's pulse train as a row of impulse markers.
+
+    Raises ImportError when matplotlib is unavailable; callers treat that as
+    "fall back to ASCII".
+    """
+    import matplotlib  # noqa: F401  (raises if unavailable)
+    import matplotlib.pyplot as plt
+
+    names = list(events)
+    fig, axes = plt.subplots(len(names), 1, sharex=True, squeeze=False)
+    for ax_row, name in zip(axes, names):
+        ax = ax_row[0]
+        times = events[name]
+        ax.vlines(times, 0, 1)
+        ax.set_ylabel(name, rotation=0, ha="right", va="center")
+        ax.set_yticks([])
+    axes[-1][0].set_xlabel("time (ps)")
+    if filename:
+        fig.savefig(filename)
+    return fig

@@ -1,0 +1,180 @@
+"""Structural JSON serialization of circuits.
+
+A placed circuit of standard cells and input generators round-trips through
+a documented JSON format (``repro-circuit-v1``), so elaborated designs can
+be archived, diffed, and exchanged without re-running the Python that built
+them. Functional holes wrap arbitrary callables and are rejected (their
+behavior is code, not structure).
+
+Timing distributions (``Normal``/``Uniform``) and per-instance overrides
+(``firing_delay``, ``transition_time``, ``jjs``) are preserved.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Type
+
+from .circuit import Circuit
+from .element import InGen
+from .errors import PylseError
+from .timing import Normal, Uniform
+from .transitional import Transitional
+from .wire import Wire
+
+FORMAT = "repro-circuit-v1"
+
+
+def _encode_delay(value):
+    if isinstance(value, Normal):
+        return {"dist": "normal", "mean": value.mean, "stddev": value.stddev}
+    if isinstance(value, Uniform):
+        return {"dist": "uniform", "low": value.low, "high": value.high}
+    return value
+
+
+def _decode_delay(value):
+    if isinstance(value, dict):
+        if value.get("dist") == "normal":
+            return Normal(value["mean"], value["stddev"])
+        if value.get("dist") == "uniform":
+            return Uniform(value["low"], value["high"])
+        return {k: _decode_delay(v) for k, v in value.items()}
+    return value
+
+
+def _encode_overrides(overrides: Dict[str, object]) -> Dict[str, object]:
+    encoded: Dict[str, object] = {}
+    for key, value in overrides.items():
+        if key == "transition_time":
+            encoded[key] = {
+                f"{src}:{trigger}": time
+                for (src, trigger), time in value.items()  # type: ignore[union-attr]
+            }
+        elif key == "firing_delay":
+            if isinstance(value, dict):
+                encoded[key] = {k: _encode_delay(v) for k, v in value.items()}
+            else:
+                encoded[key] = _encode_delay(value)
+        else:
+            encoded[key] = value
+    return encoded
+
+
+def _decode_overrides(encoded: Dict[str, object]) -> Dict[str, object]:
+    decoded: Dict[str, object] = {}
+    for key, value in encoded.items():
+        if key == "transition_time":
+            decoded[key] = {
+                tuple(pair.split(":", 1)): time
+                for pair, time in value.items()  # type: ignore[union-attr]
+            }
+        elif key == "firing_delay":
+            decoded[key] = _decode_delay(value)
+        else:
+            decoded[key] = value
+    return decoded
+
+
+def circuit_to_json(circuit: Circuit, indent: Optional[int] = 2) -> str:
+    """Serialize a circuit's structure (cells, wiring, input schedules)."""
+    nodes: List[dict] = []
+    for node in circuit.nodes:
+        element = node.element
+        if isinstance(element, InGen):
+            wire = node.output_wires["out"]
+            nodes.append({
+                "kind": "input",
+                "name": node.name,
+                "wire": wire.name,
+                "observed_as": wire.observed_as,
+                "times": list(element.times),
+            })
+            continue
+        if not isinstance(element, Transitional):
+            raise PylseError(
+                f"Cannot serialize node {node.name}: Functional (hole) "
+                "elements wrap arbitrary Python and have no structural form"
+            )
+        nodes.append({
+            "kind": "cell",
+            "name": node.name,
+            "cell": type(element).__name__,
+            "overrides": _encode_overrides(element.overrides),
+            "inputs": {
+                port: wire.name for port, wire in node.input_wires.items()
+            },
+            "outputs": {
+                port: {"wire": wire.name, "observed_as": wire.observed_as}
+                for port, wire in node.output_wires.items()
+            },
+        })
+    return json.dumps({"format": FORMAT, "nodes": nodes}, indent=indent)
+
+
+def _default_cell_registry() -> Dict[str, Type[Transitional]]:
+    from ..sfq import BASIC_CELLS, EXTENSION_CELLS
+
+    return {cls.__name__: cls for cls in BASIC_CELLS + EXTENSION_CELLS}
+
+
+def circuit_from_json(
+    text: str,
+    extra_cells: Optional[Dict[str, Type[Transitional]]] = None,
+) -> Circuit:
+    """Rebuild a circuit from :func:`circuit_to_json` output.
+
+    Custom cell classes (outside the standard library and extensions) must
+    be supplied via ``extra_cells`` keyed by class name.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise PylseError(f"Invalid circuit JSON: {err}") from None
+    if payload.get("format") != FORMAT:
+        raise PylseError(
+            f"Unsupported circuit format {payload.get('format')!r}; "
+            f"expected {FORMAT!r}"
+        )
+    registry = _default_cell_registry()
+    if extra_cells:
+        registry.update(extra_cells)
+
+    circuit = Circuit()
+    wires: Dict[str, Wire] = {}
+
+    def get_wire(name: str, observed_as: Optional[str] = None) -> Wire:
+        if name not in wires:
+            wires[name] = Wire(name)
+        if observed_as and observed_as != name:
+            wires[name].observe(observed_as)
+        return wires[name]
+
+    for spec in payload.get("nodes", []):
+        kind = spec.get("kind")
+        if kind == "input":
+            wire = get_wire(spec["wire"], spec.get("observed_as"))
+            element = InGen(spec["times"])
+            circuit.add_node(element, [], [wire], name=spec.get("name"))
+        elif kind == "cell":
+            cell_name = spec["cell"]
+            if cell_name not in registry:
+                raise PylseError(
+                    f"Unknown cell class {cell_name!r}; pass it via extra_cells"
+                )
+            cls = registry[cell_name]
+            element = cls(**_decode_overrides(spec.get("overrides", {})))
+            in_wires = [
+                get_wire(spec["inputs"][port]) for port in element.inputs
+            ]
+            out_wires = [
+                get_wire(
+                    spec["outputs"][port]["wire"],
+                    spec["outputs"][port].get("observed_as"),
+                )
+                for port in element.outputs
+            ]
+            circuit.add_node(element, in_wires, out_wires, name=spec.get("name"))
+        else:
+            raise PylseError(f"Unknown node kind {kind!r} in circuit JSON")
+    return circuit

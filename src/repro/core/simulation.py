@@ -1,0 +1,273 @@
+"""The discrete-event simulator (Section 4.3).
+
+``Simulation.simulate`` runs the Network Relation of Figure 6 over the
+working circuit (or an explicit one): a priority heap of pending pulses is
+drained one simultaneous group at a time; each group is dispatched to its
+destination element; newly fired pulses are pushed back onto the heap until
+it is empty or the ``until`` target time is reached (needed for circuits
+with feedback loops).
+
+The result is the ``events`` dictionary mapping every named wire to the
+ordered list of pulse times that appeared on it — the object the paper's
+Section 5.2 dynamic-correctness checks are written against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .circuit import Circuit, working_circuit
+from .element import InGen
+from .errors import PylseError, SimulationError
+from .events import Pulse, PulseHeap
+from .functional import Functional
+from .node import Node
+from .timing import Distribution, VariabilitySpec, sample_delay
+from .transitional import Transitional
+from .wire import Wire
+
+Events = Dict[str, List[float]]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One dispatch step: a simultaneous pulse group delivered to a node."""
+
+    time: float
+    node: str
+    cell: str
+    ports: Tuple[str, ...]
+    state_before: Optional[str]
+    state_after: Optional[str]
+    fired: Tuple[Tuple[str, float], ...]   # (output port, absolute time)
+
+    def __str__(self) -> str:
+        ports = "+".join(self.ports)
+        fired = (
+            ", ".join(f"{port}@{t:g}" for port, t in self.fired) or "-"
+        )
+        state = (
+            f" [{self.state_before} -> {self.state_after}]"
+            if self.state_before is not None
+            else ""
+        )
+        return f"t={self.time:g}: {self.node}({self.cell}) <- {ports}{state} => {fired}"
+
+
+class Simulation:
+    """Discrete-event simulation of a circuit of PyLSE Machines and holes.
+
+    >>> from repro import inp_at, inp, and_s, Simulation
+    >>> # ... build circuit ...
+    >>> sim = Simulation()
+    >>> events = sim.simulate()
+    >>> print(sim.plot())           # ASCII waveform  # doctest: +SKIP
+    """
+
+    def __init__(self, circuit: Optional[Circuit] = None):
+        self.circuit = circuit if circuit is not None else working_circuit()
+        self.events: Events = {}
+        self.until: Optional[float] = None
+        self.pulses_processed: int = 0
+        #: node name -> (input pulses consumed, output pulses emitted);
+        #: filled during simulate() and consumed by repro.core.energy.
+        self.activity: Dict[str, List[int]] = {}
+        #: dispatch-level trace, filled when simulate(record=True).
+        self.trace: List[TraceEntry] = []
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        until: Optional[float] = None,
+        variability: Union[bool, dict, Callable[[float, Node], float]] = False,
+        seed: Optional[int] = None,
+        record: bool = False,
+        max_pulses: Optional[int] = 1_000_000,
+    ) -> Events:
+        """Run the circuit until the heap drains or ``until`` is reached.
+
+        ``variability`` adds Gaussian noise to firing delays (Section 5.2):
+        ``True`` for all cells, a dict selecting ``cell_types`` /
+        ``instances`` and the noise magnitude, or a callable
+        ``f(delay, node) -> delay`` for full control. ``seed`` makes both
+        variability and nondeterministic priority tie-breaks reproducible.
+        ``record=True`` keeps a dispatch-level trace in ``self.trace`` (one
+        :class:`TraceEntry` per simultaneous pulse group, with machine
+        states before/after) — the debugging view of the Network Relation.
+        ``max_pulses`` (default one million) guards against unbounded
+        feedback loops simulated without an ``until`` horizon; pass None to
+        disable.
+        """
+        circuit = self.circuit
+        circuit.validate()
+        circuit.reset_elements()
+        spec = VariabilitySpec.normalize(variability, seed)
+        rng = random.Random(seed)
+        tie_rng = random.Random(rng.random()) if seed is not None else None
+        for node in circuit.cells():
+            if isinstance(node.element, Transitional):
+                node.element.set_dispatch_rng(tie_rng)
+
+        events: Events = {self._label(w): [] for w in circuit.wires}
+        heap = PulseHeap()
+        self.pulses_processed = 0
+        self.until = until
+        self.activity = {node.name: [0, 0] for node in circuit.cells()}
+        self.trace = []
+
+        def emit(wire: Wire, time: float) -> None:
+            events[self._label(wire)].append(time)
+            dest = circuit.dest_of.get(wire)
+            if dest is not None:
+                node, port = dest
+                heap.push(Pulse(time, node, port))
+
+        for node in circuit.input_nodes():
+            out_wire = node.output_wires["out"]
+            for t in node.element.times:  # type: ignore[attr-defined]
+                emit(out_wire, t)
+
+        while heap:
+            node, ports, time = heap.pop_simultaneous()
+            if until is not None and time > until:
+                break
+            if max_pulses is not None and self.pulses_processed >= max_pulses:
+                raise SimulationError(
+                    f"Simulation exceeded {max_pulses} pulses at t={time:g} "
+                    "without draining; a feedback loop probably needs an "
+                    "'until' horizon (or raise max_pulses)"
+                )
+            self.pulses_processed += len(ports)
+            state_before = (
+                node.element.state
+                if record and isinstance(node.element, Transitional)
+                else None
+            )
+            firings = self._deliver(node, ports, time)
+            counts = self.activity[node.name]
+            counts[0] += len(ports)
+            counts[1] += len(firings)
+            emitted: List[Tuple[str, float]] = []
+            for out_port, delay in firings:
+                resolved = self._resolve_delay(delay, node, spec, rng)
+                emitted.append((out_port, time + resolved))
+                emit(node.output_wires[out_port], time + resolved)
+            if record:
+                state_after = (
+                    node.element.state
+                    if isinstance(node.element, Transitional)
+                    else None
+                )
+                self.trace.append(
+                    TraceEntry(
+                        time=time,
+                        node=node.name,
+                        cell=node.element.name,
+                        ports=tuple(ports),
+                        state_before=state_before,
+                        state_after=state_after,
+                        fired=tuple(emitted),
+                    )
+                )
+
+        for series in events.values():
+            series.sort()
+        self.events = events
+        return events
+
+    # ------------------------------------------------------------------
+    def _deliver(self, node: Node, ports: Sequence[str], time: float):
+        """Send a simultaneous pulse group to a node, with error context."""
+        element = node.element
+        try:
+            if isinstance(element, (Transitional, Functional)):
+                return element.raw_firings(ports, time)
+            return element.handle_inputs(ports, time)
+        except SimulationError as err:
+            first_out = next(iter(node.output_wires.values()), None)
+            where = f"'{first_out.name}'" if first_out is not None else "(no output)"
+            inputs = ", ".join(f"'{p}'" for p in ports)
+            raise type(err)(
+                f"Error while sending input(s) {inputs} to the node with output "
+                f"wire {where}:\n{err}"
+            ) from None
+
+    def _resolve_delay(
+        self,
+        delay,
+        node: Node,
+        spec: VariabilitySpec,
+        rng: random.Random,
+    ) -> float:
+        value = sample_delay(delay, rng)
+        if not isinstance(delay, Distribution) and spec.applies_to(
+            node.element.name, node.name
+        ):
+            value = spec.perturb(value, node)
+        if value < 0:
+            raise PylseError(f"Resolved firing delay is negative: {value}")
+        return value
+
+    @staticmethod
+    def _label(wire: Wire) -> str:
+        return wire.observed_as
+
+    # ------------------------------------------------------------------
+    def render_trace(self) -> str:
+        """The recorded dispatch trace as text (one line per group)."""
+        if not self.trace:
+            raise PylseError(
+                "No trace recorded: run simulate(record=True) first"
+            )
+        return "\n".join(str(entry) for entry in self.trace)
+
+    def plot(self, width: int = 72, file=None) -> str:
+        """Render the last simulation's pulses as an ASCII waveform.
+
+        Each named wire gets a row; ``|`` marks a pulse. The rendering is
+        returned and also printed to ``file`` (stdout by default) to match
+        the paper's ``sim.plot()`` usage. (The paper uses matplotlib — see
+        DESIGN.md; an optional matplotlib backend is used if importable.)
+        """
+        if not self.events:
+            raise PylseError("Nothing to plot: run simulate() first")
+        rendering = render_waveforms(self.events, width=width)
+        print(rendering, file=file)
+        self._try_matplotlib()
+        return rendering
+
+    def _try_matplotlib(self) -> None:
+        try:
+            from . import plot as _plot
+
+            _plot.matplotlib_plot(self.events)
+        except Exception:
+            pass
+
+
+def render_waveforms(events: Events, width: int = 72) -> str:
+    """Draw pulse trains as fixed-width ASCII art.
+
+    Each wire is one row; ``|`` marks a pulse, positioned proportionally to
+    its time within the simulation span, with the pulse times listed after.
+    """
+    interesting = {k: v for k, v in events.items()}
+    max_time = max((ts[-1] for ts in interesting.values() if ts), default=0.0)
+    span = max(max_time, 1e-9)
+    name_width = max((len(k) for k in interesting), default=4)
+    lines = []
+    for name in interesting:
+        times = interesting[name]
+        row = ["_"] * width
+        for t in times:
+            col = min(width - 1, int(t / span * (width - 1)))
+            row[col] = "|"
+        stamps = ", ".join(f"{t:g}" for t in times[:8])
+        if len(times) > 8:
+            stamps += ", ..."
+        count = f"{len(times)} pulse{'s' if len(times) != 1 else ''}"
+        detail = f" ({count}: {stamps})" if times else " (no pulses)"
+        lines.append(f"{name:<{name_width}} {''.join(row)}{detail}")
+    return "\n".join(lines)

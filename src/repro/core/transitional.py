@@ -1,0 +1,378 @@
+"""The Cell Definition level: ``Transitional`` elements (Section 4.1).
+
+An SCE cell is modeled as a class implementing :class:`Transitional`, giving
+input/output names and a list of transitions as class attributes. Each
+transition is a Python dictionary matching Figure 4's anatomy::
+
+    {'src': 'idle', 'trigger': 'clk', 'dst': 'idle',
+     'transition_time': 3.0,               # tau_tran (hold time)
+     'firing': 'q',                        # outputs emitted (tau_fire below)
+     'past_constraints': {'*': 2.8},       # tau_dist (setup time)
+     'priority': 0}                        # optional; defaults to list order
+
+``trigger`` may be a single input or a list of inputs (expanded into one
+transition each). ``firing`` may be an output name, a list of names (delays
+taken from the cell's ``firing_delay``), or a dict mapping outputs to
+explicit delays. ``past_constraints`` may be a number (meaning ``'*'``) or a
+dict keyed by input names and/or ``'*'``.
+
+Class-level parsing performs the Section 4.2 well-formedness checks and
+builds an immutable :class:`~repro.core.machine.PylseMachine`; instances act
+as stateful circuit elements around a current configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .element import Element, Firing
+from .errors import WellFormednessError
+from .machine import Configuration, PylseMachine, Transition
+from .timing import DelayLike, nominal_delay
+
+_TRANSITION_FIELDS = {
+    "src",
+    "source",
+    "trigger",
+    "dst",
+    "dest",
+    "transition_time",
+    "firing",
+    "past_constraints",
+    "priority",
+}
+
+RawTransition = Mapping[str, object]
+FiringDelaySpec = Union[DelayLike, Mapping[str, DelayLike], None]
+
+
+def _resolve_firing(
+    cls_name: str,
+    index: int,
+    firing: object,
+    outputs: Sequence[str],
+    firing_delay: FiringDelaySpec,
+) -> Dict[str, DelayLike]:
+    """Normalize a transition's ``firing`` field into ``{output: delay}``."""
+
+    def default_delay(out: str) -> DelayLike:
+        if firing_delay is None:
+            raise WellFormednessError(
+                f"{cls_name}: transition {index} fires {out!r} but the cell "
+                "defines no 'firing_delay' and the transition gives no "
+                "explicit delay"
+            )
+        if isinstance(firing_delay, Mapping):
+            try:
+                return firing_delay[out]
+            except KeyError:
+                raise WellFormednessError(
+                    f"{cls_name}: 'firing_delay' dict has no entry for output "
+                    f"{out!r}"
+                ) from None
+        return firing_delay
+
+    if firing is None:
+        return {}
+    if isinstance(firing, str):
+        return {firing: default_delay(firing)}
+    if isinstance(firing, Mapping):
+        return dict(firing)
+    if isinstance(firing, (list, tuple, set, frozenset)):
+        result: Dict[str, DelayLike] = {}
+        for out in firing:
+            if not isinstance(out, str):
+                raise WellFormednessError(
+                    f"{cls_name}: transition {index} 'firing' list must contain "
+                    f"output names, got {out!r}"
+                )
+            result[out] = default_delay(out)
+        return result
+    raise WellFormednessError(
+        f"{cls_name}: transition {index} has invalid 'firing' value {firing!r}; "
+        "expected an output name, list of names, or dict of name -> delay"
+    )
+
+
+def _resolve_past_constraints(
+    cls_name: str, index: int, constraints: object
+) -> Dict[str, float]:
+    if constraints is None:
+        return {}
+    if isinstance(constraints, (int, float)):
+        return {"*": float(constraints)}
+    if isinstance(constraints, Mapping):
+        result = {}
+        for sym, dist in constraints.items():
+            if not isinstance(sym, str):
+                raise WellFormednessError(
+                    f"{cls_name}: transition {index} 'past_constraints' keys must "
+                    f"be input names or '*', got {sym!r}"
+                )
+            if not isinstance(dist, (int, float)):
+                raise WellFormednessError(
+                    f"{cls_name}: transition {index} 'past_constraints' value for "
+                    f"{sym!r} must be a number, got {dist!r}"
+                )
+            result[sym] = float(dist)
+        return result
+    raise WellFormednessError(
+        f"{cls_name}: transition {index} has invalid 'past_constraints' "
+        f"{constraints!r}; expected a number or a dict"
+    )
+
+
+def parse_transitions(
+    cls_name: str,
+    outputs: Sequence[str],
+    raw_transitions: Sequence[RawTransition],
+    firing_delay: FiringDelaySpec = None,
+    transition_time_overrides: Optional[Mapping[Tuple[str, str], float]] = None,
+) -> List[Transition]:
+    """Expand and normalize the user's transition dictionaries.
+
+    Returns the flat list of :class:`Transition` objects ready to build a
+    :class:`PylseMachine`. ``transition_time_overrides`` maps
+    ``(src, trigger)`` pairs to replacement transition times (the
+    per-instance override mechanism of Section 4.1).
+    """
+    if not isinstance(raw_transitions, (list, tuple)):
+        raise WellFormednessError(
+            f"{cls_name}: 'transitions' must be a list of dicts"
+        )
+    overrides = dict(transition_time_overrides or {})
+    parsed: List[Transition] = []
+    for raw_index, raw in enumerate(raw_transitions):
+        if not isinstance(raw, Mapping):
+            raise WellFormednessError(
+                f"{cls_name}: transition {raw_index} must be a dict, got "
+                f"{type(raw).__name__}"
+            )
+        unknown = set(raw) - _TRANSITION_FIELDS
+        if unknown:
+            raise WellFormednessError(
+                f"{cls_name}: transition {raw_index} has unrecognized field(s) "
+                f"{sorted(unknown)}; recognized fields are "
+                f"{sorted(_TRANSITION_FIELDS)}"
+            )
+        if "src" in raw and "source" in raw or "dst" in raw and "dest" in raw:
+            raise WellFormednessError(
+                f"{cls_name}: transition {raw_index} gives both long and short "
+                "forms of src/dst"
+            )
+        src = raw.get("src", raw.get("source"))
+        dst = raw.get("dst", raw.get("dest"))
+        trigger = raw.get("trigger")
+        if not isinstance(src, str) or not isinstance(dst, str):
+            raise WellFormednessError(
+                f"{cls_name}: transition {raw_index} needs string 'src' and 'dst'"
+            )
+        if trigger is None:
+            raise WellFormednessError(
+                f"{cls_name}: transition {raw_index} is missing its 'trigger'"
+            )
+        triggers = [trigger] if isinstance(trigger, str) else list(trigger)
+        if not triggers:
+            raise WellFormednessError(
+                f"{cls_name}: transition {raw_index} has an empty trigger list"
+            )
+        priority = raw.get("priority", raw_index)
+        if not isinstance(priority, int) or priority < 0:
+            raise WellFormednessError(
+                f"{cls_name}: transition {raw_index} priority must be a "
+                f"non-negative integer, got {priority!r}"
+            )
+        transition_time = raw.get("transition_time", 0.0)
+        if not isinstance(transition_time, (int, float)):
+            raise WellFormednessError(
+                f"{cls_name}: transition {raw_index} 'transition_time' must be a "
+                f"number, got {transition_time!r}"
+            )
+        firing = _resolve_firing(
+            cls_name, raw_index, raw.get("firing"), outputs, firing_delay
+        )
+        constraints = _resolve_past_constraints(
+            cls_name, raw_index, raw.get("past_constraints")
+        )
+        for trig in triggers:
+            if not isinstance(trig, str):
+                raise WellFormednessError(
+                    f"{cls_name}: transition {raw_index} trigger list must "
+                    f"contain input names, got {trig!r}"
+                )
+            tt = overrides.get((src, trig), float(transition_time))
+            parsed.append(
+                Transition(
+                    id=len(parsed),
+                    source=src,
+                    trigger=trig,
+                    dest=dst,
+                    priority=priority,
+                    transition_time=tt,
+                    firing=firing,
+                    past_constraints=constraints,
+                )
+            )
+    return parsed
+
+
+class Transitional(Element):
+    """Base class for cells defined as PyLSE Machines.
+
+    Subclasses set class attributes ``name``, ``inputs``, ``outputs``, and
+    ``transitions`` (the raw dict form above), plus optionally
+    ``firing_delay``. Instances are stateful circuit elements; the shared,
+    validated :class:`PylseMachine` is built once per class (or per instance
+    when timing overrides are supplied).
+
+    Per-instance keyword overrides (Section 4.1, Full-Circuit level):
+
+    * ``firing_delay=`` — scalar, distribution, or ``{output: delay}`` dict;
+    * ``transition_time=`` — ``{(src, trigger): time}`` dict;
+    * ``name_override=`` — a different cell-type label for this instance.
+    """
+
+    #: Required class attributes (checked on first instantiation).
+    name: str
+    inputs: Sequence[str]
+    outputs: Sequence[str]
+    transitions: Sequence[RawTransition]
+    firing_delay: FiringDelaySpec = None
+
+    _machine_cache: Optional[PylseMachine] = None
+
+    def __init__(
+        self,
+        firing_delay: FiringDelaySpec = None,
+        transition_time: Optional[Mapping[Tuple[str, str], float]] = None,
+        name_override: Optional[str] = None,
+        **extra,
+    ):
+        if extra:
+            raise WellFormednessError(
+                f"{type(self).__name__}: unknown instantiation option(s) "
+                f"{sorted(extra)}"
+            )
+        self._check_class_attrs()
+        if name_override is not None:
+            self.name = name_override
+        self.validate_ports()
+        #: Creation-time overrides, kept verbatim for serialization.
+        self.overrides: Dict[str, object] = {}
+        if firing_delay is not None:
+            self.overrides["firing_delay"] = firing_delay
+        if transition_time is not None:
+            self.overrides["transition_time"] = dict(transition_time)
+        if name_override is not None:
+            self.overrides["name_override"] = name_override
+        overridden = firing_delay is not None or transition_time is not None
+        if overridden:
+            delay_spec = (
+                firing_delay if firing_delay is not None else type(self).firing_delay
+            )
+            self.machine = self._build_machine(delay_spec, transition_time)
+        else:
+            self.machine = self._class_machine()
+        self._config: Configuration = self.machine.initial_configuration()
+        self._rng: Optional[random.Random] = None
+
+    # ------------------------------------------------------------------
+    # machine construction
+    # ------------------------------------------------------------------
+    def _check_class_attrs(self) -> None:
+        for attr in ("name", "inputs", "outputs", "transitions"):
+            if not hasattr(type(self), attr) or getattr(type(self), attr) is None:
+                raise WellFormednessError(
+                    f"{type(self).__name__}: Transitional subclasses must define "
+                    f"the {attr!r} class attribute"
+                )
+
+    @classmethod
+    def _build_machine_for_class(cls) -> PylseMachine:
+        parsed = parse_transitions(
+            cls.__name__, cls.outputs, cls.transitions, cls.firing_delay
+        )
+        return PylseMachine(
+            name=cls.name,
+            inputs=cls.inputs,
+            outputs=cls.outputs,
+            transitions=parsed,
+        )
+
+    @classmethod
+    def _class_machine(cls) -> PylseMachine:
+        if cls.__dict__.get("_machine_cache") is None:
+            cls._machine_cache = cls._build_machine_for_class()
+        return cls._machine_cache  # type: ignore[return-value]
+
+    def _build_machine(
+        self,
+        firing_delay: FiringDelaySpec,
+        transition_time: Optional[Mapping[Tuple[str, str], float]],
+    ) -> PylseMachine:
+        parsed = parse_transitions(
+            type(self).__name__,
+            self.outputs,
+            self.transitions,
+            firing_delay,
+            transition_time,
+        )
+        return PylseMachine(
+            name=self.name,
+            inputs=self.inputs,
+            outputs=self.outputs,
+            transitions=parsed,
+        )
+
+    # ------------------------------------------------------------------
+    # Element protocol
+    # ------------------------------------------------------------------
+    @property
+    def configuration(self) -> Configuration:
+        """The current ``<q, tau_done, Theta>`` configuration."""
+        return self._config
+
+    @property
+    def state(self) -> str:
+        return self._config.state
+
+    def reset(self) -> None:
+        self._config = self.machine.initial_configuration()
+
+    def set_dispatch_rng(self, rng: Optional[random.Random]) -> None:
+        """Install a random source for nondeterministic priority ties."""
+        self._rng = rng
+
+    def handle_inputs(self, active: Sequence[str], time: float) -> List[Firing]:
+        """Dispatch a simultaneous input set, mutating the configuration.
+
+        Returns raw ``(output, firing delay)`` pairs; the simulator converts
+        them to absolute pulse times (applying variability if enabled).
+        """
+        remaining = set(active)
+        outs: List[Firing] = []
+        while remaining:
+            symbol = self.machine.choose(
+                self._config.state, frozenset(remaining), self._rng
+            )
+            remaining.discard(symbol)
+            self._config, fired = self.machine.step(self._config, symbol, time)
+            outs.extend((out, nominal_delay(delay)) for out, delay in fired)
+        return outs
+
+    def raw_firings(self, active: Sequence[str], time: float) -> List[Tuple[str, DelayLike]]:
+        """Like :meth:`handle_inputs` but keeps distribution-valued delays."""
+        remaining = set(active)
+        outs: List[Tuple[str, DelayLike]] = []
+        while remaining:
+            symbol = self.machine.choose(
+                self._config.state, frozenset(remaining), self._rng
+            )
+            remaining.discard(symbol)
+            self._config, fired = self.machine.step(self._config, symbol, time)
+            outs.extend(fired)
+        return outs
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(state={self._config.state!r})"

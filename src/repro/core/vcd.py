@@ -1,0 +1,90 @@
+"""VCD (Value Change Dump) export of simulation events.
+
+The paper plots pulses with matplotlib; for interoperability with standard
+digital-waveform tooling (GTKWave and friends) this module renders the
+``events`` dict as an IEEE 1364 VCD file. SFQ pulses are instantaneous, so
+each pulse is drawn as a 1 for :data:`PULSE_WIDTH` picoseconds — purely a
+display convention.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, TextIO
+
+from .errors import PylseError
+from .simulation import Events
+
+#: Display width of a pulse, in ps (pure visualization; SFQ pulses are ~2 ps).
+PULSE_WIDTH = 2.0
+
+#: VCD timescale: one VCD tick = 0.1 ps, so one-decimal times stay exact.
+TICKS_PER_PS = 10
+
+
+def _identifier_codes():
+    """Yield VCD short identifier codes: !, ", #, ... then !!, !", ..."""
+    printable = [chr(c) for c in range(33, 127)]
+    for length in itertools.count(1):
+        for combo in itertools.product(printable, repeat=length):
+            yield "".join(combo)
+
+
+def events_to_vcd(events: Events, comment: str = "repro (PyLSE) simulation") -> str:
+    """Serialize events as VCD text.
+
+    Each wire becomes a 1-bit var; a pulse at time ``t`` raises the wire at
+    ``t`` and lowers it ``PULSE_WIDTH`` later (clipped against the next
+    pulse).
+    """
+    if not events:
+        raise PylseError("No events to export")
+    codes = _identifier_codes()
+    var_code: Dict[str, str] = {name: next(codes) for name in events}
+
+    lines: List[str] = [
+        f"$comment {comment} $end",
+        "$timescale 100fs $end",
+        "$scope module repro $end",
+    ]
+    for name, code in var_code.items():
+        safe = name.replace(" ", "_")
+        lines.append(f"$var wire 1 {code} {safe} $end")
+    lines += ["$upscope $end", "$enddefinitions $end", "$dumpvars"]
+    for code in var_code.values():
+        lines.append(f"0{code}")
+    lines.append("$end")
+
+    # Build the change list: (tick, value, code).
+    changes: List[tuple] = []
+    for name, times in events.items():
+        code = var_code[name]
+        for k, t in enumerate(times):
+            rise = round(t * TICKS_PER_PS)
+            fall = round((t + PULSE_WIDTH) * TICKS_PER_PS)
+            if k + 1 < len(times):
+                next_rise = round(times[k + 1] * TICKS_PER_PS)
+                fall = min(fall, next_rise)
+            if fall <= rise:
+                fall = rise + 1
+            changes.append((rise, 1, code))
+            changes.append((fall, 0, code))
+
+    last_tick = None
+    for tick, value, code in sorted(changes):
+        if tick != last_tick:
+            lines.append(f"#{tick}")
+            last_tick = tick
+        lines.append(f"{value}{code}")
+    return "\n".join(lines) + "\n"
+
+
+def save_vcd(events: Events, path: str, comment: str = "repro (PyLSE) simulation") -> None:
+    """Write :func:`events_to_vcd` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(events_to_vcd(events, comment))
+
+
+def dump_vcd(events: Events, file: TextIO) -> None:
+    """Write VCD text to an open file object."""
+    file.write(events_to_vcd(events))

@@ -1,0 +1,74 @@
+"""The paper's six larger designs (Table 3, rows 17-22).
+
+* :mod:`repro.designs.minmax` — min-max pair (Figure 11);
+* :mod:`repro.designs.racetree` — race-logic decision tree (Section 5.2);
+* :mod:`repro.designs.adder_sync` — synchronous RSFQ full adder;
+* :mod:`repro.designs.adder_xsfq` — dual-rail (xSFQ-style) adder;
+* :mod:`repro.designs.bitonic` — 4- and 8-input bitonic sorters (Figure 15);
+* :mod:`repro.designs.memory` — the Figure 9 memory hole.
+"""
+
+from .adder_sync import CLOCK_PERIOD, PIPELINE_DEPTH, adder_test_times, full_adder
+from .adder_xsfq import cells_per_bit, xsfq_full_adder, xsfq_ripple_adder
+from .bitonic import (
+    bitonic_comparators,
+    bitonic_delay,
+    bitonic_sorter,
+    network_depth,
+)
+from .counter import binary_counter, divider_chain
+from .dual_rail import (
+    dr_and,
+    dr_equals,
+    dr_fanout,
+    dr_majority,
+    dr_mux,
+    dr_not,
+    dr_or,
+    dr_xor,
+)
+from .holes import (
+    make_accumulator,
+    make_comparator,
+    make_counter,
+    make_shift_register,
+)
+from .memory import MEMORY_INPUTS, MEMORY_OUTPUTS, make_memory
+from .minmax import MINMAX_DELAY, min_max
+from .racetree import expected_label, race_tree, race_tree_inputs
+
+__all__ = [
+    "CLOCK_PERIOD",
+    "MEMORY_INPUTS",
+    "MEMORY_OUTPUTS",
+    "MINMAX_DELAY",
+    "PIPELINE_DEPTH",
+    "adder_test_times",
+    "bitonic_comparators",
+    "bitonic_delay",
+    "binary_counter",
+    "bitonic_sorter",
+    "cells_per_bit",
+    "divider_chain",
+    "dr_and",
+    "dr_equals",
+    "dr_fanout",
+    "dr_majority",
+    "dr_mux",
+    "dr_not",
+    "dr_or",
+    "dr_xor",
+    "expected_label",
+    "full_adder",
+    "make_accumulator",
+    "make_comparator",
+    "make_counter",
+    "make_memory",
+    "make_shift_register",
+    "min_max",
+    "network_depth",
+    "race_tree",
+    "race_tree_inputs",
+    "xsfq_full_adder",
+    "xsfq_ripple_adder",
+]

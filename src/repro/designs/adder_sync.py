@@ -1,0 +1,82 @@
+"""A synchronous (RSFQ) full adder built from clocked standard cells.
+
+Computes ``sum = a XOR b XOR cin`` and ``cout = MAJ(a, b, cin)`` in RSFQ
+encoding (pulse between clock pulses = 1). The design is wave-pipelined, as
+is typical in RSFQ:
+
+* stage 1 (first clock): ``a XOR b`` and the three carry minterms;
+* stage 2 (second clock): the final sum XOR and the first carry OR;
+* stage 3 (third clock): the second carry OR.
+
+Signals that skip a stage (``cin`` into the sum XOR, the ``b AND cin``
+minterm into the final OR) are path-balanced with JTLs carrying one clock
+period of delay — the same idiom Figure 11 uses at 2 ps scale. The clock is
+distributed through a uniform-depth splitter tree (8 leaves, all at depth 3)
+so every gate sees the same clock phase; the eighth leaf is spare.
+
+This is the reproduction of Table 3's "Adder (Sync)" row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.wire import Wire
+from ..sfq.functions import and_s, jtl, or_s, split, xor_s
+
+#: Clock period (ps) the adder is designed and tested at.
+CLOCK_PERIOD = 50.0
+
+#: Clock pulses required to flush one addition through the pipeline.
+PIPELINE_DEPTH = 3
+
+
+def full_adder(
+    a: Wire, b: Wire, cin: Wire, clk: Wire, period: float = CLOCK_PERIOD
+) -> Tuple[Wire, Wire]:
+    """Build the full adder; returns ``(sum, cout)`` wires.
+
+    ``period`` must match the clock generator's period: it sets the JTL
+    path-balancing delays. Present each operand pulse (for a logical 1)
+    early enough that, after the input splitters (max two levels, 22 ps), it
+    lands before the first clock pulse reaches the gates (33 ps after the
+    external clock pulse).
+    """
+    a_x, a_1, a_2 = split(a, n=3)
+    b_x, b_1, b_3 = split(b, n=3)
+    c_x, c_2, c_3 = split(cin, n=3)
+    # Eight leaves -> a perfectly balanced tree: every gate clock is skewed
+    # by exactly 3 splitter delays. The spare leaf is left dangling.
+    clk_x1, clk_x2, clk_a1, clk_a2, clk_a3, clk_o1, clk_o2, _spare = split(clk, n=8)
+
+    # Stage 1: consume the operands on the first clock.
+    half = xor_s(a_x, b_x, clk_x1)            # a XOR b
+    m1 = and_s(a_1, b_1, clk_a1)              # a AND b
+    m2 = and_s(a_2, c_2, clk_a2)              # a AND cin
+    m3 = and_s(b_3, c_3, clk_a3)              # b AND cin
+    cin_d = jtl(c_x, firing_delay=period)     # cin, balanced into period 1
+
+    # Stage 2: sum on the second clock; first half of the carry OR.
+    total = xor_s(half, cin_d, clk_x2)        # (a XOR b) XOR cin
+    m12 = or_s(m1, m2, clk_o1)                # (a AND b) OR (a AND cin)
+    m3_d = jtl(m3, firing_delay=period)       # third minterm, balanced
+
+    # Stage 3: carry on the third clock.
+    carry = or_s(m12, m3_d, clk_o2)
+    return total, carry
+
+
+def adder_test_times(
+    a_bit: int, b_bit: int, cin_bit: int, start: float = 30.0
+) -> Dict[str, list]:
+    """Pulse times encoding one operand set for a single addition.
+
+    Returns ``{input name: [pulse times]}`` — an empty list encodes logical
+    0. Operands are presented at ``start`` so that, after the input
+    splitters, they arrive before the first clock pulse reaches the gates.
+    """
+    return {
+        "a": [start] if a_bit else [],
+        "b": [start] if b_bit else [],
+        "cin": [start] if cin_bit else [],
+    }

@@ -1,0 +1,87 @@
+"""Bitonic sorting networks of min-max pairs (Section 5.1, Figure 15).
+
+A bitonic sorter is a parallel sorting network of comparators; here each
+comparator is the temporal :func:`~repro.designs.minmax.min_max` pair, so
+the network sorts pulses by arrival time: given one pulse per input (spaced
+to satisfy transition-time constraints), the pulses appear on the outputs in
+rank order, each delayed by ``MINMAX_DELAY * depth``.
+
+The 8-input network has 24 comparators in 6 levels (Figure 15); the 4-input
+network has 6 comparators in 3 levels (Table 3's "Bitonic Sort 4").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.errors import PylseError
+from ..core.wire import Wire
+from .minmax import MINMAX_DELAY, min_max
+
+
+def bitonic_comparators(n: int) -> List[Tuple[int, int, bool]]:
+    """The comparator schedule ``(i, j, ascending)`` of Batcher's network.
+
+    ``n`` must be a power of two. For n=8 this yields 24 comparators; for
+    n=4, 6 comparators.
+    """
+    if n < 2 or n & (n - 1):
+        raise PylseError(f"Bitonic sorter size must be a power of two >= 2, got {n}")
+    schedule: List[Tuple[int, int, bool]] = []
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            for i in range(n):
+                partner = i ^ j
+                if partner > i:
+                    ascending = (i & k) == 0
+                    schedule.append((i, partner, ascending))
+            j //= 2
+        k *= 2
+    return schedule
+
+
+def network_depth(n: int) -> int:
+    """Number of comparator levels: ``log2(n) * (log2(n) + 1) / 2``."""
+    levels = 0
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            levels += 1
+            j //= 2
+        k *= 2
+    return levels
+
+
+def bitonic_sorter(
+    inputs: Sequence[Wire], output_names: Optional[Sequence[str]] = None
+) -> List[Wire]:
+    """Build an n-input bitonic sorter; returns the output wires in rank order.
+
+    ``inputs`` are the wires ``i0..i(n-1)``; pulses appear in arrival-time
+    order on the returned wires ``o0..o(n-1)`` after the network delay
+    (``MINMAX_DELAY * network_depth(n)``).
+    """
+    n = len(inputs)
+    lanes = list(inputs)
+    for i, j, ascending in bitonic_comparators(n):
+        low, high = min_max(lanes[i], lanes[j])
+        if ascending:
+            lanes[i], lanes[j] = low, high
+        else:
+            lanes[i], lanes[j] = high, low
+    if output_names is not None:
+        if len(output_names) != n:
+            raise PylseError(
+                f"Expected {n} output names, got {len(output_names)}"
+            )
+        for lane, label in zip(lanes, output_names):
+            lane.observe(label)
+    return lanes
+
+
+def bitonic_delay(n: int) -> float:
+    """Nominal input-to-output latency of the sorter (150 ps for n=8)."""
+    return MINMAX_DELAY * network_depth(n)

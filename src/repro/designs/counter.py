@@ -1,0 +1,70 @@
+"""An n-bit binary pulse counter from T1 toggle chains.
+
+The classic RSFQ counter: T1 cells divide the pulse rate by two per stage,
+so stage k receives ``floor(N / 2^k)`` of the first ``N`` input pulses and
+bit k of the binary count is that stage's input parity. Each stage's
+parity is tracked by a set/reset latch — ``q0`` (odd pulses) sets it,
+``q1`` (even pulses) clears it — and a split readout strobe dumps the
+count into the output wires.
+
+Built from the T1 library-extension cell plus standard DRO_SR latches; the
+kind of design the paper's "templates for the creation of custom ones"
+workflow targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.errors import PylseError
+from ..core.wire import Wire
+from ..sfq.functions import dro_sr, s, split, t1
+
+
+def divider_chain(a: Wire, stages: int) -> List[Wire]:
+    """A chain of T1 frequency dividers.
+
+    Returns the per-stage ``q1`` outputs: stage k pulses once per
+    ``2^(k+1)`` input pulses (divide-by-2, -4, -8, ...).
+    """
+    if stages < 1:
+        raise PylseError(f"divider_chain needs >= 1 stage, got {stages}")
+    outputs: List[Wire] = []
+    carry = a
+    for _ in range(stages):
+        _odd, even = t1(carry)
+        outputs.append(even)
+        carry = even
+    return outputs
+
+
+def binary_counter(
+    a: Wire, clk: Wire, bits: int
+) -> List[Wire]:
+    """Count pulses on ``a``; strobe the binary count out on ``clk``.
+
+    Returns the readout wires, LSB first: after ``N`` input pulses, a
+    strobe produces a pulse on readout wire ``k`` iff bit ``k`` of ``N``
+    is 1. Bit k's parity latch is a DRO_SR set by stage k's odd-pulse
+    output and reset by its even-pulse output (which also carries into
+    stage k+1).
+
+    The strobe must arrive at least a setup time after the last count
+    pulse has propagated through the chain (and DRO_SR readout is
+    destructive, so use one strobe per count window).
+    """
+    if bits < 1:
+        raise PylseError(f"binary_counter needs >= 1 bit, got {bits}")
+    strobes = split(clk, n=bits) if bits > 1 else (clk,)
+    readout: List[Wire] = []
+    carry = a
+    for k in range(bits):
+        odd, even = t1(carry)
+        if k + 1 < bits:
+            # The even output both resets this bit's latch and carries into
+            # the next stage — SCE fanout requires an explicit splitter.
+            even_latch, carry = s(even)
+        else:
+            even_latch, carry = even, None
+        readout.append(dro_sr(odd, even_latch, strobes[k]))
+    return readout

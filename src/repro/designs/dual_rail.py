@@ -1,0 +1,90 @@
+"""A dual-rail (xSFQ-style) combinational gate library.
+
+In dual-rail alternating logic every signal is a ``(true, false)`` wire
+pair with exactly one pulse per operation; gates are built from the 2x2
+Join (Section 5.2's dual-rail primitive) plus mergers and splitters, with
+no clock anywhere. These generators compose arbitrarily — the
+:mod:`repro.designs.adder_xsfq` full adder is the worked example.
+
+Conventions: arguments and results are ``(t, f)`` pairs; inputs must obey
+dual-rail discipline (one rail pulses per operation, alternating between
+operations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.errors import PylseError
+from ..core.wire import Wire
+from ..sfq.functions import join, m, s
+
+DualRail = Tuple[Wire, Wire]
+
+
+def dr_not(a: DualRail) -> DualRail:
+    """NOT is free in dual-rail: swap the rails (zero cells, zero delay)."""
+    return (a[1], a[0])
+
+
+def dr_and(a: DualRail, b: DualRail) -> DualRail:
+    """AND: true iff both true; false on any other pairing."""
+    both, a_only, b_only, neither = join(a[0], a[1], b[0], b[1])
+    return (both, m(m(a_only, b_only), neither))
+
+
+def dr_or(a: DualRail, b: DualRail) -> DualRail:
+    """OR: false iff both false."""
+    both, a_only, b_only, neither = join(a[0], a[1], b[0], b[1])
+    return (m(m(both, a_only), b_only), neither)
+
+
+def dr_xor(a: DualRail, b: DualRail) -> DualRail:
+    """XOR: true iff exactly one is true."""
+    both, a_only, b_only, neither = join(a[0], a[1], b[0], b[1])
+    return (m(a_only, b_only), m(both, neither))
+
+
+def dr_fanout(a: DualRail, n: int = 2) -> List[DualRail]:
+    """Duplicate a dual-rail signal ``n`` ways (splitter trees per rail)."""
+    if n < 2:
+        raise PylseError(f"dr_fanout needs n >= 2, got {n}")
+    true_copies: List[Wire] = [a[0]]
+    false_copies: List[Wire] = [a[1]]
+    while len(true_copies) < n:
+        left, right = s(true_copies.pop(0))
+        true_copies += [left, right]
+        left, right = s(false_copies.pop(0))
+        false_copies += [left, right]
+    return list(zip(true_copies, false_copies))
+
+
+def dr_mux(sel: DualRail, a: DualRail, b: DualRail) -> DualRail:
+    """2:1 multiplexer: ``a`` when sel is true, ``b`` otherwise.
+
+    out = (sel AND a) OR (NOT sel AND b), with the select fanned out.
+    """
+    sel_a, sel_b = dr_fanout(sel, 2)
+    picked_a = dr_and(sel_a, a)
+    picked_b = dr_and(dr_not(sel_b), b)
+    return dr_or(picked_a, picked_b)
+
+
+def dr_majority(a: DualRail, b: DualRail, c: DualRail) -> DualRail:
+    """3-input majority, the carry function: MAJ = (a AND b) OR ((a OR b) AND c)."""
+    a1, a2 = dr_fanout(a, 2)
+    b1, b2 = dr_fanout(b, 2)
+    ab_and = dr_and(a1, b1)
+    ab_or = dr_or(a2, b2)
+    return dr_or(ab_and, dr_and(ab_or, c))
+
+
+def dr_equals(a_bits: Sequence[DualRail], b_bits: Sequence[DualRail]) -> DualRail:
+    """n-bit equality comparator: AND over per-bit XNORs."""
+    if len(a_bits) != len(b_bits) or not a_bits:
+        raise PylseError("dr_equals needs equal-length, non-empty operands")
+    bit_eq = [dr_not(dr_xor(x, y)) for x, y in zip(a_bits, b_bits)]
+    result = bit_eq[0]
+    for nxt in bit_eq[1:]:
+        result = dr_and(result, nxt)
+    return result

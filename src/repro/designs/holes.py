@@ -1,0 +1,114 @@
+"""A library of reusable behavioral holes (Hole Description level).
+
+Figure 9's memory shows the pattern: wrap mutable Python state in a
+pulse-communicating interface to stand in for blocks that have not been
+designed at the pulse-transfer level yet. These factories package the most
+common such blocks; each returns a fresh instantiation function with
+private state (like :func:`repro.designs.memory.make_memory`).
+
+All are clocked on their last input: non-clock pulses accumulate between
+clock pulses and are committed when the clock arrives, mirroring the
+memory's convention.
+"""
+
+from __future__ import annotations
+
+from ..core.functional import hole
+
+
+def make_counter(bits: int = 4, delay: float = 5.0):
+    """A pulse counter with a ``bits``-wide binary readout.
+
+    Inputs ``inc`` and ``clk``: pulses on ``inc`` accumulate; each clock
+    pulse emits the current count (one output wire per bit, MSB first) and
+    keeps counting (no reset — wrap-around at 2**bits).
+
+    >>> counter = make_counter(bits=2)      # doctest: +SKIP
+    >>> b1, b0 = counter(inc, clk)          # doctest: +SKIP
+    """
+    state = {"count": 0, "pending": 0}
+    outputs = [f"b{k}" for k in reversed(range(bits))]
+
+    @hole(delay=delay, inputs=["inc", "clk"], outputs=outputs)
+    def counter(inc, clk, time):
+        state["pending"] += inc
+        if clk:
+            state["count"] = (state["count"] + state["pending"]) % (1 << bits)
+            state["pending"] = 0
+            value = state["count"]
+            return tuple((value >> k) & 1 for k in reversed(range(bits)))
+        return None
+
+    counter.state = state
+    return counter
+
+
+def make_shift_register(stages: int = 4, delay: float = 5.0):
+    """A serial-in, serial-out shift register.
+
+    Inputs ``d`` and ``clk``: the bit present since the last clock is
+    shifted in on each clock pulse; the bit falling off the end is emitted
+    on ``q``.
+    """
+    state = {"bits": [0] * stages, "pending": 0}
+
+    @hole(delay=delay, inputs=["d", "clk"], outputs=["q"])
+    def shift_register(d, clk, time):
+        state["pending"] |= d
+        if clk:
+            out = state["bits"].pop()
+            state["bits"].insert(0, state["pending"])
+            state["pending"] = 0
+            return out
+        return 0
+
+    shift_register.state = state
+    return shift_register
+
+
+def make_accumulator(delay: float = 5.0, threshold: int = 4):
+    """A leaky-integrate-and-fire accumulator (a neuron-ish hole).
+
+    Pulses on ``x`` add 1; when the total reaches ``threshold``, the next
+    clock pulse fires ``spike`` and the total resets — the kind of
+    behavioral model an SCE neuromorphic design would prototype first.
+    """
+    state = {"total": 0}
+
+    @hole(delay=delay, inputs=["x", "clk"], outputs=["spike"])
+    def accumulator(x, clk, time):
+        state["total"] += x
+        if clk and state["total"] >= threshold:
+            state["total"] = 0
+            return 1
+        return 0
+
+    accumulator.state = state
+    return accumulator
+
+
+def make_comparator(delay: float = 5.0):
+    """A two-channel pulse-count comparator.
+
+    Counts pulses on ``a`` and ``b`` between clocks; on each clock emits
+    ``gt`` if ``a`` saw strictly more pulses, ``lt`` if fewer, ``eq``
+    otherwise, then resets the window.
+    """
+    state = {"a": 0, "b": 0}
+
+    @hole(delay=delay, inputs=["a", "b", "clk"], outputs=["gt", "eq", "lt"])
+    def comparator(a, b, clk, time):
+        state["a"] += a
+        state["b"] += b
+        if clk:
+            result = (
+                int(state["a"] > state["b"]),
+                int(state["a"] == state["b"]),
+                int(state["a"] < state["b"]),
+            )
+            state["a"] = state["b"] = 0
+            return result
+        return None
+
+    comparator.state = state
+    return comparator

@@ -1,0 +1,56 @@
+"""The Figure 9 memory hole: 16 addresses x 2 bits, as a Functional element.
+
+This is the paper's showcase of the Hole Description level: a plain Python
+dictionary wrapped in a pulse-communicating interface. Address, data and
+write-enable pulses accumulate between clock pulses; on a clock pulse, the
+write (if enabled) is committed, the read value is emitted on the dual-bit
+output, and the latches reset for the next period.
+
+:func:`make_memory` is a factory so each instantiation gets private state.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.functional import hole
+
+#: Input port names, matching Figure 9.
+MEMORY_INPUTS = [
+    "ra3", "ra2", "ra1", "ra0",
+    "wa3", "wa2", "wa1", "wa0",
+    "d1", "d0", "we", "clk",
+]
+MEMORY_OUTPUTS = ["q1", "q0"]
+
+
+def make_memory(delay: float = 5.0):
+    """Create a fresh 16x2 memory hole; returns its instantiation function.
+
+    The returned callable takes twelve input wires (in ``MEMORY_INPUTS``
+    order) and yields the two output wires ``(q1, q0)``::
+
+        memory = make_memory()
+        q1, q0 = memory(ra3, ra2, ra1, ra0, wa3, wa2, wa1, wa0,
+                        d1, d0, we, clk)
+    """
+    mem = defaultdict(lambda: 0)
+    state = {"raddr": 0, "waddr": 0, "wenable": 0, "data": 0}
+
+    @hole(delay=delay, inputs=MEMORY_INPUTS, outputs=MEMORY_OUTPUTS)
+    def memory(ra3, ra2, ra1, ra0, wa3, wa2, wa1, wa0, d1, d0, we, clk, time):
+        state["raddr"] |= ra3 * 8 + ra2 * 4 + ra1 * 2 + ra0
+        state["waddr"] |= wa3 * 8 + wa2 * 4 + wa1 * 2 + wa0
+        state["data"] |= d1 * 2 + d0
+        state["wenable"] |= we
+        if clk:
+            if state["wenable"]:
+                mem[state["waddr"]] = state["data"]
+            value = mem[state["raddr"]]
+            state["raddr"] = state["waddr"] = state["wenable"] = state["data"] = 0
+        else:
+            value = 0
+        return ((value >> 1) & 1), value & 1
+
+    memory.backing_store = mem
+    return memory

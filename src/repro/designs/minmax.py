@@ -1,0 +1,35 @@
+"""The min-max pair (Figure 11): a temporal comparator.
+
+Inputs ``a`` and ``b`` are duplicated by splitters. One copy of each enters
+the Inverted C Element, which fires ``low`` some delay after the *first*
+input arrives; the other copies feed the C Element, whose output is delayed
+by a JTL (path balancing) before emerging as ``high``.
+
+With a splitter delay of 11, C delay of 12, Inverted C delay of 14 and a JTL
+delay of 2.0, both paths take exactly 25 ps: the earlier input pulse
+propagates to ``low`` after 11 + 14 = 25 and the later to ``high`` after
+11 + 12 + 2 = 25.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.wire import Wire
+from ..sfq.functions import c, c_inv, jtl, s
+
+#: Nominal propagation delay of a min-max pair along both paths (ps).
+MINMAX_DELAY = 25.0
+
+
+def min_max(a: Wire, b: Wire) -> Tuple[Wire, Wire]:
+    """Build a min-max pair; returns ``(low, high)`` wires.
+
+    This is a verbatim transcription of Figure 11b.
+    """
+    a0, a1 = s(a)
+    b0, b1 = s(b)
+    low = c_inv(a0, b0)
+    high = c(a1, b1)
+    high = jtl(high, firing_delay=2.0)
+    return low, high

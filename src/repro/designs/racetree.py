@@ -1,0 +1,102 @@
+"""A race tree (Section 5.2): a race-logic decision tree.
+
+A race tree [Tzimpragos et al., ASPLOS '19] is a decision tree evaluated in
+the temporal domain: feature values are encoded as pulse arrival times, and
+each internal node tests "did the feature pulse arrive before the node's
+threshold pulse?". We realize a depth-2 tree over two features with:
+
+* one DRO_C per decision node — the feature pulse is stored, the threshold
+  pulse reads it out: ``q`` fires if the feature arrived first (feature <
+  threshold), ``qnot`` otherwise;
+* splitters to share decision outcomes between leaves;
+* one C element per leaf ANDing the decisions along its path;
+* JTLs padding the root's outputs so both decision levels commit before the
+  leaves are evaluated.
+
+The fundamental correctness property (checked dynamically in Section 5.2) is
+that exactly one of the four leaf labels ``a``/``b``/``c``/``d`` fires per
+evaluation.
+
+Timing constraint: a feature value must differ from every threshold it is
+compared against by more than the DRO_C hold time (2.5 ps), otherwise the
+feature pulse lands inside the decision cell's transition window and the
+simulator reports a (legitimate) transition-time violation — the temporal
+analogue of a comparator metastability window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.wire import Wire
+from ..sfq.functions import c, dro_c, jtl, s
+
+
+def race_tree(
+    x1: Wire, t1: Wire, x2a: Wire, t2: Wire, x2b: Wire, t3: Wire
+) -> Tuple[Wire, Wire, Wire, Wire]:
+    """Build the depth-2 race tree; returns the leaf wires ``(a, b, c, d)``.
+
+    * ``x1``/``t1`` — root feature and threshold;
+    * ``x2a``/``t2`` — second feature and left-subtree threshold;
+    * ``x2b``/``t3`` — second feature (second copy) and right threshold.
+
+    ``x2a`` and ``x2b`` carry the same feature value; they are separate
+    inputs so the caller controls the splitter topology (feed both from one
+    ``split()`` to share a single source).
+
+    Leaf semantics::
+
+        a = (x1 < t1) and (x2 < t2)
+        b = (x1 < t1) and (x2 >= t2)
+        c = (x1 >= t1) and (x2 < t3)
+        d = (x1 >= t1) and (x2 >= t3)
+    """
+    root_lt, root_ge = dro_c(x1, t1)
+    left_lt, left_ge = dro_c(x2a, t2)
+    right_lt, right_ge = dro_c(x2b, t3)
+
+    # The root outcome gates two leaves on each side.
+    root_lt_a, root_lt_b = s(jtl(root_lt))
+    root_ge_c, root_ge_d = s(jtl(root_ge))
+
+    leaf_a = c(root_lt_a, left_lt)
+    leaf_b = c(root_lt_b, left_ge)
+    leaf_c = c(root_ge_c, right_lt)
+    leaf_d = c(root_ge_d, right_ge)
+    return leaf_a, leaf_b, leaf_c, leaf_d
+
+
+def race_tree_inputs(
+    x1_value: float,
+    x2_value: float,
+    thresholds: Tuple[float, float, float] = (10.0, 10.0, 10.0),
+    start: float = 5.0,
+) -> Dict[str, float]:
+    """Encode feature values as pulse times for a race-tree evaluation.
+
+    Returns a mapping of input name to pulse time; feature pulses are offset
+    by ``start`` so a zero value still produces a pulse. (Arrival *exactly*
+    at the threshold reads as "not before".)
+    """
+    t1, t2, t3 = thresholds
+    return {
+        "x1": start + x1_value,
+        "x2a": start + x2_value,
+        "x2b": start + x2_value,
+        "t1": start + t1,
+        "t2": start + t2,
+        "t3": start + t3,
+    }
+
+
+def expected_label(
+    x1_value: float,
+    x2_value: float,
+    thresholds: Tuple[float, float, float] = (10.0, 10.0, 10.0),
+) -> str:
+    """The label the tree should produce for the given feature values."""
+    t1, t2, t3 = thresholds
+    if x1_value < t1:
+        return "a" if x2_value < t2 else "b"
+    return "c" if x2_value < t3 else "d"

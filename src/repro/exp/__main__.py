@@ -1,0 +1,58 @@
+"""CLI entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.exp            # everything
+    python -m repro.exp table2     # one experiment
+    python -m repro.exp table3 --max-states 50000 --time-limit 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import agreement, dynamic_checks, energy, figures, table2, table3, variability
+
+EXPERIMENTS = {
+    "figures": figures.main,
+    "table2": table2.main,
+    "dynamic": dynamic_checks.main,
+    "variability": variability.main,
+    "energy": energy.main,
+    "agreement": agreement.main,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exp",
+        description="Regenerate the PyLSE paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENTS) + ["table3", "all"],
+        default="all",
+    )
+    parser.add_argument("--max-states", type=int, default=200_000,
+                        help="model-checking state budget per design")
+    parser.add_argument("--time-limit", type=float, default=120.0,
+                        help="model-checking time budget per design (s)")
+    args = parser.parse_args(argv)
+
+    if args.experiment in EXPERIMENTS:
+        EXPERIMENTS[args.experiment]()
+    elif args.experiment == "table3":
+        table3.main(max_states=args.max_states, time_limit=args.time_limit)
+    else:
+        for name in ("figures", "dynamic", "variability", "table2"):
+            print(f"\n===== {name} =====")
+            EXPERIMENTS[name]()
+        print("\n===== table3 =====")
+        table3.main(max_states=args.max_states, time_limit=args.time_limit)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

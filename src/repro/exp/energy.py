@@ -1,0 +1,67 @@
+"""Beyond the paper: per-design switching-energy estimates.
+
+The paper's introduction motivates SCE by its "sub-attojoule ultra-high-
+speed switching"; this experiment quantifies that across all 22 evaluated
+designs, combining the simulator's activity counters with each cell's JJ
+count (see :mod:`repro.core.energy` for the model and its caveats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.energy import energy_report
+from ..core.simulation import Simulation
+from ..core.transitional import Transitional
+from .registry import DesignEntry, build_in_fresh_circuit, registry
+
+
+@dataclass
+class EnergyRow:
+    name: str
+    cells: int
+    jjs: int
+    pulses: int
+    attojoules: float
+
+
+def run(entries: Optional[List[DesignEntry]] = None) -> List[EnergyRow]:
+    rows: List[EnergyRow] = []
+    for entry in entries if entries is not None else registry():
+        circuit = build_in_fresh_circuit(entry)
+        sim = Simulation(circuit)
+        sim.simulate()
+        report = energy_report(sim)
+        cells = [
+            n for n in circuit.cells() if isinstance(n.element, Transitional)
+        ]
+        rows.append(
+            EnergyRow(
+                name=entry.name,
+                cells=len(cells),
+                jjs=sum(getattr(n.element, "jjs", 0) for n in cells),
+                pulses=sim.pulses_processed,
+                attojoules=report.total_attojoules,
+            )
+        )
+    return rows
+
+
+def render(rows: List[EnergyRow]) -> str:
+    lines = [
+        "Switching-energy estimates (upper bound; see repro.core.energy):",
+        f"{'Design':<16} {'Cells':>6} {'JJs':>6} {'Pulses':>7} {'Energy (aJ)':>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:<16} {row.cells:>6} {row.jjs:>6} {row.pulses:>7} "
+            f"{row.attojoules:>12.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> str:
+    report = render(run())
+    print(report)
+    return report

@@ -1,0 +1,202 @@
+"""Figure reproductions: 10 (memory hole), 12 (AND sim), 13 (violation),
+and 16 (PyLSE vs circuit waveforms).
+
+Figures in the paper are matplotlib plots; here each experiment returns the
+underlying event series plus an ASCII waveform rendering (matplotlib is not
+installed in this environment — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analog import (
+    bitonic_netlist,
+    c_element_netlist,
+    min_max_netlist,
+    pulse_map,
+    simulate as analog_simulate,
+)
+from ..core.circuit import fresh_circuit
+from ..core.errors import PylseError
+from ..core.helpers import inp, inp_at
+from ..core.simulation import Simulation, render_waveforms
+from ..designs import bitonic, make_memory, minmax
+from ..sfq import and_s
+
+
+def figure12() -> Dict[str, List[float]]:
+    """The Synchronous And Element simulation of Figure 12.
+
+    Returns the events dict; the Q pulses are asserted to be exactly
+    [209.2, 259.2, 309.2] as in the paper's line 8.
+    """
+    with fresh_circuit() as circuit:
+        a = inp_at(125, 175, 225, 275, name="A")
+        b = inp_at(75, 185, 225, 265, name="B")
+        clk = inp(start=50, period=50, n=6, name="CLK")
+        and_s(a, b, clk, name="Q")
+    events = Simulation(circuit).simulate()
+    assert events["Q"] == [209.2, 259.2, 309.2], events["Q"]
+    return events
+
+
+def figure13() -> str:
+    """The past-constraint violation of Figure 13; returns the error text."""
+    with fresh_circuit() as circuit:
+        a = inp_at(125, 175, 225, 275, name="A")
+        b = inp_at(99, 185, 225, 265, name="B")
+        clk = inp(start=50, period=50, n=6, name="CLK")
+        and_s(a, b, clk, name="Q")
+    try:
+        Simulation(circuit).simulate()
+    except PylseError as err:
+        return str(err)
+    raise AssertionError("Figure 13 stimulus should raise a PylseError")
+
+
+def figure10() -> Dict[str, List[float]]:
+    """The memory-hole simulation of Figure 10.
+
+    Writes 0b11 to address 5 in the first clock period, reads address 5 in
+    the second period (both output bits pulse), then reads the untouched
+    address 0 in the third (no output pulses).
+    """
+    with fresh_circuit() as circuit:
+        memory = make_memory()
+
+        def bits(name: str, value: int, width: int, at: float):
+            return [
+                inp_at(*([at] if (value >> k) & 1 else []), name=f"{name}{k}")
+                for k in reversed(range(width))
+            ]
+
+        ra = bits("ra", 5, 4, 60.0)       # read address 5 in period 2
+        wa = bits("wa", 5, 4, 10.0)       # write address 5 in period 1
+        d1 = inp_at(10.0, name="d1")      # data 0b11
+        d0 = inp_at(10.0, name="d0")
+        we = inp_at(10.0, name="we")
+        clk = inp(start=25.0, period=50.0, n=3, name="clk")
+        q1, q0 = memory(*ra, *wa, d1, d0, we, clk)
+        q1.observe("q1")
+        q0.observe("q0")
+    return Simulation(circuit).simulate()
+
+
+@dataclass
+class Figure16Panel:
+    """One column of Figure 16: a design at both abstraction levels."""
+
+    name: str
+    pylse_events: Dict[str, List[float]]
+    analog_events: Dict[str, List[float]]
+    pylse_waveform: str
+    analog_waveform: str
+    pylse_seconds: float
+    analog_seconds: float
+
+    def functionally_agree(self) -> bool:
+        """Same pulse count per output, same arrival order across outputs."""
+        keys = sorted(set(self.pylse_events) & set(self.analog_events))
+        counts_match = all(
+            len(self.pylse_events[k]) == len(self.analog_events[k]) for k in keys
+        )
+
+        def order(events: Dict[str, List[float]]) -> List[str]:
+            firsts = [(events[k][0], k) for k in keys if events[k]]
+            return [k for _, k in sorted(firsts)]
+
+        return counts_match and order(self.pylse_events) == order(self.analog_events)
+
+
+def _run_pylse(build) -> tuple:
+    with fresh_circuit() as circuit:
+        build()
+    sim = Simulation(circuit)
+    start = time.perf_counter()
+    events = sim.simulate()
+    return events, time.perf_counter() - start
+
+
+def figure16(analog_dt: float = 0.05) -> List[Figure16Panel]:
+    """All three Figure 16 comparisons: C element, min-max, bitonic-8."""
+    panels: List[Figure16Panel] = []
+
+    # --- C element -------------------------------------------------------
+    def build_c():
+        from ..sfq import c as c_fn
+
+        a = inp_at(115, 215, 315, name="A")
+        b = inp_at(64, 184, 304, name="B")
+        c_fn(a, b, name="q")
+
+    pylse_events, pylse_s = _run_pylse(build_c)
+    netlist = c_element_netlist([115, 215, 315], [64, 184, 304])
+    start = time.perf_counter()
+    analog_events = pulse_map(analog_simulate(netlist, 420.0, analog_dt))
+    panels.append(_panel("C Element", pylse_events, analog_events,
+                         pylse_s, time.perf_counter() - start))
+
+    # --- min-max ----------------------------------------------------------
+    def build_mm():
+        a = inp_at(115, 215, 315, name="A")
+        b = inp_at(64, 184, 304, name="B")
+        low, high = minmax.min_max(a, b)
+        low.observe("low")
+        high.observe("high")
+
+    pylse_events, pylse_s = _run_pylse(build_mm)
+    netlist = min_max_netlist([115, 215, 315], [64, 184, 304])
+    start = time.perf_counter()
+    analog_events = pulse_map(analog_simulate(netlist, 420.0, analog_dt))
+    panels.append(_panel("Min-Max Pair", pylse_events, analog_events,
+                         pylse_s, time.perf_counter() - start))
+
+    # --- bitonic 8 --------------------------------------------------------
+    times = [20, 70, 10, 45, 5, 90, 33, 60]
+
+    def build_b8():
+        ins = [inp_at(t, name=f"i{k}") for k, t in enumerate(times)]
+        bitonic.bitonic_sorter(ins, output_names=[f"o{k}" for k in range(8)])
+
+    pylse_events, pylse_s = _run_pylse(build_b8)
+    netlist = bitonic_netlist(times)
+    start = time.perf_counter()
+    analog_events = pulse_map(analog_simulate(netlist, 450.0, analog_dt))
+    panels.append(_panel("Bitonic Sort 8", pylse_events, analog_events,
+                         pylse_s, time.perf_counter() - start))
+    return panels
+
+
+def _panel(name, pylse_events, analog_events, pylse_s, analog_s) -> Figure16Panel:
+    interesting = {
+        k: v for k, v in pylse_events.items() if not k.startswith("_")
+    }
+    return Figure16Panel(
+        name=name,
+        pylse_events=interesting,
+        analog_events=analog_events,
+        pylse_waveform=render_waveforms(interesting),
+        analog_waveform=render_waveforms(analog_events),
+        pylse_seconds=pylse_s,
+        analog_seconds=analog_s,
+    )
+
+
+def main() -> str:
+    parts = ["Figure 12 (AND):", render_waveforms(figure12()), ""]
+    parts += ["Figure 13 (violation):", figure13(), ""]
+    parts += ["Figure 10 (memory):", render_waveforms(figure10()), ""]
+    for panel in figure16():
+        parts += [
+            f"Figure 16 ({panel.name}): PyLSE {panel.pylse_seconds:.4f}s, "
+            f"analog {panel.analog_seconds:.2f}s, "
+            f"agree={panel.functionally_agree()}",
+            "PyLSE:", panel.pylse_waveform,
+            "Analog:", panel.analog_waveform, "",
+        ]
+    report = "\n".join(parts)
+    print(report)
+    return report

@@ -1,0 +1,153 @@
+"""Table 2: simulation times of PyLSE vs. schematic-level models.
+
+For the four designs of Table 2 (C, InvC, Min-Max Pair, Bitonic Sort 8) we
+measure:
+
+* **Schematic lines** — length of the analog netlist's SPICE-style listing;
+* **Schematic time** — wall-clock transient-simulation time of the RCSJ
+  solver (the Cadence stand-in, see DESIGN.md);
+* **PyLSE size** — transitions in the DSL for cells, lines for designs;
+* **PyLSE time** — wall-clock discrete-event simulation time.
+
+The paper reports PyLSE as 16.6x smaller and ~9879x faster on average; the
+claim reproduced here is the *shape*: netlists are an order of magnitude
+larger and simulation orders of magnitude slower at the analog level.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..analog import (
+    bitonic_netlist,
+    c_element_netlist,
+    inv_c_netlist,
+    min_max_netlist,
+    simulate as analog_simulate,
+)
+from ..core.circuit import fresh_circuit
+from ..core.helpers import inp_at
+from ..core.simulation import Simulation
+from ..designs import bitonic, minmax
+from ..sfq import C, InvC, c, c_inv
+
+
+@dataclass
+class Table2Row:
+    name: str
+    schematic_lines: int
+    schematic_seconds: float
+    pylse_size: int
+    pylse_seconds: float
+
+    @property
+    def size_ratio(self) -> float:
+        return self.schematic_lines / self.pylse_size
+
+    @property
+    def time_ratio(self) -> float:
+        return self.schematic_seconds / max(self.pylse_seconds, 1e-9)
+
+
+def _time_pylse(build: Callable[[], None]) -> float:
+    with fresh_circuit() as circuit:
+        build()
+    sim = Simulation(circuit)
+    start = time.perf_counter()
+    sim.simulate()
+    return time.perf_counter() - start
+
+
+def _pylse_c() -> None:
+    a = inp_at(115.0, 215.0, 315.0, name="A")
+    b = inp_at(64.0, 184.0, 304.0, name="B")
+    c(a, b, name="q")
+
+
+def _pylse_inv_c() -> None:
+    a = inp_at(115.0, 215.0, 315.0, name="A")
+    b = inp_at(64.0, 184.0, 304.0, name="B")
+    c_inv(a, b, name="q")
+
+
+def _pylse_min_max() -> None:
+    a = inp_at(115.0, 215.0, 315.0, name="A")
+    b = inp_at(64.0, 184.0, 304.0, name="B")
+    low, high = minmax.min_max(a, b)
+    low.observe("low")
+    high.observe("high")
+
+
+def _pylse_bitonic8() -> None:
+    times = [20.0, 70.0, 10.0, 45.0, 5.0, 90.0, 33.0, 60.0]
+    ins = [inp_at(t, name=f"i{k}") for k, t in enumerate(times)]
+    bitonic.bitonic_sorter(ins, output_names=[f"o{k}" for k in range(8)])
+
+
+def run(analog_dt: float = 0.05) -> List[Table2Row]:
+    """Measure all four Table 2 rows."""
+    rows: List[Table2Row] = []
+    cases: Dict[str, tuple] = {
+        "C": (
+            c_element_netlist([115, 215, 315], [64, 184, 304]), 420.0,
+            _pylse_c, len(C.transitions),
+        ),
+        "InvC": (
+            inv_c_netlist([115, 215, 315], [64, 184, 304]), 420.0,
+            _pylse_inv_c, len(InvC.transitions),
+        ),
+        "Min-Max Pair": (
+            min_max_netlist([115, 215, 315], [64, 184, 304]), 420.0,
+            _pylse_min_max,
+            len(inspect.getsource(minmax.min_max).splitlines()),
+        ),
+        "Bitonic Sort 8": (
+            bitonic_netlist([20, 70, 10, 45, 5, 90, 33, 60]), 450.0,
+            _pylse_bitonic8,
+            len(inspect.getsource(bitonic.bitonic_sorter).splitlines()),
+        ),
+    }
+    for name, (netlist, t_end, pylse_build, pylse_size) in cases.items():
+        start = time.perf_counter()
+        analog_simulate(netlist, t_end, analog_dt)
+        schematic_seconds = time.perf_counter() - start
+        rows.append(
+            Table2Row(
+                name=name,
+                schematic_lines=len(netlist.lines()),
+                schematic_seconds=schematic_seconds,
+                pylse_size=pylse_size,
+                pylse_seconds=_time_pylse(pylse_build),
+            )
+        )
+    return rows
+
+
+def render(rows: List[Table2Row]) -> str:
+    header = (
+        f"{'Name':<16} {'Schem.Lines':>11} {'Schem.Time(s)':>13} "
+        f"{'PyLSE Size':>10} {'PyLSE Time(s)':>13} {'Size x':>7} {'Time x':>9}"
+    )
+    lines = ["Table 2: PyLSE vs schematic-level simulation", header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.name:<16} {r.schematic_lines:>11} {r.schematic_seconds:>13.3f} "
+            f"{r.pylse_size:>10} {r.pylse_seconds:>13.6f} "
+            f"{r.size_ratio:>7.1f} {r.time_ratio:>9.0f}"
+        )
+    avg_size = sum(r.size_ratio for r in rows) / len(rows)
+    avg_time = sum(r.time_ratio for r in rows) / len(rows)
+    lines.append(
+        f"{'average':<16} {'':>11} {'':>13} {'':>10} {'':>13} "
+        f"{avg_size:>7.1f} {avg_time:>9.0f}"
+    )
+    return "\n".join(lines)
+
+
+def main() -> str:
+    report = render(run())
+    print(report)
+    return report

@@ -1,0 +1,138 @@
+"""Table 3: PyLSE vs UPPAAL sizes and verification effort for 22 designs.
+
+For every basic cell and larger design the harness reports:
+
+* PyLSE columns — DSL size, cell / state / transition counts;
+* UPPAAL columns — TA, location, transition, channel counts of the
+  generated network (cells + firing TAs, as in the paper);
+* verification — time and states explored deciding Query 1 + Query 2 with
+  the bundled checker, or an infinity marker when the state/time budget is
+  exhausted (the paper's bitonic sorters and xSFQ adder hit the same wall);
+* the ratio columns TA/Cells, Locs/States, Tran(U)/Tran(P).
+
+Absolute counts differ from the paper's (their Figure 14 expansion inserts
+more intermediate locations than ours; see DESIGN.md) but the shape — an
+order of magnitude blowup from PyLSE Machine to TA, and verification cost
+exploding with design size — is the reproduced claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.simulation import Simulation
+from ..mc.check import verify_design
+from ..ta.translate import translate_circuit
+from .registry import DesignEntry, build_in_fresh_circuit, pylse_stats, registry
+
+
+@dataclass
+class Table3Row:
+    name: str
+    size: int
+    cells: int
+    states: int
+    transitions: int
+    ta: int
+    locations: int
+    ta_transitions: int
+    channels: int
+    verify_seconds: Optional[float]       # None -> did not finish
+    states_explored: Optional[int]
+    satisfied: Optional[bool]
+
+    @property
+    def ta_per_cell(self) -> float:
+        return self.ta / self.cells
+
+    @property
+    def locs_per_state(self) -> float:
+        return self.locations / self.states
+
+    @property
+    def tran_ratio(self) -> float:
+        return self.ta_transitions / self.transitions
+
+
+def run(
+    entries: Optional[List[DesignEntry]] = None,
+    max_states: int = 200_000,
+    time_limit: float = 120.0,
+    skip_verification: bool = False,
+) -> List[Table3Row]:
+    """Measure every registry entry; verification bounded per design."""
+    rows: List[Table3Row] = []
+    for entry in entries if entries is not None else registry():
+        circuit = build_in_fresh_circuit(entry)
+        stats = pylse_stats(circuit)
+        translation = translate_circuit(circuit)
+        ta_stats = translation.cell_stats()
+        verify_seconds = states_explored = satisfied = None
+        if not skip_verification:
+            started = time.perf_counter()
+            report = verify_design(
+                circuit, max_states=max_states, time_limit=time_limit
+            )
+            elapsed = time.perf_counter() - started
+            if report.result.completed:
+                verify_seconds = elapsed
+                states_explored = report.result.states_explored
+                satisfied = report.ok
+        rows.append(
+            Table3Row(
+                name=entry.name,
+                size=entry.dsl_size,
+                cells=stats["cells"],
+                states=stats["states"],
+                transitions=stats["transitions"],
+                ta=ta_stats["ta"],
+                locations=ta_stats["locations"],
+                ta_transitions=ta_stats["transitions"],
+                channels=ta_stats["channels"],
+                verify_seconds=verify_seconds,
+                states_explored=states_explored,
+                satisfied=satisfied,
+            )
+        )
+    return rows
+
+
+def render(rows: List[Table3Row]) -> str:
+    header = (
+        f"{'Name':<15} {'Size':>4} {'Cells':>5} {'St':>4} {'Tr':>4} | "
+        f"{'TA':>4} {'Locs':>5} {'Tr(U)':>5} {'Chan':>4} | "
+        f"{'Time(s)':>8} {'States':>8} {'OK':>3} | "
+        f"{'TA/Cell':>7} {'L/St':>6} {'TrU/TrP':>7}"
+    )
+    lines = ["Table 3: PyLSE vs UPPAAL-style TA networks", header, "-" * len(header)]
+    for r in rows:
+        if r.verify_seconds is None:
+            verify = f"{'inf':>8} {'N/A':>8} {'-':>3}"
+        else:
+            verify = (
+                f"{r.verify_seconds:>8.2f} {r.states_explored:>8} "
+                f"{'y' if r.satisfied else 'N':>3}"
+            )
+        lines.append(
+            f"{r.name:<15} {r.size:>4} {r.cells:>5} {r.states:>4} "
+            f"{r.transitions:>4} | {r.ta:>4} {r.locations:>5} "
+            f"{r.ta_transitions:>5} {r.channels:>4} | {verify} | "
+            f"{r.ta_per_cell:>7.2f} {r.locs_per_state:>6.2f} {r.tran_ratio:>7.2f}"
+        )
+    n = len(rows)
+    lines.append(
+        f"{'average':<15} {'':>4} {'':>5} {'':>4} {'':>4} | "
+        f"{'':>4} {'':>5} {'':>5} {'':>4} | {'':>8} {'':>8} {'':>3} | "
+        f"{sum(r.ta_per_cell for r in rows) / n:>7.2f} "
+        f"{sum(r.locs_per_state for r in rows) / n:>6.2f} "
+        f"{sum(r.tran_ratio for r in rows) / n:>7.2f}"
+    )
+    return "\n".join(lines)
+
+
+def main(max_states: int = 200_000, time_limit: float = 120.0) -> str:
+    report = render(run(max_states=max_states, time_limit=time_limit))
+    print(report)
+    return report

@@ -1,0 +1,28 @@
+"""A zone-based model checker for the TA networks of :mod:`repro.ta`.
+
+This is the offline substitute for UPPAAL's ``verifyta`` (see DESIGN.md):
+the same zone-graph algorithm (DBMs, inclusion subsumption, ExtraM
+extrapolation) deciding the same auto-generated queries.
+"""
+
+from .check import VerificationReport, verify_design
+from .dbm import DBM, INF, bound, bound_is_strict, bound_value, zero_zone
+from .explorer import CheckResult, ModelChecker, Violation
+from .tasim import TARun, TASimulator, ta_events
+
+__all__ = [
+    "CheckResult",
+    "DBM",
+    "INF",
+    "ModelChecker",
+    "VerificationReport",
+    "TARun",
+    "TASimulator",
+    "Violation",
+    "ta_events",
+    "bound",
+    "bound_is_strict",
+    "bound_value",
+    "verify_design",
+    "zero_zone",
+]

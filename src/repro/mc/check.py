@@ -1,0 +1,96 @@
+"""High-level verification entry points (Section 5.3's workflow).
+
+``verify_design`` packages the full pipeline: simulate the circuit, translate
+it to TA, auto-generate Query 1 (output correctness) and Query 2 (no error
+states), and run the bundled zone-graph checker — the offline stand-in for
+``verifyta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.circuit import Circuit, working_circuit
+from ..core.simulation import Events, Simulation
+from ..ta.queries import (
+    Query,
+    correctness_query,
+    deadlock_query,
+    no_error_query,
+    output_fires_query,
+)
+from ..ta.translate import TranslationResult, translate_circuit
+from .explorer import CheckResult, ModelChecker
+
+
+@dataclass
+class VerificationReport:
+    """Everything produced by one verification run."""
+
+    events: Events
+    translation: TranslationResult
+    query1: Query
+    query2: Query
+    result: CheckResult
+
+    @property
+    def ok(self) -> bool:
+        return self.result.satisfied
+
+    def summary(self) -> str:
+        stats = self.translation.cell_stats()
+        status = "SATISFIED" if self.ok else (
+            "VIOLATED" if self.result.completed else "INCOMPLETE"
+        )
+        return (
+            f"{status}: {self.result.states_explored} states in "
+            f"{self.result.elapsed_seconds:.2f}s "
+            f"(TA={stats['ta']}, locations={stats['locations']}, "
+            f"transitions={stats['transitions']}, channels={stats['channels']})"
+        )
+
+
+def verify_design(
+    circuit: Optional[Circuit] = None,
+    queries: Sequence[str] = ("query1", "query2"),
+    until: Optional[float] = None,
+    max_states: Optional[int] = None,
+    time_limit: Optional[float] = None,
+) -> VerificationReport:
+    """Simulate, translate, and model-check the circuit.
+
+    ``queries`` selects which auto-generated properties to check — any of
+    ``"query1"`` (output times), ``"query2"`` (no error states),
+    ``"liveness"`` (E<> outputs fire at all), and ``"deadlock"``
+    (``A[] not deadlock`` — expected to trip on finite schedules; see
+    :func:`repro.ta.queries.deadlock_query`). ``until`` bounds both the
+    reference simulation and the environment TAs' schedules;
+    ``max_states``/``time_limit`` bound the exploration (Table 3 marks the
+    designs where UPPAAL hit this wall with an infinity sign).
+    """
+    circuit = circuit if circuit is not None else working_circuit()
+    events = Simulation(circuit).simulate(until=until)
+    translation = translate_circuit(circuit, until=until)
+    q1 = correctness_query(circuit, translation, events)
+    q2 = no_error_query(translation)
+    selected = []
+    if "query1" in queries:
+        selected.append(q1)
+    if "query2" in queries:
+        selected.append(q2)
+    if "liveness" in queries:
+        selected.append(output_fires_query(circuit, translation))
+    if "deadlock" in queries:
+        selected.append(deadlock_query())
+    checker = ModelChecker(
+        translation.network, max_states=max_states, time_limit=time_limit
+    )
+    result = checker.run(selected)
+    return VerificationReport(
+        events=events,
+        translation=translation,
+        query1=q1,
+        query2=q2,
+        result=result,
+    )

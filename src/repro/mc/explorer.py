@@ -1,0 +1,513 @@
+"""Zone-graph reachability for TA networks: the bundled model checker.
+
+UPPAAL is unavailable offline, so this module re-implements the standard
+forward zone-graph algorithm it is built on (see DESIGN.md):
+
+* symbolic states are (location vector, canonical DBM zone) pairs, stored
+  delay-closed (every state includes its time successors up to invariants);
+* successors come from internal edges and binary channel handshakes
+  (sender ``ch!`` + receiver ``ch?`` in two different automata, guards
+  conjoined, resets unioned);
+* a passed list with zone-inclusion subsumption prunes the search;
+* ExtraM extrapolation over per-clock maximum constants guarantees
+  termination even though the global clock is never reset.
+
+The checker decides the paper's two query shapes while exploring:
+**Query 2** (no error location reachable) and **Query 1** (a firing TA's
+``fta_end`` location — occupied exactly at the instant an output pulse is
+emitted — only ever coincides with an allowed global time).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.errors import PylseError
+from ..ta.automaton import Constraint, Edge, TANetwork
+from ..ta.queries import Query
+from .dbm import DBM, bound, zero_zone
+
+GuardOps = Tuple[Tuple[int, int, int], ...]  # (i, j, encoded bound)
+
+
+@dataclass
+class Violation:
+    """One property failure found during exploration.
+
+    ``trace`` is the counterexample: the sequence of fired transitions from
+    the initial state to the violating one (UPPAAL likewise "will return a
+    trace showing the path that led to the particular error state",
+    Section 5.3).
+    """
+
+    query: str            # 'query1', 'query2', or 'no_deadlock'
+    automaton: str
+    location: str
+    detail: str
+    trace: List[str] = field(default_factory=list)
+
+    def format_trace(self) -> str:
+        if not self.trace:
+            return "(initial state)"
+        return "\n".join(f"  {k + 1}. {step}" for k, step in enumerate(self.trace))
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a model-checking run."""
+
+    states_explored: int
+    transitions_fired: int
+    elapsed_seconds: float
+    completed: bool
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def satisfied(self) -> bool:
+        """True iff exploration finished and found no violation."""
+        return self.completed and not self.violations
+
+    def violations_for(self, query: str) -> List[Violation]:
+        return [v for v in self.violations if v.query == query]
+
+
+class _CompiledEdge:
+    """An edge with guards/resets/targets resolved to integer indices."""
+
+    __slots__ = ("ta_index", "source", "target", "guard_ops", "resets", "edge")
+
+    def __init__(self, ta_index: int, source: int, target: int,
+                 guard_ops: GuardOps, resets: Tuple[int, ...], edge: Edge):
+        self.ta_index = ta_index
+        self.source = source
+        self.target = target
+        self.guard_ops = guard_ops
+        self.resets = resets
+        self.edge = edge
+
+
+class ModelChecker:
+    """Explore a TA network's zone graph and decide Query 1 / Query 2.
+
+    ``global_slack`` widens the extrapolation constant of never-reset clocks
+    (the global clock and input-schedule clocks) beyond the largest constant
+    that appears in any constraint, so exact output instants stay
+    representable throughout the schedule.
+    """
+
+    def __init__(
+        self,
+        network: TANetwork,
+        max_states: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        global_slack: int = 2000,
+        use_inclusion: bool = True,
+    ):
+        self.network = network
+        self.max_states = max_states
+        self.time_limit = time_limit
+        self.global_slack = global_slack
+        #: When False, the passed list only deduplicates exact zones (no
+        #: subsumption) — the ablation of bench_ablation_mc.py.
+        self.use_inclusion = use_inclusion
+        self._compile()
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def _compile(self) -> None:
+        net = self.network
+        self.clock_index: Dict[str, int] = {
+            name: k + 1 for k, name in enumerate(net.all_clocks())
+        }
+        self.n_clocks = len(self.clock_index)
+        self.ta_names = [ta.name for ta in net.automata]
+        self.loc_index: List[Dict[str, int]] = []
+        self.loc_names: List[List[str]] = []
+        self.initial_locs: List[int] = []
+        self.invariant_ops: List[List[GuardOps]] = []
+        self.error_locs: List[FrozenSet[int]] = []
+        self.internal_edges: List[List[_CompiledEdge]] = []
+        self.senders: Dict[str, List[_CompiledEdge]] = {}
+        self.receivers: Dict[str, List[_CompiledEdge]] = {}
+        max_const = [0] * (self.n_clocks + 1)
+
+        def note_constant(constraint: Constraint) -> None:
+            idx = self.clock_index[constraint.clock]
+            max_const[idx] = max(max_const[idx], abs(constraint.value))
+
+        for ta_index, ta in enumerate(net.automata):
+            index = {loc: k for k, loc in enumerate(ta.locations)}
+            self.loc_index.append(index)
+            self.loc_names.append(list(ta.locations))
+            self.initial_locs.append(index[ta.initial])
+            self.error_locs.append(
+                frozenset(index[loc] for loc in ta.error_locations)
+            )
+            inv_ops: List[GuardOps] = []
+            for loc in ta.locations:
+                ops: List[Tuple[int, int, int]] = []
+                for constraint in ta.invariants.get(loc, ()):
+                    note_constant(constraint)
+                    ops.extend(self._constraint_ops(constraint))
+                inv_ops.append(tuple(ops))
+            self.invariant_ops.append(inv_ops)
+            self.internal_edges.append([])
+            for edge in ta.edges:
+                for constraint in edge.guard:
+                    note_constant(constraint)
+                compiled = _CompiledEdge(
+                    ta_index,
+                    index[edge.source],
+                    index[edge.target],
+                    tuple(
+                        op
+                        for constraint in edge.guard
+                        for op in self._constraint_ops(constraint)
+                    ),
+                    tuple(self.clock_index[c] for c in edge.resets),
+                    edge,
+                )
+                if edge.action is None:
+                    self.internal_edges[ta_index].append(compiled)
+                elif edge.action.kind == "!":
+                    self.senders.setdefault(edge.action.channel, []).append(compiled)
+                else:
+                    self.receivers.setdefault(edge.action.channel, []).append(compiled)
+
+        # Never-reset clocks track absolute time; give them slack so exact
+        # instants survive extrapolation for the whole schedule.
+        reset_clocks = {
+            self.clock_index[c]
+            for ta in net.automata
+            for edge in ta.edges
+            for c in edge.resets
+        }
+        biggest = max(max_const) if max_const else 0
+        for idx in range(1, self.n_clocks + 1):
+            if idx not in reset_clocks:
+                max_const[idx] = biggest + self.global_slack
+        self.max_constants = max_const
+
+    def _constraint_ops(self, constraint: Constraint) -> List[Tuple[int, int, int]]:
+        i = self.clock_index[constraint.clock]
+        v = constraint.value
+        if constraint.op == "<=":
+            return [(i, 0, bound(v, False))]
+        if constraint.op == "<":
+            return [(i, 0, bound(v, True))]
+        if constraint.op == ">=":
+            return [(0, i, bound(-v, False))]
+        if constraint.op == ">":
+            return [(0, i, bound(-v, True))]
+        if constraint.op == "==":
+            return [(i, 0, bound(v, False)), (0, i, bound(-v, False))]
+        raise PylseError(f"Unknown constraint operator {constraint.op!r}")
+
+    # ------------------------------------------------------------------
+    # exploration
+    # ------------------------------------------------------------------
+    def run(self, queries: Sequence[Query] = ()) -> CheckResult:
+        """Explore the reachable zone graph, checking ``queries`` on the fly."""
+        started = _time.monotonic()
+        fta_allowed = self._compile_query1(queries)
+        check_errors = any(q.kind == "no_errors" for q in queries)
+        check_deadlock = any(q.kind == "no_deadlock" for q in queries)
+        error_filter = self._compile_query2(queries)
+        reach_targets = self._compile_reachable(queries)
+        reached: set = set()
+
+        initial_zone = zero_zone(self.n_clocks)
+        locvec = tuple(self.initial_locs)
+        initial_zone = self._settle(initial_zone, locvec)
+        if initial_zone is None:
+            raise PylseError("Initial state violates invariants")
+
+        passed: Dict[Tuple[int, ...], List[DBM]] = {locvec: [initial_zone]}
+        # Per explored state: (parent state index, transition label), for
+        # counterexample reconstruction.
+        provenance: List[Tuple[int, Optional[str]]] = [(-1, None)]
+        waiting = deque([(locvec, initial_zone, 0)])
+        violations: List[Violation] = []
+        states = 1
+        fired = 0
+        self._check_state(
+            locvec, initial_zone, fta_allowed, check_errors, error_filter,
+            violations, provenance, 0,
+        )
+        self._note_reached(locvec, reach_targets, reached)
+        completed = True
+
+        while waiting:
+            if self.max_states is not None and states >= self.max_states:
+                completed = False
+                break
+            if (
+                self.time_limit is not None
+                and _time.monotonic() - started > self.time_limit
+            ):
+                completed = False
+                break
+            locvec, zone, state_index = waiting.popleft()
+            any_successor = False
+            for new_locvec, new_zone, label in self._successors(locvec, zone):
+                any_successor = True
+                fired += 1
+                bucket = passed.setdefault(new_locvec, [])
+                if self.use_inclusion:
+                    if any(existing.includes(new_zone) for existing in bucket):
+                        continue
+                    bucket[:] = [z for z in bucket if not new_zone.includes(z)]
+                else:
+                    key = new_zone.key()
+                    if any(existing.key() == key for existing in bucket):
+                        continue
+                bucket.append(new_zone)
+                provenance.append((state_index, label))
+                new_index = len(provenance) - 1
+                states += 1
+                self._check_state(
+                    new_locvec, new_zone, fta_allowed, check_errors,
+                    error_filter, violations, provenance, new_index,
+                )
+                self._note_reached(new_locvec, reach_targets, reached)
+                waiting.append((new_locvec, new_zone, new_index))
+            if check_deadlock and not any_successor:
+                violations.append(
+                    Violation(
+                        query="no_deadlock",
+                        automaton="(network)",
+                        location=self._describe_locvec(locvec),
+                        detail="state has no action successor",
+                        trace=self._trace(provenance, state_index),
+                    )
+                )
+
+        if reach_targets and completed and not reached:
+            locations = ", ".join(
+                f"{self.ta_names[ta]}.{self.loc_names[ta][loc]}"
+                for ta, loc in sorted(reach_targets)
+            )
+            violations.append(
+                Violation(
+                    query="reachable",
+                    automaton="(network)",
+                    location=locations,
+                    detail="E<> unsatisfied: none of the locations is reachable",
+                )
+            )
+        return CheckResult(
+            states_explored=states,
+            transitions_fired=fired,
+            elapsed_seconds=_time.monotonic() - started,
+            completed=completed,
+            violations=violations,
+        )
+
+    def _compile_reachable(self, queries):
+        """Set of (automaton index, location index) for E<> queries."""
+        targets = set()
+        name_to_index = {name: k for k, name in enumerate(self.ta_names)}
+        for q in queries:
+            if q.kind != "reachable":
+                continue
+            for ta_name, loc_name in q.error_locations:
+                ta_index = name_to_index[ta_name]
+                targets.add((ta_index, self.loc_index[ta_index][loc_name]))
+        return targets
+
+    @staticmethod
+    def _note_reached(locvec, reach_targets, reached) -> None:
+        if not reach_targets or reached:
+            return
+        for ta_index, loc in reach_targets:
+            if locvec[ta_index] == loc:
+                reached.add((ta_index, loc))
+                return
+
+    def _describe_locvec(self, locvec) -> str:
+        interesting = [
+            f"{self.ta_names[k]}.{self.loc_names[k][loc]}"
+            for k, loc in enumerate(locvec)
+            if self.loc_names[k][loc] != self.network.automata[k].initial
+        ]
+        return ", ".join(interesting) if interesting else "(all initial)"
+
+    @staticmethod
+    def _trace(provenance, state_index) -> List[str]:
+        steps: List[str] = []
+        index = state_index
+        while index > 0:
+            parent, label = provenance[index]
+            if label is not None:
+                steps.append(label)
+            index = parent
+        steps.reverse()
+        return steps
+
+    # ------------------------------------------------------------------
+    def _successors(self, locvec, zone):
+        for ta_index in range(len(self.ta_names)):
+            for edge in self.internal_edges[ta_index]:
+                if edge.source != locvec[ta_index]:
+                    continue
+                result = self._fire(zone, locvec, [edge])
+                if result is not None:
+                    yield (*result, self._label([edge]))
+        for channel, senders in self.senders.items():
+            receivers = self.receivers.get(channel, [])
+            for send in senders:
+                if send.source != locvec[send.ta_index]:
+                    continue
+                for recv in receivers:
+                    if (
+                        recv.ta_index == send.ta_index
+                        or recv.source != locvec[recv.ta_index]
+                    ):
+                        continue
+                    result = self._fire(zone, locvec, [send, recv])
+                    if result is not None:
+                        yield (*result, self._label([send, recv]))
+
+    def _label(self, edges: List[_CompiledEdge]) -> str:
+        """Human-readable description of a fired (set of) edge(s)."""
+        parts = []
+        for compiled in edges:
+            edge = compiled.edge
+            action = str(edge.action) if edge.action else "tau"
+            parts.append(
+                f"{self.ta_names[compiled.ta_index]}: "
+                f"{edge.source} --{action}--> {edge.target}"
+            )
+        return " | ".join(parts)
+
+    def _fire(self, zone: DBM, locvec, edges: List[_CompiledEdge]):
+        z = zone.copy()
+        for edge in edges:
+            for i, j, encoded in edge.guard_ops:
+                z.constrain(i, j, encoded)
+        z.canonicalize()
+        if z.is_empty():
+            return None
+        for edge in edges:
+            for clock in edge.resets:
+                z.reset(clock)
+        new_locvec = list(locvec)
+        for edge in edges:
+            new_locvec[edge.ta_index] = edge.target
+        new_locvec = tuple(new_locvec)
+        z = self._settle(z, new_locvec)
+        if z is None:
+            return None
+        return new_locvec, z
+
+    def _settle(self, z: DBM, locvec) -> Optional[DBM]:
+        """Apply invariants, delay-close, re-apply, extrapolate, canonicalize."""
+        self._apply_invariants(z, locvec)
+        z.canonicalize()
+        if z.is_empty():
+            return None
+        z.up()
+        self._apply_invariants(z, locvec)
+        z.canonicalize()
+        if z.is_empty():
+            return None
+        z.extrapolate(self.max_constants)
+        z.canonicalize()
+        return z
+
+    def _apply_invariants(self, z: DBM, locvec) -> None:
+        for ta_index, loc in enumerate(locvec):
+            for i, j, encoded in self.invariant_ops[ta_index][loc]:
+                z.constrain(i, j, encoded)
+
+    # ------------------------------------------------------------------
+    # property checks
+    # ------------------------------------------------------------------
+    def _compile_query1(self, queries):
+        """automaton index -> (location index, allowed global times)."""
+        fta_allowed: Dict[int, Tuple[int, FrozenSet[int]]] = {}
+        name_to_index = {name: k for k, name in enumerate(self.ta_names)}
+        for q in queries:
+            if q.kind != "output_times":
+                continue
+            for prop in q.properties:
+                ta_index = name_to_index.get(prop.automaton)
+                if ta_index is None:
+                    raise PylseError(
+                        f"Query 1 names unknown automaton {prop.automaton!r}"
+                    )
+                loc = self.loc_index[ta_index].get(prop.location)
+                if loc is None:
+                    raise PylseError(
+                        f"Query 1 names unknown location "
+                        f"{prop.automaton}.{prop.location}"
+                    )
+                fta_allowed[ta_index] = (loc, frozenset(prop.allowed_times))
+        return fta_allowed
+
+    def _compile_query2(self, queries):
+        """Set of (automaton index, location index) to treat as errors."""
+        pairs = set()
+        name_to_index = {name: k for k, name in enumerate(self.ta_names)}
+        for q in queries:
+            if q.kind != "no_errors":
+                continue
+            for ta_name, loc_name in q.error_locations:
+                ta_index = name_to_index[ta_name]
+                pairs.add((ta_index, self.loc_index[ta_index][loc_name]))
+        return pairs
+
+    def _check_state(
+        self, locvec, zone, fta_allowed, check_errors, error_filter,
+        violations, provenance, state_index,
+    ) -> None:
+        if check_errors:
+            for ta_index, loc in enumerate(locvec):
+                if (ta_index, loc) in error_filter or (
+                    not error_filter and loc in self.error_locs[ta_index]
+                ):
+                    violations.append(
+                        Violation(
+                            query="query2",
+                            automaton=self.ta_names[ta_index],
+                            location=self.loc_names[ta_index][loc],
+                            detail="error location is reachable",
+                            trace=self._trace(provenance, state_index),
+                        )
+                    )
+        if fta_allowed:
+            global_idx = self.clock_index[self.network.global_clock]
+            for ta_index, (end_loc, allowed) in fta_allowed.items():
+                if locvec[ta_index] != end_loc:
+                    continue
+                lower, upper = zone.clock_bounds(global_idx)
+                if upper is None or lower != upper:
+                    violations.append(
+                        Violation(
+                            query="query1",
+                            automaton=self.ta_names[ta_index],
+                            location=self.loc_names[ta_index][end_loc],
+                            detail=(
+                                f"output instant not unique: global in "
+                                f"[{lower}, {upper}]"
+                            ),
+                            trace=self._trace(provenance, state_index),
+                        )
+                    )
+                elif lower not in allowed:
+                    violations.append(
+                        Violation(
+                            query="query1",
+                            automaton=self.ta_names[ta_index],
+                            location=self.loc_names[ta_index][end_loc],
+                            detail=(
+                                f"output at global == {lower}, allowed "
+                                f"{sorted(allowed)}"
+                            ),
+                            trace=self._trace(provenance, state_index),
+                        )
+                    )

@@ -1,0 +1,206 @@
+"""A concrete-time executor for TA networks: the "UPPAAL simulator" check.
+
+Section 5.3: "Once in UPPAAL, we checked that their internal simulator
+agrees with ours from an input/output perspective." This module reproduces
+that check offline: it *runs* a translated TA network with concrete clock
+valuations — at each step firing the earliest-enabled action — and records
+every send on a circuit-output channel. :func:`ta_events` then compares
+directly against ``Simulation.simulate()``'s events.
+
+The executor resolves the nondeterminism UPPAAL's simulator resolves
+interactively: among actions enabled at the same earliest instant it picks
+deterministically (internal actions first, then by automaton/edge order).
+For the translated networks this matches the discrete-event simulator's
+deterministic tie-breaking on every shipped design (asserted by
+``tests/test_tasim.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import PylseError
+from ..ta.automaton import SCALE, Constraint, Edge, TANetwork, TimedAutomaton
+
+
+@dataclass
+class TARun:
+    """The observable outcome of one concrete execution."""
+
+    #: channel -> send instants, in scaled integer time units
+    sends: Dict[str, List[int]] = field(default_factory=dict)
+    steps: int = 0
+    final_time: int = 0
+    #: error locations entered, if any (execution stops at the first)
+    error: Optional[str] = None
+
+
+class TASimulator:
+    """Earliest-action concrete execution of a TA network."""
+
+    def __init__(self, network: TANetwork):
+        self.network = network
+        self.automata = network.automata
+        self.loc_index = [
+            {loc: k for k, loc in enumerate(ta.locations)} for ta in self.automata
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self, max_steps: int = 100_000) -> TARun:
+        clocks: Dict[str, float] = {c: 0.0 for c in self.network.all_clocks()}
+        locs: List[str] = [ta.initial for ta in self.automata]
+        time = 0.0
+        result = TARun(sends={}, steps=0)
+
+        for _ in range(max_steps):
+            action = self._earliest_action(locs, clocks, time)
+            if action is None:
+                break
+            fire_time, edges = action
+            # Advance every clock by the elapsed delay.
+            delta = fire_time - time
+            for name in clocks:
+                clocks[name] += delta
+            time = fire_time
+            channel: Optional[str] = None
+            for ta_index, edge in edges:
+                for clock in edge.resets:
+                    clocks[clock] = 0.0
+                locs[ta_index] = edge.target
+                if edge.action is not None and edge.action.kind == "!":
+                    channel = edge.action.channel
+                ta = self.automata[ta_index]
+                if edge.target in ta.error_locations:
+                    result.error = f"{ta.name}.{edge.target}"
+            if channel is not None and channel in self.network.channels:
+                result.sends.setdefault(channel, []).append(round(time))
+            result.steps += 1
+            if result.error:
+                break
+        else:
+            raise PylseError(f"TA execution exceeded {max_steps} steps")
+        result.final_time = round(time)
+        return result
+
+    # ------------------------------------------------------------------
+    def _earliest_action(self, locs, clocks, now):
+        """The earliest-enabled internal edge or sync pair, if any."""
+        best_time = math.inf
+        best_edges: Optional[List[Tuple[int, Edge]]] = None
+
+        # The latest instant every current invariant still allows.
+        deadline = math.inf
+        for ta_index, ta in enumerate(self.automata):
+            for constraint in ta.invariants.get(locs[ta_index], ()):
+                upper = self._upper_bound(constraint, clocks, now)
+                deadline = min(deadline, upper)
+
+        def consider(edges: List[Tuple[int, Edge]]):
+            nonlocal best_time, best_edges
+            earliest = now
+            for ta_index, edge in edges:
+                t = self._earliest_satisfy(edge.guard, clocks, now)
+                if t is None:
+                    return
+                earliest = max(earliest, t)
+            # All guards must be simultaneously satisfiable at `earliest`
+            # (guards are conjunctions of per-clock bounds; taking the max
+            # of lower bounds and re-checking upper bounds suffices).
+            for ta_index, edge in edges:
+                if not self._satisfied_at(edge.guard, clocks, now, earliest):
+                    return
+            if earliest > deadline + 1e-9:
+                return
+            if earliest < best_time - 1e-9:
+                best_time = earliest
+                best_edges = edges
+
+        for ta_index, ta in enumerate(self.automata):
+            for edge in ta.edges:
+                if edge.source != locs[ta_index] or edge.action is not None:
+                    continue
+                consider([(ta_index, edge)])
+        # Binary synchronizations.
+        for si, sender_ta in enumerate(self.automata):
+            for send in sender_ta.edges:
+                if (
+                    send.source != locs[si]
+                    or send.action is None
+                    or send.action.kind != "!"
+                ):
+                    continue
+                for ri, recv_ta in enumerate(self.automata):
+                    if ri == si:
+                        continue
+                    for recv in recv_ta.edges:
+                        if (
+                            recv.source != locs[ri]
+                            or recv.action is None
+                            or recv.action.kind != "?"
+                            or recv.action.channel != send.action.channel
+                        ):
+                            continue
+                        consider([(si, send), (ri, recv)])
+        if best_edges is None:
+            return None
+        return best_time, best_edges
+
+    @staticmethod
+    def _earliest_satisfy(guard, clocks, now) -> Optional[float]:
+        """Earliest T >= now at which the conjunction can hold, or None."""
+        earliest = now
+        for constraint in guard:
+            value_now = clocks[constraint.clock]
+            if constraint.op in (">=", ">", "=="):
+                # clock(T) = value_now + (T - now) >= k
+                need = constraint.value - value_now + now
+                if constraint.op == ">":
+                    need += 1e-6
+                earliest = max(earliest, need)
+        # Check upper bounds at that instant.
+        for constraint in guard:
+            value_at = clocks[constraint.clock] + (earliest - now)
+            if constraint.op == "<=" and value_at > constraint.value + 1e-9:
+                return None
+            if constraint.op == "<" and value_at >= constraint.value - 1e-9:
+                return None
+            if constraint.op == "==" and abs(value_at - constraint.value) > 1e-9:
+                return None
+        return earliest
+
+    @staticmethod
+    def _satisfied_at(guard, clocks, now, when) -> bool:
+        for constraint in guard:
+            value = clocks[constraint.clock] + (when - now)
+            if constraint.op == ">=" and value < constraint.value - 1e-9:
+                return False
+            if constraint.op == ">" and value <= constraint.value + 1e-9:
+                return False
+            if constraint.op == "<=" and value > constraint.value + 1e-9:
+                return False
+            if constraint.op == "<" and value >= constraint.value - 1e-9:
+                return False
+            if constraint.op == "==" and abs(value - constraint.value) > 1e-9:
+                return False
+        return True
+
+    @staticmethod
+    def _upper_bound(constraint: Constraint, clocks, now) -> float:
+        """Latest absolute time an invariant constraint allows."""
+        value_now = clocks[constraint.clock]
+        if constraint.op in ("<=", "<", "=="):
+            return now + (constraint.value - value_now)
+        return math.inf
+
+
+def ta_events(network: TANetwork, max_steps: int = 100_000) -> Dict[str, List[float]]:
+    """Concrete-execute the network; output-channel sends in picoseconds."""
+    run = TASimulator(network).run(max_steps)
+    if run.error:
+        raise PylseError(f"TA execution entered error location {run.error}")
+    return {
+        channel: [t / SCALE for t in times]
+        for channel, times in run.sends.items()
+    }

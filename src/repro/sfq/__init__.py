@@ -1,0 +1,87 @@
+"""The PyLSE standard cell library: 16 basic SCE cells (Table 3).
+
+Asynchronous cells: C, InvC, M (merger), S (splitter), JTL.
+Synchronous (clocked) cells: AND, OR, NAND, NOR, XOR, XNOR, INV.
+Storage cells: DRO, DRO_SR, DRO_C.
+Dual-rail: JOIN (2x2 join).
+
+Each cell class lives in its own module; the lowercase functions here
+(``c``, ``jtl``, ``and_s``, ...) instantiate cells into the working circuit
+and return output wires.
+"""
+
+from .and_s import AND
+from .base import SFQ
+from .c_element import C
+from .dro import DRO
+from .dro_c import DRO_C
+from .dro_sr import DRO_SR
+from .functions import (
+    and_s,
+    ndro,
+    t1,
+    c,
+    c_inv,
+    dro,
+    dro_c,
+    dro_sr,
+    inv_s,
+    join,
+    jtl,
+    m,
+    nand_s,
+    nor_s,
+    or_s,
+    s,
+    split,
+    xnor_s,
+    xor_s,
+)
+from .inh import INH
+from .inv_c import InvC
+from .inv_s import INV
+from .join import JOIN
+from .jtl import JTL
+from .merger import M
+from .ndro import NDRO
+from .nand_s import NAND
+from .nor_s import NOR
+from .or_s import OR
+from .splitter import S
+from .t1 import T1
+from .xnor_s import XNOR
+from .xor_s import XOR
+
+#: Library extensions beyond the paper's 16 cells.
+EXTENSION_CELLS: list = []
+
+#: All sixteen basic cells, in Table 3 order.
+BASIC_CELLS = [
+    C,
+    InvC,
+    M,
+    S,
+    JTL,
+    AND,
+    OR,
+    NAND,
+    NOR,
+    XOR,
+    XNOR,
+    INV,
+    DRO,
+    DRO_SR,
+    DRO_C,
+    JOIN,
+]
+
+EXTENSION_CELLS.extend([NDRO, T1, INH])
+
+__all__ = [
+    "AND", "BASIC_CELLS", "C", "DRO", "DRO_C", "DRO_SR", "EXTENSION_CELLS",
+    "INH", "INV", "InvC", "JOIN", "JTL", "M", "NAND", "NDRO", "NOR", "OR", "S",
+    "SFQ", "T1", "XNOR", "XOR",
+    "and_s", "c", "c_inv", "dro", "dro_c", "dro_sr", "inv_s", "join", "jtl",
+    "m", "nand_s", "ndro", "nor_s", "or_s", "s", "split", "t1", "xnor_s",
+    "xor_s",
+]

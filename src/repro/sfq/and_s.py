@@ -1,0 +1,50 @@
+"""AND: the Synchronous And Element — the paper's running example.
+
+Figure 8 gives this cell's PyLSE code; Figure 5 its PyLSE Machine. A pulse
+appears on ``q`` a ``firing_delay`` (9.2 ps, the propagation delay) after a
+clock pulse that ends a period in which both ``a`` and ``b`` arrived. The
+hold time (3.0 ps) is modeled as the ``transition_time`` of the
+clk-triggered transitions; the setup time (2.8 ps) as their
+``past_constraints``. Clock transitions take priority 0, data priority 1
+(Figure 5), so simultaneous arrivals are handled clock-first.
+
+The transition order is chosen so the ``b_arr --clk--> idle`` edge has id 7,
+matching the Figure 13 error message.
+
+Table 3 shape: size 11, states 4, transitions 12.
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class AND(SFQ):
+    """Synchronous And Element (RSFQ encoding)."""
+
+    _setup_time = 2.8
+    _hold_time = 3.0
+
+    name = "AND"
+    inputs = ["a", "b", "clk"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "past_constraints": {"*": _setup_time}},
+        {"src": "idle", "trigger": "a", "dst": "a_arr", "priority": 1},
+        {"src": "idle", "trigger": "b", "dst": "b_arr", "priority": 1},
+        {"src": "a_arr", "trigger": "b", "dst": "ab_arr", "priority": 1},
+        {"src": "a_arr", "trigger": "a", "dst": "a_arr", "priority": 1},
+        {"src": "a_arr", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "past_constraints": {"*": _setup_time}},
+        {"src": "b_arr", "trigger": "a", "dst": "ab_arr", "priority": 1},
+        {"src": "b_arr", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "past_constraints": {"*": _setup_time}},
+        {"src": "b_arr", "trigger": "b", "dst": "b_arr", "priority": 1},
+        {"src": "ab_arr", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "firing": "q",
+         "past_constraints": {"*": _setup_time}},
+        {"src": "ab_arr", "trigger": ["a", "b"], "dst": "ab_arr", "priority": 1},
+    ]
+    jjs = 11
+    firing_delay = 9.2

@@ -1,0 +1,54 @@
+"""The SFQ abstract cell class.
+
+``SFQ`` is the child of ``Transitional`` described in Section 4.1: it
+requires additional attributes specific to SFQ cell design — ``jjs`` (the
+number of Josephson junctions, an area metric) and ``firing_delay`` — from
+its implementing classes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import WellFormednessError
+from ..core.transitional import FiringDelaySpec, Transitional
+
+
+class SFQ(Transitional):
+    """Base class for SFQ cells: a Transitional plus ``jjs``/``firing_delay``.
+
+    Subclasses must define ``jjs`` (int > 0) and ``firing_delay`` (a number,
+    distribution, or per-output dict) in addition to the usual
+    ``Transitional`` attributes. Both can be overridden per instance.
+    """
+
+    jjs: int
+
+    def __init__(self, jjs: Optional[int] = None, **kwargs):
+        cls = type(self)
+        if not hasattr(cls, "jjs") or cls.jjs is None:
+            raise WellFormednessError(
+                f"{cls.__name__}: SFQ cells must define the 'jjs' attribute "
+                "(number of Josephson junctions)"
+            )
+        if getattr(cls, "firing_delay", None) is None:
+            raise WellFormednessError(
+                f"{cls.__name__}: SFQ cells must define the 'firing_delay' attribute"
+            )
+        super().__init__(**kwargs)
+        if jjs is not None:
+            if not isinstance(jjs, int) or jjs <= 0:
+                raise WellFormednessError(
+                    f"{cls.__name__}: jjs override must be a positive integer"
+                )
+            self.jjs = jjs
+            self.overrides["jjs"] = jjs
+
+    @classmethod
+    def dsl_size(cls) -> int:
+        """Number of transitions written in the DSL (Table 3's "Size").
+
+        Roughly the number of source lines: a transition dict with a list
+        trigger counts once.
+        """
+        return len(cls.transitions)

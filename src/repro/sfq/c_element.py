@@ -1,0 +1,32 @@
+"""C: the C Element (coincidence junction).
+
+Fires its output once *both* inputs have arrived (an asynchronous AND on
+pulse arrival, used as the "max" of a min-max pair in Figure 11: its output
+appears some delay after the *later* input). A repeated pulse on an input
+that already arrived is absorbed.
+
+Table 3 shape: size 6, states 3, transitions 6. The 12 ps firing delay is
+from Figure 11.
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class C(SFQ):
+    """C element: fire ``q`` when the second of ``a``/``b`` arrives."""
+
+    name = "C"
+    inputs = ["a", "b"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "a", "dst": "a_arr"},
+        {"src": "idle", "trigger": "b", "dst": "b_arr"},
+        {"src": "a_arr", "trigger": "b", "dst": "idle", "firing": "q"},
+        {"src": "a_arr", "trigger": "a", "dst": "a_arr"},
+        {"src": "b_arr", "trigger": "a", "dst": "idle", "firing": "q"},
+        {"src": "b_arr", "trigger": "b", "dst": "b_arr"},
+    ]
+    jjs = 5
+    firing_delay = 12.0

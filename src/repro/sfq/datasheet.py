@@ -1,0 +1,94 @@
+"""Cell datasheets: render a PyLSE Machine as text and Graphviz dot.
+
+The paper presents cells as state diagrams (Figure 5); these helpers
+regenerate that view from the code — an ASCII transition table for quick
+inspection and a ``.dot`` graph for rendering with Graphviz.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from ..core.machine import PylseMachine
+from ..core.timing import nominal_delay
+from .base import SFQ
+
+
+def _edge_label(t) -> str:
+    """The Figure 4 edge notation: trigger/priority/tt, firing, constraints."""
+    parts = [f"{t.trigger}"]
+    parts.append(f"p{t.priority}")
+    if t.transition_time:
+        parts.append(f"tt={t.transition_time:g}")
+    label = ",".join(parts)
+    fires = (
+        "{" + ",".join(
+            f"{out}@{nominal_delay(d):g}" for out, d in t.firing.items()
+        ) + "}"
+        if t.firing else "{}"
+    )
+    constraints = (
+        "{" + ",".join(f"{s}>={v:g}" for s, v in t.past_constraints.items()) + "}"
+        if t.past_constraints else "{}"
+    )
+    return f"{label} / {fires} / {constraints}"
+
+
+def machine_to_dot(machine: PylseMachine) -> str:
+    """Graphviz dot text for a machine's state diagram."""
+    lines = [
+        f'digraph "{machine.name}" {{',
+        "  rankdir=LR;",
+        '  node [shape=circle];',
+        f'  __start [shape=point, label=""];',
+        f'  __start -> "{machine.initial}";',
+    ]
+    for t in machine.transitions:
+        label = _edge_label(t).replace('"', r"\"")
+        lines.append(f'  "{t.source}" -> "{t.dest}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def transition_table(machine: PylseMachine) -> str:
+    """The machine as a fixed-width transition table."""
+    rows: List[List[str]] = [
+        ["id", "src", "trigger", "dst", "prio", "tt", "firing", "constraints"]
+    ]
+    for t in machine.transitions:
+        rows.append([
+            str(t.id),
+            t.source,
+            t.trigger,
+            t.dest,
+            str(t.priority),
+            f"{t.transition_time:g}",
+            ",".join(f"{o}@{nominal_delay(d):g}" for o, d in t.firing.items()) or "-",
+            ",".join(f"{s}>={v:g}" for s, v in t.past_constraints.items()) or "-",
+        ])
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    lines = []
+    for k, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if k == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def datasheet(cell_cls: Type[SFQ]) -> str:
+    """A full text datasheet for a cell class."""
+    machine = cell_cls()._class_machine()
+    header = [
+        f"Cell: {cell_cls.name}",
+        f"  inputs:  {', '.join(machine.inputs)}",
+        f"  outputs: {', '.join(machine.outputs)}",
+        f"  states:  {', '.join(machine.states)} (initial: {machine.initial})",
+        f"  JJs: {cell_cls.jjs}    nominal firing delay: {cell_cls.firing_delay}",
+        f"  DSL size: {cell_cls.dsl_size()} transitions "
+        f"({len(machine.transitions)} expanded)",
+        "",
+    ]
+    doc = (cell_cls.__doc__ or "").strip()
+    if doc:
+        header.insert(1, f"  {doc}")
+    return "\n".join(header) + transition_table(machine) + "\n"

@@ -1,0 +1,34 @@
+"""DRO: destructive readout cell (the SFQ D flip-flop).
+
+Stores an incoming data pulse; a clock pulse reads it out (producing ``q``)
+and destroys the stored state. The related-work discussion (Section 6)
+contrasts this 4-line cell with the 90-line Verilog model of the same cell.
+
+Table 3 shape: size 4, states 2, transitions 4.
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class DRO(SFQ):
+    """Destructive readout: store ``a``, emit on ``clk``."""
+
+    _setup_time = 1.2
+    _hold_time = 2.5
+
+    name = "DRO"
+    inputs = ["a", "clk"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "a", "dst": "a_arr", "priority": 1},
+        {"src": "idle", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "past_constraints": {"*": _setup_time}},
+        {"src": "a_arr", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "firing": "q",
+         "past_constraints": {"*": _setup_time}},
+        {"src": "a_arr", "trigger": "a", "dst": "a_arr", "priority": 1},
+    ]
+    jjs = 6
+    firing_delay = 5.1

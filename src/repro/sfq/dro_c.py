@@ -1,0 +1,35 @@
+"""DRO_C: destructive readout with complementary outputs.
+
+A clock pulse emits on ``q`` if a data pulse was stored, on ``qnot``
+otherwise — the dual-rail readout primitive.
+
+Table 3 shape: size 4, states 2, transitions 4, channels 4 (two inputs plus
+two outputs).
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class DRO_C(SFQ):
+    """Destructive readout with true/complement outputs."""
+
+    _setup_time = 1.2
+    _hold_time = 2.5
+
+    name = "DRO_C"
+    inputs = ["a", "clk"]
+    outputs = ["q", "qnot"]
+    transitions = [
+        {"src": "idle", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "firing": "qnot",
+         "past_constraints": {"*": _setup_time}},
+        {"src": "idle", "trigger": "a", "dst": "a_arr", "priority": 1},
+        {"src": "a_arr", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "firing": "q",
+         "past_constraints": {"*": _setup_time}},
+        {"src": "a_arr", "trigger": "a", "dst": "a_arr", "priority": 1},
+    ]
+    jjs = 9
+    firing_delay = 5.4

@@ -1,0 +1,36 @@
+"""DRO_SR: destructive readout with set/reset.
+
+Like :mod:`repro.sfq.dro` but with an explicit reset input that clears the
+stored flux without producing an output.
+
+Table 3 shape: size 6, states 2, transitions 6, channels 4 (three inputs
+plus one output).
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class DRO_SR(SFQ):
+    """Set/reset destructive readout."""
+
+    _setup_time = 1.2
+    _hold_time = 2.5
+
+    name = "DRO_SR"
+    inputs = ["a", "rst", "clk"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "a", "dst": "a_arr", "priority": 1},
+        {"src": "idle", "trigger": "rst", "dst": "idle", "priority": 1},
+        {"src": "idle", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "past_constraints": {"*": _setup_time}},
+        {"src": "a_arr", "trigger": "a", "dst": "a_arr", "priority": 1},
+        {"src": "a_arr", "trigger": "rst", "dst": "idle", "priority": 1},
+        {"src": "a_arr", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "firing": "q",
+         "past_constraints": {"*": _setup_time}},
+    ]
+    jjs = 8
+    firing_delay = 5.3

@@ -1,0 +1,204 @@
+"""Encapsulating functions for the standard cells (Section 4.1, Figure 11b).
+
+Calling one of these (``c``, ``jtl``, ``and_s``, ...) instantiates the cell,
+adds it to the working circuit with fresh output wires, and returns the
+output wire(s) — the elaboration-through-execution style that makes basic
+cells "resemble Python operators".
+
+Every wrapper accepts the per-instance overrides of Section 4.1 as keyword
+arguments: ``firing_delay=``, ``transition_time=`` (a ``{(src, trigger):
+time}`` dict), and ``jjs=``. Single-output cells take ``name=`` to name the
+output wire; multi-output cells take ``names=`` (a list or space-separated
+string).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Type, Union
+
+from ..core.circuit import working_circuit
+from ..core.errors import PylseError
+from ..core.wire import Wire
+from .and_s import AND
+from .base import SFQ
+from .c_element import C
+from .dro import DRO
+from .dro_c import DRO_C
+from .dro_sr import DRO_SR
+from .inv_c import InvC
+from .inv_s import INV
+from .join import JOIN
+from .jtl import JTL
+from .merger import M
+from .ndro import NDRO
+from .nand_s import NAND
+from .nor_s import NOR
+from .or_s import OR
+from .splitter import S
+from .t1 import T1
+from .xnor_s import XNOR
+from .xor_s import XOR
+
+Names = Union[None, str, Sequence[str]]
+
+
+def _out_wires(cls: Type[SFQ], name: Optional[str], names: Names) -> List[Wire]:
+    n_out = len(cls.outputs)
+    if name is not None and names is not None:
+        raise PylseError(f"{cls.name}: give either name= or names=, not both")
+    if name is not None:
+        if n_out != 1:
+            raise PylseError(
+                f"{cls.name} has {n_out} outputs; use names= to name them all"
+            )
+        return [Wire(name)]
+    if names is not None:
+        labels = names.split() if isinstance(names, str) else list(names)
+        if len(labels) != n_out:
+            raise PylseError(
+                f"{cls.name}: expected {n_out} output name(s), got {len(labels)}"
+            )
+        return [Wire(label) for label in labels]
+    return [Wire() for _ in range(n_out)]
+
+
+def _place(
+    cls: Type[SFQ],
+    in_wires: Sequence[Wire],
+    name: Optional[str] = None,
+    names: Names = None,
+    **overrides,
+):
+    """Instantiate ``cls`` in the working circuit; return its output wire(s)."""
+    for w in in_wires:
+        if not isinstance(w, Wire):
+            raise PylseError(
+                f"{cls.name}: inputs must be Wire objects, got {type(w).__name__}"
+            )
+    element = cls(**overrides)
+    outs = _out_wires(cls, name, names)
+    working_circuit().add_node(element, list(in_wires), outs)
+    if len(outs) == 1:
+        return outs[0]
+    return tuple(outs)
+
+
+def jtl(a: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """Josephson transmission line: delay ``a`` by its firing delay."""
+    return _place(JTL, [a], name=name, **overrides)
+
+
+def s(a: Wire, names: Names = None, **overrides) -> Tuple[Wire, Wire]:
+    """Splitter: duplicate ``a`` onto two fresh wires."""
+    return _place(S, [a], names=names, **overrides)
+
+
+def m(a: Wire, b: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """Merger (confluence buffer): forward pulses from either input."""
+    return _place(M, [a, b], name=name, **overrides)
+
+
+def c(a: Wire, b: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """C element: pulse after the later of ``a``/``b`` (Figure 11's "high")."""
+    return _place(C, [a, b], name=name, **overrides)
+
+
+def c_inv(a: Wire, b: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """Inverted C element: pulse after the earlier of ``a``/``b`` ("low")."""
+    return _place(InvC, [a, b], name=name, **overrides)
+
+
+def and_s(a: Wire, b: Wire, clk: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """Synchronous And Element (Figures 5, 8, 12)."""
+    return _place(AND, [a, b, clk], name=name, **overrides)
+
+
+def or_s(a: Wire, b: Wire, clk: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """Synchronous Or Element."""
+    return _place(OR, [a, b, clk], name=name, **overrides)
+
+
+def nand_s(a: Wire, b: Wire, clk: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """Synchronous Nand Element."""
+    return _place(NAND, [a, b, clk], name=name, **overrides)
+
+
+def nor_s(a: Wire, b: Wire, clk: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """Synchronous Nor Element."""
+    return _place(NOR, [a, b, clk], name=name, **overrides)
+
+
+def xor_s(a: Wire, b: Wire, clk: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """Synchronous Xor Element."""
+    return _place(XOR, [a, b, clk], name=name, **overrides)
+
+
+def xnor_s(a: Wire, b: Wire, clk: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """Synchronous Xnor Element."""
+    return _place(XNOR, [a, b, clk], name=name, **overrides)
+
+
+def inv_s(a: Wire, clk: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """Synchronous Inverter."""
+    return _place(INV, [a, clk], name=name, **overrides)
+
+
+def dro(a: Wire, clk: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """Destructive readout (D flip-flop)."""
+    return _place(DRO, [a, clk], name=name, **overrides)
+
+
+def dro_sr(a: Wire, rst: Wire, clk: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """Destructive readout with set/reset."""
+    return _place(DRO_SR, [a, rst, clk], name=name, **overrides)
+
+
+def dro_c(a: Wire, clk: Wire, names: Names = None, **overrides) -> Tuple[Wire, Wire]:
+    """Destructive readout with complementary outputs ``(q, qnot)``."""
+    return _place(DRO_C, [a, clk], names=names, **overrides)
+
+
+def join(
+    a_t: Wire, a_f: Wire, b_t: Wire, b_f: Wire, names: Names = None, **overrides
+) -> Tuple[Wire, Wire, Wire, Wire]:
+    """2x2 join over dual-rail pairs; outputs ``(tt, tf, ft, ff)``."""
+    return _place(JOIN, [a_t, a_f, b_t, b_f], names=names, **overrides)
+
+
+def ndro(set_: Wire, rst: Wire, clk: Wire, name: Optional[str] = None, **overrides) -> Wire:
+    """Non-destructive readout (library extension)."""
+    return _place(NDRO, [set_, rst, clk], name=name, **overrides)
+
+
+def t1(a: Wire, names: Names = None, **overrides) -> Tuple[Wire, Wire]:
+    """Toggle flip-flop (library extension); outputs ``(q0, q1)``."""
+    return _place(T1, [a], names=names, **overrides)
+
+
+def split(wire: Wire, n: int = 2, names: Names = None, **overrides) -> Tuple[Wire, ...]:
+    """Split a wire ``n`` ways via a binary tree of ``n - 1`` splitters.
+
+    Matches Table 1: ``split(wire, n=3)`` creates two splitter elements; the
+    returned wires are in left-to-right tree order. ``names`` labels the
+    resulting ``n`` wires.
+    """
+    if n < 2:
+        raise PylseError(f"split needs n >= 2, got {n}")
+    labels: Optional[List[str]]
+    if names is None:
+        labels = None
+    else:
+        labels = names.split() if isinstance(names, str) else list(names)
+        if len(labels) != n:
+            raise PylseError(f"split: expected {n} name(s), got {len(labels)}")
+    leaves: List[Wire] = [wire]
+    while len(leaves) < n:
+        # Split the earliest wire that is still an internal tree node,
+        # keeping the tree balanced (breadth-first growth).
+        target = leaves.pop(0)
+        left, right = s(target, **overrides)
+        leaves.extend([target_out for target_out in (left, right)])
+    if labels is not None:
+        for leaf, label in zip(leaves, labels):
+            leaf.observe(label)
+    return tuple(leaves)

@@ -1,0 +1,29 @@
+"""INH: race-logic inhibit cell (library extension).
+
+The inhibit gate of race logic [Tzimpragos et al., ASPLOS '19]: a pulse on
+``b`` propagates to ``q`` only if the inhibitor ``a`` has not arrived yet;
+once ``a`` arrives, subsequent ``b`` pulses are absorbed. Single-shot per
+computation (reset by re-instantiating or an external reset scheme), like
+the race-tree decision cells.
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class INH(SFQ):
+    """Inhibit: ``q`` = ``b`` gated by "``a`` has not arrived"."""
+
+    name = "INH"
+    inputs = ["a", "b"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "a", "dst": "blocked", "priority": 0},
+        {"src": "idle", "trigger": "b", "dst": "idle", "firing": "q",
+         "priority": 1},
+        {"src": "blocked", "trigger": "a", "dst": "blocked"},
+        {"src": "blocked", "trigger": "b", "dst": "blocked"},
+    ]
+    jjs = 6
+    firing_delay = 5.0

@@ -1,0 +1,33 @@
+"""InvC: the Inverted C Element.
+
+Fires its output when the *first* of its inputs arrives and silently absorbs
+the second (the "min" of a min-max pair, Figure 11: its output appears some
+delay after the first input). After the second input arrives, the cell is
+back in ``idle``, ready for another round.
+
+Table 3 shape: size 6, states 3, transitions 6. The 14 ps firing delay is
+from Figure 11. The UPPAAL name prefix ``C_INV`` matches the Query 2 formula
+in Section 5.3.
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class InvC(SFQ):
+    """Inverted C element: fire ``q`` when the first of ``a``/``b`` arrives."""
+
+    name = "C_INV"
+    inputs = ["a", "b"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "a", "dst": "a_arr", "firing": "q"},
+        {"src": "idle", "trigger": "b", "dst": "b_arr", "firing": "q"},
+        {"src": "a_arr", "trigger": "b", "dst": "idle"},
+        {"src": "a_arr", "trigger": "a", "dst": "a_arr"},
+        {"src": "b_arr", "trigger": "a", "dst": "idle"},
+        {"src": "b_arr", "trigger": "b", "dst": "b_arr"},
+    ]
+    jjs = 6
+    firing_delay = 14.0

@@ -1,0 +1,34 @@
+"""INV: the Synchronous Inverter.
+
+Fires ``q`` on a clock pulse only if *no* pulse arrived on ``a`` during the
+preceding clock period (in RSFQ encoding, absence of a pulse is logical 0,
+so the inverter emits on absence). Timing values are representative.
+
+Table 3 shape: size 4, states 2, transitions 4.
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class INV(SFQ):
+    """Synchronous Inverter (RSFQ encoding)."""
+
+    _setup_time = 2.5
+    _hold_time = 3.0
+
+    name = "INV"
+    inputs = ["a", "clk"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "firing": "q",
+         "past_constraints": {"*": _setup_time}},
+        {"src": "idle", "trigger": "a", "dst": "a_arr", "priority": 1},
+        {"src": "a_arr", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "past_constraints": {"*": _setup_time}},
+        {"src": "a_arr", "trigger": "a", "dst": "a_arr", "priority": 1},
+    ]
+    jjs = 10
+    firing_delay = 9.6

@@ -1,0 +1,49 @@
+"""JOIN: the 2x2 Join element (dual-rail logic primitive, Section 5.2).
+
+Takes two pairs of logically complementary inputs — ``a_t``/``a_f`` and
+``b_t``/``b_f`` — and produces one of four outputs depending on which pair
+arrived: ``tt``, ``tf``, ``ft``, or ``ff``. Correct use requires
+interleaving a B pulse between subsequent A pulses and vice versa (the
+Section 5.2 dynamic check); pulses that would violate dual-rail discipline
+are absorbed.
+
+Section 5.2 notes 12 transitions carry the cell's logic; the fully specified
+machine (every state x every input, as Definition 3.1 requires) has 20,
+matching Table 3: size 20, states 5, transitions 20, channels 8.
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class JOIN(SFQ):
+    """2x2 join: pair one rail of A with one rail of B."""
+
+    name = "JOIN"
+    inputs = ["a_t", "a_f", "b_t", "b_f"]
+    outputs = ["tt", "tf", "ft", "ff"]
+    transitions = [
+        {"src": "idle", "trigger": "a_t", "dst": "at_arr"},
+        {"src": "idle", "trigger": "a_f", "dst": "af_arr"},
+        {"src": "idle", "trigger": "b_t", "dst": "bt_arr"},
+        {"src": "idle", "trigger": "b_f", "dst": "bf_arr"},
+        {"src": "at_arr", "trigger": "b_t", "dst": "idle", "firing": "tt"},
+        {"src": "at_arr", "trigger": "b_f", "dst": "idle", "firing": "tf"},
+        {"src": "at_arr", "trigger": "a_t", "dst": "at_arr"},
+        {"src": "at_arr", "trigger": "a_f", "dst": "at_arr"},
+        {"src": "af_arr", "trigger": "b_t", "dst": "idle", "firing": "ft"},
+        {"src": "af_arr", "trigger": "b_f", "dst": "idle", "firing": "ff"},
+        {"src": "af_arr", "trigger": "a_t", "dst": "af_arr"},
+        {"src": "af_arr", "trigger": "a_f", "dst": "af_arr"},
+        {"src": "bt_arr", "trigger": "a_t", "dst": "idle", "firing": "tt"},
+        {"src": "bt_arr", "trigger": "a_f", "dst": "idle", "firing": "ft"},
+        {"src": "bt_arr", "trigger": "b_t", "dst": "bt_arr"},
+        {"src": "bt_arr", "trigger": "b_f", "dst": "bt_arr"},
+        {"src": "bf_arr", "trigger": "a_t", "dst": "idle", "firing": "tf"},
+        {"src": "bf_arr", "trigger": "a_f", "dst": "idle", "firing": "ff"},
+        {"src": "bf_arr", "trigger": "b_t", "dst": "bf_arr"},
+        {"src": "bf_arr", "trigger": "b_f", "dst": "bf_arr"},
+    ]
+    jjs = 16
+    firing_delay = 6.0

@@ -1,0 +1,25 @@
+"""JTL: Josephson transmission line.
+
+A basic cell used for connecting other cells over larger distances, adding
+delay to a design (footnote 4 of the paper). Figure 11 uses a JTL with an
+overridden ``firing_delay=2.0`` for path balancing.
+
+Table 3 shape: size 1, states 1, transitions 1.
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class JTL(SFQ):
+    """Pass-through delay element: every input pulse is reproduced on ``q``."""
+
+    name = "JTL"
+    inputs = ["a"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "a", "dst": "idle", "firing": "q"},
+    ]
+    jjs = 2
+    firing_delay = 5.0

@@ -1,0 +1,25 @@
+"""M: merger (confluence buffer).
+
+Forwards a pulse arriving on either input to the single output.
+
+Table 3 shape: size 2, states 1, transitions 2. The firing delay is a
+representative value (the paper does not specify one for M).
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class M(SFQ):
+    """Two-input, one-output pulse merger."""
+
+    name = "M"
+    inputs = ["a", "b"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "a", "dst": "idle", "firing": "q"},
+        {"src": "idle", "trigger": "b", "dst": "idle", "firing": "q"},
+    ]
+    jjs = 5
+    firing_delay = 8.2

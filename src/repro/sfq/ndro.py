@@ -1,0 +1,36 @@
+"""NDRO: non-destructive readout cell (library extension).
+
+Like the DRO, but reading does not destroy the stored flux: every clock
+pulse while set produces an output until an explicit reset arrives. A
+standard RSFQ cell; not part of the paper's 16-cell table, included as a
+library extension (the paper's library "provides templates for the creation
+of custom ones").
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class NDRO(SFQ):
+    """Non-destructive readout: ``set`` stores, every ``clk`` reads, ``rst`` clears."""
+
+    _setup_time = 1.2
+    _hold_time = 2.5
+
+    name = "NDRO"
+    inputs = ["set", "rst", "clk"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "set", "dst": "stored", "priority": 1},
+        {"src": "idle", "trigger": "rst", "dst": "idle", "priority": 1},
+        {"src": "idle", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "past_constraints": {"*": _setup_time}},
+        {"src": "stored", "trigger": "set", "dst": "stored", "priority": 1},
+        {"src": "stored", "trigger": "rst", "dst": "idle", "priority": 1},
+        {"src": "stored", "trigger": "clk", "dst": "stored", "priority": 0,
+         "transition_time": _hold_time, "firing": "q",
+         "past_constraints": {"*": _setup_time}},
+    ]
+    jjs = 10
+    firing_delay = 6.1

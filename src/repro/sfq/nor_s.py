@@ -1,0 +1,35 @@
+"""NOR: the Synchronous Nor Element.
+
+Fires ``q`` on a clock pulse only if *no* data pulse arrived during the
+preceding clock period. Timing values are representative.
+
+Table 3 shape: size 6, states 2, transitions 6.
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class NOR(SFQ):
+    """Synchronous Nor Element (RSFQ encoding)."""
+
+    _setup_time = 2.7
+    _hold_time = 3.0
+
+    name = "NOR"
+    inputs = ["a", "b", "clk"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "firing": "q",
+         "past_constraints": {"*": _setup_time}},
+        {"src": "idle", "trigger": "a", "dst": "pulsed", "priority": 1},
+        {"src": "idle", "trigger": "b", "dst": "pulsed", "priority": 1},
+        {"src": "pulsed", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "past_constraints": {"*": _setup_time}},
+        {"src": "pulsed", "trigger": "a", "dst": "pulsed", "priority": 1},
+        {"src": "pulsed", "trigger": "b", "dst": "pulsed", "priority": 1},
+    ]
+    jjs = 10
+    firing_delay = 8.7

@@ -1,0 +1,35 @@
+"""OR: the Synchronous Or Element.
+
+Fires ``q`` on a clock pulse if at least one data pulse arrived during the
+preceding clock period. Timing values are representative (the paper gives
+the AND cell's values only).
+
+Table 3 shape: size 4, states 2, transitions 6 (the data triggers are
+written as list-trigger transitions, so 4 DSL entries expand to 6 edges).
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class OR(SFQ):
+    """Synchronous Or Element (RSFQ encoding)."""
+
+    _setup_time = 2.6
+    _hold_time = 3.1
+
+    name = "OR"
+    inputs = ["a", "b", "clk"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "past_constraints": {"*": _setup_time}},
+        {"src": "idle", "trigger": ["a", "b"], "dst": "pulsed", "priority": 1},
+        {"src": "pulsed", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "firing": "q",
+         "past_constraints": {"*": _setup_time}},
+        {"src": "pulsed", "trigger": ["a", "b"], "dst": "pulsed", "priority": 1},
+    ]
+    jjs = 9
+    firing_delay = 7.9

@@ -1,0 +1,26 @@
+"""S: splitter.
+
+Forwards an incoming pulse to two outgoing wires. Because SCE outputs
+cannot fan out (Section 4.2), every reuse of a wire requires a splitter;
+:func:`repro.sfq.functions.split` builds binary trees of these.
+
+Table 3 shape: size 1, states 1, transitions 1. The firing delay of 11 ps
+comes from Figure 11's path-balancing arithmetic.
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class S(SFQ):
+    """One-input, two-output pulse splitter."""
+
+    name = "S"
+    inputs = ["a"]
+    outputs = ["l", "r"]
+    transitions = [
+        {"src": "idle", "trigger": "a", "dst": "idle", "firing": ["l", "r"]},
+    ]
+    jjs = 3
+    firing_delay = 11.0

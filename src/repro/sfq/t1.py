@@ -1,0 +1,25 @@
+"""T1: toggle flip-flop (library extension).
+
+Alternating input pulses appear on alternating outputs — the classic RSFQ
+frequency divider (chain the ``q0`` outputs for divide-by-2^n). Not in the
+paper's 16-cell table; included as a library extension exercising the
+multi-output machinery.
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class T1(SFQ):
+    """Toggle: odd input pulses emit on ``q0``, even ones on ``q1``."""
+
+    name = "T1"
+    inputs = ["a"]
+    outputs = ["q0", "q1"]
+    transitions = [
+        {"src": "idle", "trigger": "a", "dst": "flipped", "firing": "q0"},
+        {"src": "flipped", "trigger": "a", "dst": "idle", "firing": "q1"},
+    ]
+    jjs = 7
+    firing_delay = 5.9

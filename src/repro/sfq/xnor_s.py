@@ -1,0 +1,46 @@
+"""XNOR: the Synchronous Xnor Element.
+
+Fires ``q`` on a clock pulse if zero or both data inputs arrived during the
+preceding clock period. Unlike :mod:`repro.sfq.xor_s`, the four-state
+encoding tracks *which* input arrived, so duplicate pulses on one input do
+not alias.
+
+Table 3 shape: size 12, states 4, transitions 12.
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class XNOR(SFQ):
+    """Synchronous Xnor Element (RSFQ encoding)."""
+
+    _setup_time = 2.8
+    _hold_time = 3.2
+
+    name = "XNOR"
+    inputs = ["a", "b", "clk"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "firing": "q",
+         "past_constraints": {"*": _setup_time}},
+        {"src": "idle", "trigger": "a", "dst": "a_arr", "priority": 1},
+        {"src": "idle", "trigger": "b", "dst": "b_arr", "priority": 1},
+        {"src": "a_arr", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "past_constraints": {"*": _setup_time}},
+        {"src": "a_arr", "trigger": "a", "dst": "a_arr", "priority": 1},
+        {"src": "a_arr", "trigger": "b", "dst": "ab_arr", "priority": 1},
+        {"src": "b_arr", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "past_constraints": {"*": _setup_time}},
+        {"src": "b_arr", "trigger": "a", "dst": "ab_arr", "priority": 1},
+        {"src": "b_arr", "trigger": "b", "dst": "b_arr", "priority": 1},
+        {"src": "ab_arr", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "firing": "q",
+         "past_constraints": {"*": _setup_time}},
+        {"src": "ab_arr", "trigger": "a", "dst": "ab_arr", "priority": 1},
+        {"src": "ab_arr", "trigger": "b", "dst": "ab_arr", "priority": 1},
+    ]
+    jjs = 12
+    firing_delay = 9.0

@@ -1,0 +1,42 @@
+"""XOR: the Synchronous Xor Element.
+
+Fires ``q`` on a clock pulse if exactly one data pulse arrived during the
+preceding clock period. The cell uses a 3-state parity encoding (matching
+Table 3's counts): ``idle`` (none arrived), ``one`` (one arrived), ``two``
+(two or more arrived). As with coarse Mealy models of the physical cell,
+two pulses on the *same* input within one clock period alias to "two".
+
+Table 3 shape: size 9, states 3, transitions 9.
+"""
+
+from __future__ import annotations
+
+from .base import SFQ
+
+
+class XOR(SFQ):
+    """Synchronous Xor Element (RSFQ encoding)."""
+
+    _setup_time = 2.7
+    _hold_time = 3.3
+
+    name = "XOR"
+    inputs = ["a", "b", "clk"]
+    outputs = ["q"]
+    transitions = [
+        {"src": "idle", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "past_constraints": {"*": _setup_time}},
+        {"src": "idle", "trigger": "a", "dst": "one", "priority": 1},
+        {"src": "idle", "trigger": "b", "dst": "one", "priority": 1},
+        {"src": "one", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "firing": "q",
+         "past_constraints": {"*": _setup_time}},
+        {"src": "one", "trigger": "a", "dst": "two", "priority": 1},
+        {"src": "one", "trigger": "b", "dst": "two", "priority": 1},
+        {"src": "two", "trigger": "clk", "dst": "idle", "priority": 0,
+         "transition_time": _hold_time, "past_constraints": {"*": _setup_time}},
+        {"src": "two", "trigger": "a", "dst": "two", "priority": 1},
+        {"src": "two", "trigger": "b", "dst": "two", "priority": 1},
+    ]
+    jjs = 9
+    firing_delay = 8.4

@@ -1,0 +1,50 @@
+"""Timed Automata: translation (Figure 14), UPPAAL export, TCTL queries."""
+
+from .automaton import (
+    SCALE,
+    Action,
+    Constraint,
+    Edge,
+    TANetwork,
+    TimedAutomaton,
+    scale_time,
+)
+from .queries import (
+    OutputTimesProperty,
+    Query,
+    correctness_query,
+    deadlock_query,
+    no_error_query,
+    queries_for,
+)
+from .translate import (
+    DEFAULT_SOAK,
+    TranslationResult,
+    channel_name,
+    translate_circuit,
+)
+from .uppaal import save_uppaal_xml, to_uppaal_xml
+from .uppaal_import import from_uppaal_xml
+
+__all__ = [
+    "Action",
+    "Constraint",
+    "DEFAULT_SOAK",
+    "Edge",
+    "OutputTimesProperty",
+    "Query",
+    "SCALE",
+    "TANetwork",
+    "TimedAutomaton",
+    "TranslationResult",
+    "channel_name",
+    "correctness_query",
+    "deadlock_query",
+    "from_uppaal_xml",
+    "no_error_query",
+    "queries_for",
+    "save_uppaal_xml",
+    "scale_time",
+    "to_uppaal_xml",
+    "translate_circuit",
+]

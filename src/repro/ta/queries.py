@@ -1,0 +1,178 @@
+"""Auto-generated TCTL verification queries (Section 5.3).
+
+* **Query 1 (correctness)**: built from a PyLSE simulation's ``events``
+  dict, it asserts that each firing TA feeding a circuit output can only be
+  at its ``fta_end`` location (the instant an output pulse is emitted) when
+  the global clock equals one of the simulation-observed pulse times::
+
+      A[] ((firingauto3.fta_end imply (global == 890 || global == 2090)) && ...)
+
+* **Query 2 (unreachable error states)**: asserts that no setup- or
+  hold-violation location anywhere in the network is reachable::
+
+      A[] not (c0.C_err_a_1 || c0.C_err_a_2 || ... || jtl0.JTL_err_a_2)
+
+Both are emitted as UPPAAL-flavored TCTL strings *and* as structured
+:class:`Query` objects the bundled :mod:`repro.mc` checker consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.circuit import Circuit
+from ..core.element import InGen
+from ..core.errors import PylseError
+from ..core.simulation import Events
+from .automaton import scale_time
+from .translate import TranslationResult, channel_name
+
+
+@dataclass(frozen=True)
+class OutputTimesProperty:
+    """One conjunct of Query 1: ``automaton.fta_end`` only at given times."""
+
+    automaton: str
+    location: str
+    allowed_times: Tuple[int, ...]  # scaled integers
+
+    def to_tctl(self, global_clock: str = "global") -> str:
+        if not self.allowed_times:
+            return f"A[] not {self.automaton}.{self.location}"
+        disjuncts = " || ".join(
+            f"({global_clock} == {t})" for t in self.allowed_times
+        )
+        return f"{self.automaton}.{self.location} imply ({disjuncts})"
+
+
+@dataclass
+class Query:
+    """A structured query the bundled model checker can decide."""
+
+    kind: str  # 'output_times', 'no_errors', 'no_deadlock', or 'reachable'
+    #: for 'output_times': the per-firing-TA conjuncts
+    properties: List[OutputTimesProperty] = field(default_factory=list)
+    #: for 'no_errors': (automaton, location) pairs that must be unreachable
+    #: for 'reachable': (automaton, location) pairs, at least one of which
+    #: must be reachable (E<> — a liveness-flavored sanity check)
+    error_locations: List[Tuple[str, str]] = field(default_factory=list)
+
+    def to_tctl(self) -> str:
+        if self.kind == "reachable":
+            disjuncts = " || ".join(
+                f"{ta}.{loc}" for ta, loc in self.error_locations
+            )
+            return f"E<> ({disjuncts})"
+        if self.kind == "output_times":
+            conjuncts = " && ".join(
+                f"({p.to_tctl()})" for p in self.properties
+            )
+            return f"A[] ({conjuncts})"
+        if self.kind == "no_deadlock":
+            return "A[] not deadlock"
+        if self.kind == "no_errors":
+            if not self.error_locations:
+                return "A[] true"
+            disjuncts = " || ".join(
+                f"{ta}.{loc}" for ta, loc in self.error_locations
+            )
+            return f"A[] not ({disjuncts})"
+        raise PylseError(f"Unknown query kind {self.kind!r}")
+
+
+def correctness_query(
+    circuit: Circuit,
+    translation: TranslationResult,
+    events: Events,
+    output_wires: Sequence[str] = (),
+) -> Query:
+    """Query 1: outputs appear only at the simulation-observed times.
+
+    ``events`` is the dict returned by ``Simulation.simulate``;
+    ``output_wires`` names the wires to constrain (default: every circuit
+    output wire).
+    """
+    wires = (
+        [circuit.find_wire(name) for name in output_wires]
+        if output_wires
+        else circuit.output_wires()
+    )
+    properties: List[OutputTimesProperty] = []
+    for wire in wires:
+        channel = channel_name(wire)
+        times = tuple(
+            scale_time(t) for t in events.get(wire.observed_as, [])
+        )
+        source = circuit.source_of.get(wire)
+        if source is not None and isinstance(source[0].element, InGen):
+            # An input generator feeding a circuit output directly: the
+            # environment TA emits exactly the schedule by construction, so
+            # there is nothing to verify.
+            continue
+        firing_tas = translation.firing_tas_by_channel.get(channel, [])
+        if not firing_tas:
+            raise PylseError(
+                f"No firing automata feed output wire {wire.observed_as!r}; "
+                "is it really a cell output?"
+            )
+        for ta_name in firing_tas:
+            properties.append(
+                OutputTimesProperty(ta_name, "fta_end", times)
+            )
+    return Query(kind="output_times", properties=properties)
+
+
+def no_error_query(translation: TranslationResult) -> Query:
+    """Query 2: no setup/hold error location is reachable."""
+    return Query(
+        kind="no_errors", error_locations=translation.all_error_locations()
+    )
+
+
+def output_fires_query(
+    circuit: Circuit,
+    translation: TranslationResult,
+    output_wires: Sequence[str] = (),
+) -> Query:
+    """``E<>`` some firing TA of each named output reaches ``fta_end``.
+
+    The liveness-flavored complement of Query 1: Query 1 says outputs
+    appear *only* at the expected times; this says they appear *at all* —
+    guarding against a translation bug that silences a cell (a vacuously
+    true Query 1).
+    """
+    wires = (
+        [circuit.find_wire(name) for name in output_wires]
+        if output_wires
+        else circuit.output_wires()
+    )
+    locations: List[Tuple[str, str]] = []
+    for wire in wires:
+        for ta_name in translation.firing_tas_by_channel.get(
+            channel_name(wire), []
+        ):
+            locations.append((ta_name, "fta_end"))
+    if not locations:
+        raise PylseError("No firing automata feed the requested outputs")
+    return Query(kind="reachable", error_locations=locations)
+
+
+def deadlock_query() -> Query:
+    """``A[] not deadlock`` — included to reproduce the paper's point that
+    plain deadlock detection is *not useful* for SCE designs: "good"
+    deadlock also occurs when the user-defined input sequence is exhausted
+    and no more cells can progress (Section 5.3). Expect violations on any
+    finite input schedule; that is the finding, not a bug.
+    """
+    return Query(kind="no_deadlock")
+
+
+def queries_for(
+    circuit: Circuit, translation: TranslationResult, events: Events
+) -> Dict[str, Query]:
+    """Both auto-generated queries, keyed ``query1`` / ``query2``."""
+    return {
+        "query1": correctness_query(circuit, translation, events),
+        "query2": no_error_query(translation),
+    }

@@ -1,0 +1,99 @@
+"""UPPAAL XML export (Section 5.3).
+
+"The result is saved to an XML file, which can then be simulated in UPPAAL
+or verified against certain properties on the command line via the
+``verifyta`` program." UPPAAL itself is a closed-source binary unavailable
+in this environment — the bundled :mod:`repro.mc` checker verifies the same
+queries — but the XML artifact is still produced so the designs can be
+loaded into a real UPPAAL installation.
+
+The writer targets UPPAAL 4.x's flat-system DTD. All clocks and channels are
+declared globally; each automaton becomes one template, instantiated once in
+the ``system`` line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+from xml.sax.saxutils import escape
+
+from .automaton import TANetwork, TimedAutomaton
+
+_HEADER = (
+    "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n"
+    "<!DOCTYPE nta PUBLIC '-//Uppaal Team//DTD Flat System 1.1//EN' "
+    "'http://www.it.uu.se/research/group/darts/uppaal/flat-1_1.dtd'>\n"
+)
+
+
+def _template_xml(ta: TimedAutomaton) -> str:
+    loc_ids: Dict[str, str] = {
+        loc: f"id_{ta.name}_{k}" for k, loc in enumerate(ta.locations)
+    }
+    parts: List[str] = [f"  <template>\n    <name>{escape(ta.name)}</name>"]
+    for loc in ta.locations:
+        parts.append(
+            f"    <location id=\"{loc_ids[loc]}\">\n"
+            f"      <name>{escape(loc)}</name>"
+        )
+        invariant = ta.invariants.get(loc)
+        if invariant:
+            text = escape(" && ".join(str(c) for c in invariant))
+            parts.append(f"      <label kind=\"invariant\">{text}</label>")
+        parts.append("    </location>")
+    parts.append(f"    <init ref=\"{loc_ids[ta.initial]}\"/>")
+    for edge in ta.edges:
+        parts.append(
+            "    <transition>\n"
+            f"      <source ref=\"{loc_ids[edge.source]}\"/>\n"
+            f"      <target ref=\"{loc_ids[edge.target]}\"/>"
+        )
+        if edge.guard:
+            text = escape(" && ".join(str(c) for c in edge.guard))
+            parts.append(f"      <label kind=\"guard\">{text}</label>")
+        if edge.action is not None:
+            parts.append(
+                f"      <label kind=\"synchronisation\">"
+                f"{escape(str(edge.action))}</label>"
+            )
+        if edge.resets:
+            text = escape(", ".join(f"{c} = 0" for c in edge.resets))
+            parts.append(f"      <label kind=\"assignment\">{text}</label>")
+        parts.append("    </transition>")
+    parts.append("  </template>")
+    return "\n".join(parts)
+
+
+def to_uppaal_xml(network: TANetwork, queries: Optional[List[str]] = None) -> str:
+    """Serialize the network (and optional queries) to UPPAAL XML."""
+    clocks = ", ".join(network.all_clocks())
+    channels = network.all_channels()
+    decls = [f"clock {clocks};"]
+    if channels:
+        decls.append(f"chan {', '.join(channels)};")
+    parts = [_HEADER, "<nta>"]
+    parts.append(f"  <declaration>{escape(' '.join(decls))}</declaration>")
+    for ta in network.automata:
+        parts.append(_template_xml(ta))
+    names = ", ".join(ta.name for ta in network.automata)
+    parts.append(f"  <system>system {escape(names)};</system>")
+    if queries:
+        parts.append("  <queries>")
+        for q in queries:
+            parts.append(
+                "    <query>\n"
+                f"      <formula>{escape(q)}</formula>\n"
+                "      <comment/>\n"
+                "    </query>"
+            )
+        parts.append("  </queries>")
+    parts.append("</nta>")
+    return "\n".join(parts) + "\n"
+
+
+def save_uppaal_xml(
+    network: TANetwork, path: str, queries: Optional[List[str]] = None
+) -> None:
+    """Write :func:`to_uppaal_xml` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(to_uppaal_xml(network, queries))

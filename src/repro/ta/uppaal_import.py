@@ -1,0 +1,176 @@
+"""Parse UPPAAL 4.x XML back into a :class:`TANetwork`.
+
+The inverse of :mod:`repro.ta.uppaal`: round-tripping lets the exported
+artifacts be re-verified by the bundled checker, and lets hand-edited
+UPPAAL models (the paper's workflow includes writing extra TCTL queries in
+UPPAAL itself) come back into the Python toolchain.
+
+Supports the subset of UPPAAL syntax the exporter emits: global ``clock``
+and ``chan`` declarations, one process per template, conjunctions of atomic
+clock constraints in guards/invariants, ``ch!``/``ch?`` synchronisations,
+and ``c = 0`` reset assignments.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import PylseError
+from .automaton import Action, Constraint, TANetwork, TimedAutomaton
+
+_CONSTRAINT_RE = re.compile(
+    r"\s*([A-Za-z_]\w*)\s*(<=|>=|==|<|>)\s*(-?\d+)\s*"
+)
+_RESET_RE = re.compile(r"\s*([A-Za-z_]\w*)\s*=\s*0\s*")
+_SYNC_RE = re.compile(r"\s*([A-Za-z_]\w*)\s*([!?])\s*")
+
+
+def _parse_constraints(text: Optional[str], context: str) -> Tuple[Constraint, ...]:
+    if not text or not text.strip():
+        return ()
+    constraints: List[Constraint] = []
+    for atom in text.split("&&"):
+        match = _CONSTRAINT_RE.fullmatch(atom)
+        if not match:
+            raise PylseError(f"Cannot parse constraint {atom!r} in {context}")
+        clock, op, value = match.groups()
+        constraints.append(Constraint(clock, op, int(value)))  # type: ignore[arg-type]
+    return tuple(constraints)
+
+
+def _parse_resets(text: Optional[str], context: str) -> Tuple[str, ...]:
+    if not text or not text.strip():
+        return ()
+    resets: List[str] = []
+    for atom in text.split(","):
+        match = _RESET_RE.fullmatch(atom)
+        if not match:
+            raise PylseError(f"Cannot parse assignment {atom!r} in {context}")
+        resets.append(match.group(1))
+    return tuple(resets)
+
+
+def _parse_declarations(text: Optional[str]) -> Tuple[List[str], List[str]]:
+    clocks: List[str] = []
+    channels: List[str] = []
+    if not text:
+        return clocks, channels
+    for statement in text.split(";"):
+        statement = statement.strip()
+        if statement.startswith("clock "):
+            clocks += [c.strip() for c in statement[6:].split(",") if c.strip()]
+        elif statement.startswith("chan "):
+            channels += [c.strip() for c in statement[5:].split(",") if c.strip()]
+    return clocks, channels
+
+
+def from_uppaal_xml(xml_text: str) -> TANetwork:
+    """Parse UPPAAL XML (as produced by :func:`to_uppaal_xml`) into a network.
+
+    Clock ownership: each clock is assigned to the first template whose
+    labels mention it (the network semantics only needs the global list).
+    Channels used with ``?`` by exactly one ``sink_*`` template keep their
+    exporter-assigned roles; other roles are inferred from template names.
+    """
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as err:
+        raise PylseError(f"Invalid UPPAAL XML: {err}") from None
+    if root.tag != "nta":
+        raise PylseError(f"Expected <nta> root, got <{root.tag}>")
+
+    clocks, channels = _parse_declarations(
+        root.findtext("declaration", default="")
+    )
+    network = TANetwork()
+    internal = [ch for ch in channels if ch.startswith("f_")]
+    network.channels = [ch for ch in channels if not ch.startswith("f_")]
+    network.internal_channels = internal
+    if "global" in clocks:
+        clocks.remove("global")
+
+    remaining_clocks = set(clocks)
+    for template in root.findall("template"):
+        name = template.findtext("name", default="")
+        if not name:
+            raise PylseError("Template without a name")
+        role = "cell"
+        if name.startswith("firingauto"):
+            role = "firing"
+        elif name.startswith("input_"):
+            role = "input"
+        elif name.startswith("sink_"):
+            role = "sink"
+        id_to_name: Dict[str, str] = {}
+        ta = TimedAutomaton(name=name, initial="", role=role)
+        used_clocks: List[str] = []
+
+        def note_clocks(constraints):
+            for constraint in constraints:
+                if constraint.clock in remaining_clocks:
+                    used_clocks.append(constraint.clock)
+                    remaining_clocks.discard(constraint.clock)
+
+        for location in template.findall("location"):
+            loc_id = location.get("id")
+            loc_name = location.findtext("name", default=loc_id)
+            id_to_name[loc_id] = loc_name
+            invariant = _parse_constraints(
+                next(
+                    (
+                        label.text
+                        for label in location.findall("label")
+                        if label.get("kind") == "invariant"
+                    ),
+                    None,
+                ),
+                f"{name}.{loc_name}",
+            )
+            note_clocks(invariant)
+            ta.add_location(
+                loc_name,
+                invariant=invariant,
+                error="_err_" in loc_name,
+                end=loc_name == "fta_end",
+            )
+        init = template.find("init")
+        if init is None or init.get("ref") not in id_to_name:
+            raise PylseError(f"Template {name} has no valid <init>")
+        ta.initial = id_to_name[init.get("ref")]
+
+        edges = []
+        for transition in template.findall("transition"):
+            source = id_to_name[transition.find("source").get("ref")]
+            target = id_to_name[transition.find("target").get("ref")]
+            labels = {
+                label.get("kind"): label.text
+                for label in transition.findall("label")
+            }
+            guard = _parse_constraints(labels.get("guard"), f"{name} edge")
+            resets = _parse_resets(labels.get("assignment"), f"{name} edge")
+            note_clocks(guard)
+            for clock in resets:
+                if clock in remaining_clocks:
+                    used_clocks.append(clock)
+                    remaining_clocks.discard(clock)
+            action = None
+            sync = labels.get("synchronisation")
+            if sync:
+                match = _SYNC_RE.fullmatch(sync)
+                if not match:
+                    raise PylseError(f"Cannot parse sync {sync!r} in {name}")
+                action = Action(match.group(1), match.group(2))  # type: ignore[arg-type]
+            edges.append((source, target, action, guard, resets))
+        ta.clocks = used_clocks
+        for source, target, action, guard, resets in edges:
+            ta.add_edge(source, target, action, guard, resets)
+        network.add_automaton(ta)
+
+    if remaining_clocks:
+        # Clocks declared but never referenced: attach to the first TA so
+        # the network's clock list stays complete.
+        if network.automata:
+            network.automata[0].clocks.extend(sorted(remaining_clocks))
+    return network

@@ -1,0 +1,32 @@
+"""Race-logic / temporal computing on top of the PyLSE cells.
+
+The paper's min-max pair and race tree follow the temporal conventions of
+Tzimpragos et al.; this package packages those idioms as a small library:
+value<->time encoding (:mod:`repro.temporal.encoding`) and the race-logic
+operations MIN / MAX / ADD-constant / INHIBIT plus n-ary trees and
+winner-take-all (:mod:`repro.temporal.ops`).
+"""
+
+from .encoding import TemporalCode
+from .ops import (
+    delay_by,
+    first_arrival,
+    inhibit,
+    last_arrival,
+    max_n,
+    min_n,
+    tree_latency,
+    winner_take_all,
+)
+
+__all__ = [
+    "TemporalCode",
+    "delay_by",
+    "first_arrival",
+    "inhibit",
+    "last_arrival",
+    "max_n",
+    "min_n",
+    "tree_latency",
+    "winner_take_all",
+]

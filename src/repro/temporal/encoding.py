@@ -1,0 +1,68 @@
+"""Temporal (race-logic) value encoding.
+
+In the temporal conventions the paper's min-max pair follows [52], a value
+``v`` is encoded as a pulse at time ``t0 + v * unit``; smaller values race
+ahead of larger ones. This module converts between Python numbers and pulse
+times, and decodes simulation events back into values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.circuit import working_circuit
+from ..core.errors import PylseError
+from ..core.helpers import inp_at
+from ..core.simulation import Events
+from ..core.wire import Wire
+
+
+@dataclass(frozen=True)
+class TemporalCode:
+    """A value-to-time mapping: ``time = offset + value * unit``.
+
+    ``offset`` keeps value 0 a real pulse (and clears any setup windows at
+    circuit start); ``unit`` is the ps-per-unit resolution and must comfortably
+    exceed the cells' hold times for adjacent codes to be distinguishable.
+    """
+
+    offset: float = 10.0
+    unit: float = 5.0
+
+    def __post_init__(self):
+        if self.unit <= 0:
+            raise PylseError(f"Temporal unit must be positive, got {self.unit}")
+        if self.offset < 0:
+            raise PylseError(f"Temporal offset must be >= 0, got {self.offset}")
+
+    def to_time(self, value: float) -> float:
+        if value < 0:
+            raise PylseError(f"Temporal codes are nonnegative, got {value}")
+        return self.offset + value * self.unit
+
+    def from_time(self, time: float, latency: float = 0.0) -> float:
+        """Decode a pulse time back to a value, removing circuit ``latency``."""
+        return (time - latency - self.offset) / self.unit
+
+    def encode_input(self, value: float, name: Optional[str] = None) -> Wire:
+        """An input wire pulsing once at the encoding of ``value``."""
+        return inp_at(self.to_time(value), name=name)
+
+    def encode_inputs(
+        self, values: Sequence[float], prefix: str = "x"
+    ) -> List[Wire]:
+        return [
+            self.encode_input(v, name=f"{prefix}{k}")
+            for k, v in enumerate(values)
+        ]
+
+    def decode_events(
+        self, events: Events, names: Sequence[str], latency: float = 0.0
+    ) -> Dict[str, Optional[float]]:
+        """First-pulse decode of each named wire; None if it never pulsed."""
+        out: Dict[str, Optional[float]] = {}
+        for name in names:
+            times = events.get(name, [])
+            out[name] = self.from_time(times[0], latency) if times else None
+        return out

@@ -1,0 +1,154 @@
+"""Race-logic operations over temporally-coded wires.
+
+The four primitive operations of race logic, realized with the paper's
+cells (the same building blocks as the min-max pair and race tree):
+
+* ``first_arrival`` (MIN) — the Inverted C element;
+* ``last_arrival`` (MAX) — the C element;
+* ``delay_by`` (ADD-constant) — a JTL;
+* ``inhibit`` — the INH cell (a pulse passes only if the inhibitor has not
+  arrived).
+
+Plus two composites: n-ary min/max trees (with JTL path balancing so every
+input sees the same latency) and a winner-take-all network returning a
+one-hot indication of the earliest input.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.errors import PylseError
+from ..core.wire import Wire
+from ..sfq.base import SFQ
+from ..sfq.c_element import C
+from ..sfq.functions import _place, c, c_inv, jtl, m, split
+from ..sfq.inh import INH
+from ..sfq.inv_c import InvC
+from ..sfq.jtl import JTL
+
+
+def first_arrival(a: Wire, b: Wire, name: Optional[str] = None) -> Wire:
+    """MIN: pulse at ``min(a, b) + InvC delay``."""
+    return c_inv(a, b, name=name)
+
+
+def last_arrival(a: Wire, b: Wire, name: Optional[str] = None) -> Wire:
+    """MAX: pulse at ``max(a, b) + C delay``."""
+    return c(a, b, name=name)
+
+
+def delay_by(a: Wire, amount: float, name: Optional[str] = None) -> Wire:
+    """ADD-constant: pulse at ``a + amount`` (a JTL with that firing delay)."""
+    return jtl(a, firing_delay=amount, name=name)
+
+
+def inhibit(inhibitor: Wire, signal: Wire, name: Optional[str] = None) -> Wire:
+    """Pulse at ``signal + INH delay`` iff the inhibitor has not arrived."""
+    return _place(INH, [inhibitor, signal], name=name)
+
+
+def _tree(wires: Sequence[Wire], combine, stage_delay: float) -> Wire:
+    """Balanced binary reduction with JTL padding for odd carries."""
+    level: List[Wire] = list(wires)
+    while len(level) > 1:
+        nxt: List[Wire] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(combine(level[i], level[i + 1]))
+        if len(level) % 2:
+            # Odd wire advances a level; pad it to the same latency.
+            nxt.append(jtl(level[-1], firing_delay=stage_delay))
+        level = nxt
+    return level[0]
+
+
+def min_n(wires: Sequence[Wire], name: Optional[str] = None) -> Wire:
+    """N-ary MIN: balanced tree of Inverted C elements."""
+    if not wires:
+        raise PylseError("min_n needs at least one wire")
+    out = _tree(wires, first_arrival, InvC.firing_delay)
+    if name:
+        out.observe(name)
+    return out
+
+
+def max_n(wires: Sequence[Wire], name: Optional[str] = None) -> Wire:
+    """N-ary MAX: balanced tree of C elements."""
+    if not wires:
+        raise PylseError("max_n needs at least one wire")
+    out = _tree(wires, last_arrival, C.firing_delay)
+    if name:
+        out.observe(name)
+    return out
+
+
+def tree_latency(n: int, cell: type = InvC) -> float:
+    """Nominal input-to-output latency of an n-input min/max tree."""
+    depth = 0
+    while (1 << depth) < n:
+        depth += 1
+    return depth * cell.firing_delay
+
+
+def _balanced_merge(wires: Sequence[Wire]) -> Tuple[Wire, float]:
+    """Merge pulses from all wires with *identical* latency on every path.
+
+    Returns the merged wire and its per-path latency; odd leftovers at each
+    level are padded through a JTL carrying one merger delay.
+    """
+    from ..sfq.merger import M
+
+    level: List[Wire] = list(wires)
+    depth = 0
+    while len(level) > 1:
+        nxt: List[Wire] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(m(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(jtl(level[-1], firing_delay=M.firing_delay))
+        level = nxt
+        depth += 1
+    return level[0], depth * M.firing_delay
+
+
+def winner_take_all(
+    wires: Sequence[Wire], names: Optional[Sequence[str]] = None
+) -> Tuple[Wire, ...]:
+    """One-hot earliest-arrival detection.
+
+    Output ``i`` pulses iff input ``i`` arrived strictly before every other
+    input. Construction per input ``i``: the other inputs are merged (by a
+    latency-balanced merger tree) into a "someone else arrived" inhibitor,
+    which gates a copy of input ``i`` through an INH cell; the signal copy
+    is JTL-padded by exactly the merger tree's latency, so the race at the
+    INH reproduces the race at the circuit inputs.
+
+    Exact ties produce *no* winner: the INH cell's priorities process the
+    inhibitor first on simultaneous arrival, so tied inputs block each
+    other — the conservative resolution of the race-logic metastability
+    window. Requires ``n >= 2``.
+    """
+    n = len(wires)
+    if n < 2:
+        raise PylseError("winner_take_all needs at least two inputs")
+    if names is not None and len(names) != n:
+        raise PylseError(f"expected {n} names, got {len(names)}")
+
+    # Each input is used once as a signal and (n-1) times as an inhibitor.
+    # Split to the next power of two so every copy leaves the splitter tree
+    # at the same depth (equal latency); surplus leaves dangle harmlessly.
+    n_split = 1
+    while n_split < n:
+        n_split *= 2
+    copies: List[Tuple[Wire, ...]] = [split(w, n=n_split) for w in wires]
+    outputs: List[Wire] = []
+    for i in range(n):
+        signal = copies[i][0]
+        others = [copies[j][1 + (i if i < j else i - 1)] for j in range(n) if j != i]
+        inhibitor, tree_delay = _balanced_merge(others)
+        signal = jtl(signal, firing_delay=tree_delay) if tree_delay else signal
+        out = inhibit(inhibitor, signal)
+        if names is not None:
+            out.observe(names[i])
+        outputs.append(out)
+    return tuple(outputs)

@@ -1,0 +1,13 @@
+"""Shared fixtures: every test runs against a fresh working circuit."""
+
+import pytest
+
+from repro.core.circuit import reset_working_circuit
+
+
+@pytest.fixture(autouse=True)
+def clean_circuit():
+    """Reset the ambient working circuit (and auto-naming) per test."""
+    reset_working_circuit()
+    yield
+    reset_working_circuit()

@@ -1,0 +1,142 @@
+"""Functional tests for the junction-level analog cell library."""
+
+import pytest
+
+from repro.analog import (
+    Netlist,
+    add_c_element,
+    add_input_stage,
+    add_inv_c,
+    add_jtl,
+    add_splitter,
+    check_behaviors,
+    connect,
+    measure_cell_delays,
+    simulate,
+)
+
+DT = 0.1  # coarser step for test speed; behavior is step-robust
+
+
+def single_cell(cell, a_times, b_times):
+    nl = Netlist("probe")
+    sa = add_input_stage(nl, a_times)
+    sb = add_input_stage(nl, b_times)
+    ja, oa = add_jtl(nl)
+    jb, ob = add_jtl(nl)
+    connect(nl, sa, ja)
+    connect(nl, sb, jb)
+    in_a, in_b, out = cell(nl)
+    connect(nl, oa, in_a)
+    connect(nl, ob, in_b)
+    jo, oo = add_jtl(nl)
+    connect(nl, out, jo)
+    nl.mark_output(oo, "q")
+    return nl
+
+
+class TestJTL:
+    def test_propagates_every_pulse(self):
+        nl = Netlist("jtl")
+        src = add_input_stage(nl, [20.0, 60.0, 100.0])
+        i1, o1 = add_jtl(nl, 4)
+        connect(nl, src, i1)
+        nl.mark_output(o1, "q")
+        pulses = simulate(nl, 150, DT).pulses["q"]
+        assert len(pulses) == 3
+
+    def test_delay_grows_with_stages(self):
+        delays = []
+        for stages in (2, 6):
+            nl = Netlist("jtl")
+            src = add_input_stage(nl, [20.0])
+            i1, o1 = add_jtl(nl, stages)
+            connect(nl, src, i1)
+            nl.mark_output(o1, "q")
+            delays.append(simulate(nl, 100, DT).pulses["q"][0])
+        assert delays[1] > delays[0]
+
+    def test_quiet_without_input(self):
+        nl = Netlist("jtl")
+        i1, o1 = add_jtl(nl, 4)
+        nl.mark_output(o1, "q")
+        assert simulate(nl, 100, DT).pulses["q"] == []
+
+
+class TestSplitter:
+    def test_duplicates_once_per_pulse(self):
+        nl = Netlist("split")
+        src = add_input_stage(nl, [20.0, 70.0])
+        drv, left, right = add_splitter(nl)
+        connect(nl, src, drv)
+        nl.mark_output(left, "l")
+        nl.mark_output(right, "r")
+        res = simulate(nl, 130, DT)
+        assert len(res.pulses["l"]) == 2
+        assert len(res.pulses["r"]) == 2
+
+    def test_outputs_simultaneous(self):
+        nl = Netlist("split")
+        src = add_input_stage(nl, [20.0])
+        drv, left, right = add_splitter(nl)
+        connect(nl, src, drv)
+        nl.mark_output(left, "l")
+        nl.mark_output(right, "r")
+        res = simulate(nl, 80, DT)
+        assert res.pulses["l"][0] == pytest.approx(res.pulses["r"][0], abs=0.5)
+
+
+class TestCElement:
+    def test_fires_after_second_input(self):
+        pulses = simulate(single_cell(add_c_element, [20.0], [50.0]), 130, DT).pulses["q"]
+        assert len(pulses) == 1
+        assert pulses[0] > 50.0
+
+    def test_symmetric_in_inputs(self):
+        first = simulate(single_cell(add_c_element, [20.0], [50.0]), 130, DT).pulses["q"]
+        second = simulate(single_cell(add_c_element, [50.0], [20.0]), 130, DT).pulses["q"]
+        assert first[0] == pytest.approx(second[0], abs=0.5)
+
+    def test_holds_on_single_input(self):
+        pulses = simulate(single_cell(add_c_element, [20.0], [900.0]), 300, DT).pulses["q"]
+        assert pulses == []
+
+    def test_rearms_for_second_round(self):
+        pulses = simulate(
+            single_cell(add_c_element, [20.0, 100.0], [50.0, 130.0]), 220, DT
+        ).pulses["q"]
+        assert len(pulses) == 2
+
+
+class TestInvertedC:
+    def test_fires_after_first_input(self):
+        pulses = simulate(single_cell(add_inv_c, [20.0], [50.0]), 130, DT).pulses["q"]
+        assert len(pulses) == 1
+        assert pulses[0] < 50.0 + 10.0
+
+    def test_absorbs_second_input(self):
+        early = simulate(single_cell(add_inv_c, [20.0], [50.0]), 200, DT).pulses["q"]
+        late = simulate(single_cell(add_inv_c, [20.0], [150.0]), 250, DT).pulses["q"]
+        assert len(early) == len(late) == 1
+        assert early[0] == pytest.approx(late[0], abs=0.5)
+
+    def test_rearms_for_second_round(self):
+        pulses = simulate(
+            single_cell(add_inv_c, [20.0, 110.0], [50.0, 140.0]), 240, DT
+        ).pulses["q"]
+        assert len(pulses) == 2
+
+
+class TestTuneHarness:
+    def test_all_behaviors_pass(self):
+        outcomes = check_behaviors(dt=DT)
+        failed = [c for c in outcomes if not c.passed]
+        assert not failed, failed
+
+    def test_measured_delays_positive_and_ordered(self):
+        delays = measure_cell_delays(dt=DT)
+        assert delays["jtl_stage"] > 0
+        assert delays["splitter"] > delays["jtl_stage"]
+        # C and InvC are multi-junction paths: slower than a JTL stage.
+        assert delays["c_after_second"] > delays["jtl_stage"]
+        assert delays["inv_c_after_first"] > delays["jtl_stage"]

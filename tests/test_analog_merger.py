@@ -1,0 +1,103 @@
+"""Tests for the series-junction solver extension and the analog merger."""
+
+import numpy as np
+import pytest
+
+from repro.analog import (
+    DEFAULT_JUNCTION,
+    Netlist,
+    add_input_stage,
+    add_jtl,
+    connect,
+    simulate,
+)
+from repro.analog.cells import add_merger
+from repro.core.errors import PylseError
+
+DT = 0.1
+
+
+def merger_fixture(a_times, b_times, probe_idle_chain=False):
+    nl = Netlist("merger")
+    sa = add_input_stage(nl, a_times)
+    sb = add_input_stage(nl, b_times)
+    ja, oa = add_jtl(nl)
+    jb, ob = add_jtl(nl)
+    connect(nl, sa, ja)
+    connect(nl, sb, jb)
+    in_a, in_b, out = add_merger(nl)
+    connect(nl, oa, in_a)
+    connect(nl, ob, in_b)
+    jo, oo = add_jtl(nl)
+    connect(nl, out, jo)
+    nl.mark_output(oo, "q")
+    if probe_idle_chain:
+        nl.mark_output(jb, "b_chain")
+    return nl
+
+
+class TestJunctionBranches:
+    def test_netlist_counts_series_junctions(self):
+        nl = Netlist("t")
+        a, b = nl.add_node(), nl.add_node()
+        nl.add_junction_branch(a, b)
+        assert nl.n_junctions == 3
+        assert any(line.startswith("BS0") for line in nl.lines())
+
+    def test_self_branch_rejected(self):
+        nl = Netlist("t")
+        a = nl.add_node()
+        with pytest.raises(PylseError):
+            nl.add_junction_branch(a, a)
+
+    def test_unknown_node_rejected(self):
+        nl = Netlist("t")
+        a = nl.add_node()
+        with pytest.raises(PylseError):
+            nl.add_junction_branch(a, 7)
+
+    def test_two_pi_difference_carries_no_current(self):
+        """The property inductors lack: a stored 2-pi slip across a series
+        junction relaxes to zero current (sin is periodic)."""
+        nl = merger_fixture([20.0], [400.0])
+        res = simulate(nl, 120, DT)
+        # After the merge: the driven side slipped, the idle side did not,
+        # yet the circuit sits in a static state (no oscillating phases).
+        assert res.pulses["q"]
+
+
+class TestMergerBehavior:
+    def test_merges_pulse_from_either_input(self):
+        a_only = simulate(merger_fixture([20.0], [900.0]), 100, DT).pulses["q"]
+        b_only = simulate(merger_fixture([900.0], [20.0]), 100, DT).pulses["q"]
+        assert len(a_only) == 1
+        assert len(b_only) == 1
+        assert a_only[0] == pytest.approx(b_only[0], abs=0.5)
+
+    def test_both_inputs_give_two_outputs(self):
+        pulses = simulate(merger_fixture([20.0], [60.0]), 130, DT).pulses["q"]
+        assert len(pulses) == 2
+
+    def test_pulse_trains_merge(self):
+        pulses = simulate(
+            merger_fixture([20.0, 100.0], [60.0, 140.0]), 220, DT
+        ).pulses["q"]
+        assert len(pulses) == 4
+
+    def test_close_pulses_both_pass(self):
+        pulses = simulate(merger_fixture([20.0], [38.0]), 110, DT).pulses["q"]
+        assert len(pulses) == 2
+
+    def test_recovery_dead_time(self):
+        """Pulses closer than the cell's ~15 ps recovery merge into one —
+        the analog origin of the minimum pulse separation that the PyLSE
+        level models with transition times."""
+        pulses = simulate(merger_fixture([20.0], [30.0]), 110, DT).pulses["q"]
+        assert len(pulses) == 1
+
+    def test_documented_back_action_on_idle_input(self):
+        """The known caveat: a merge launches one backward fluxon into the
+        idle input chain (why real confluence buffers add buffer stages)."""
+        nl = merger_fixture([20.0], [900.0], probe_idle_chain=True)
+        res = simulate(nl, 120, DT)
+        assert len(res.pulses["b_chain"]) == 1

@@ -1,0 +1,140 @@
+"""Physics-level tests for the RCSJ transient solver."""
+
+import numpy as np
+import pytest
+
+from repro.analog import (
+    DEFAULT_JUNCTION,
+    JunctionParams,
+    Netlist,
+    PHI0,
+    TransientSolver,
+    add_input_stage,
+    add_jtl,
+    connect,
+    simulate,
+)
+from repro.core.errors import PylseError
+
+
+class TestNetlistBuilder:
+    def test_nodes_and_branches_counted(self):
+        nl = Netlist("t")
+        a = nl.add_node()
+        b = nl.add_node()
+        nl.add_branch(a, b, 10.0)
+        assert nl.n_nodes == 2
+        assert len(nl.branches) == 1
+
+    def test_self_branch_rejected(self):
+        nl = Netlist("t")
+        a = nl.add_node()
+        with pytest.raises(PylseError):
+            nl.add_branch(a, a, 10.0)
+
+    def test_unknown_node_rejected(self):
+        nl = Netlist("t")
+        a = nl.add_node()
+        with pytest.raises(PylseError):
+            nl.add_branch(a, 99, 10.0)
+
+    def test_nonpositive_inductance_rejected(self):
+        nl = Netlist("t")
+        a, b = nl.add_node(), nl.add_node()
+        with pytest.raises(PylseError):
+            nl.add_branch(a, b, 0.0)
+
+    def test_duplicate_output_rejected(self):
+        nl = Netlist("t")
+        a = nl.add_node()
+        nl.mark_output(a, "q")
+        with pytest.raises(PylseError):
+            nl.mark_output(a, "r")
+
+    def test_lines_listing_shape(self):
+        nl = Netlist("t")
+        a = nl.add_node()
+        b = nl.add_node()
+        nl.add_branch(a, b, 10.0)
+        nl.add_pulse_input(a, [5.0])
+        nl.mark_output(b, "q")
+        text = "\n".join(nl.lines())
+        assert text.startswith("* t")
+        assert "jj ic=" in text
+        assert ".probe" in text
+        assert text.rstrip().endswith(".end")
+        # junction + bias per node, inductor, source, probe, tran, end, title
+        assert len(nl.lines()) == 2 * 2 + 1 + 1 + 1 + 2 + 1
+
+
+class TestJunctionPhysics:
+    def test_mccumber_near_unity(self):
+        """The default junction is near critical damping (clean pulses)."""
+        assert 0.5 < DEFAULT_JUNCTION.mccumber() < 2.5
+
+    def test_scaled_junction_preserves_ic_r_product(self):
+        big = DEFAULT_JUNCTION.scaled(2.0)
+        assert big.ic == pytest.approx(0.2)
+        assert big.ic * big.r == pytest.approx(
+            DEFAULT_JUNCTION.ic * DEFAULT_JUNCTION.r
+        )
+
+    def test_biased_junction_stays_superconducting(self):
+        """At 0.7 Ic bias and no input, no phase slips ever occur."""
+        nl = Netlist("quiet")
+        node = nl.add_node()
+        nl.mark_output(node, "q")
+        res = simulate(nl, 200, 0.1)
+        assert res.pulses["q"] == []
+        assert abs(res.final_phases[0]) < np.pi
+
+    def test_each_input_pulse_nucleates_one_fluxon(self):
+        """Pulse area quantization: each slip advances phase by 2 pi."""
+        nl = Netlist("sfq")
+        src = add_input_stage(nl, [20.0, 60.0, 100.0])
+        i1, o1 = add_jtl(nl, 3)
+        connect(nl, src, i1)
+        nl.mark_output(o1, "q")
+        res = simulate(nl, 160, 0.05)
+        assert len(res.pulses["q"]) == 3
+        # Final phase of the output node = 3 slips (allowing settle offset).
+        assert res.final_phases[-1] == pytest.approx(3 * 2 * np.pi, abs=1.5)
+
+    def test_pulse_voltage_area_is_phi0(self):
+        """Integrate V dt across a slip: the area must equal PHI0."""
+        nl = Netlist("area")
+        src = add_input_stage(nl, [20.0])
+        i1, o1 = add_jtl(nl, 3)
+        connect(nl, src, i1)
+        nl.mark_output(o1, "q")
+        solver = TransientSolver(nl)
+        before = solver.run(10.0, 0.05).final_phases[o1]
+        after = solver.run(80.0, 0.05).final_phases[o1]
+        from repro.analog.params import PHI0_2PI
+
+        area = PHI0_2PI * (after - before)   # integral of V dt = PHI0/2pi * dphi
+        assert area == pytest.approx(PHI0, rel=0.15)
+
+    def test_smaller_dt_converges(self):
+        """Halving dt moves the detected pulse time by < 0.1 ps."""
+        def pulse_time(dt):
+            nl = Netlist("conv")
+            src = add_input_stage(nl, [20.0])
+            i1, o1 = add_jtl(nl, 4)
+            connect(nl, src, i1)
+            nl.mark_output(o1, "q")
+            return simulate(nl, 80, dt).pulses["q"][0]
+
+        assert pulse_time(0.05) == pytest.approx(pulse_time(0.025), abs=0.1)
+
+
+class TestTransientResult:
+    def test_pulse_counts_helper(self):
+        nl = Netlist("t")
+        src = add_input_stage(nl, [20.0])
+        i1, o1 = add_jtl(nl, 2)
+        connect(nl, src, i1)
+        nl.mark_output(o1, "q")
+        res = simulate(nl, 60, 0.1)
+        assert res.pulse_counts() == {"q": 1}
+        assert res.steps == 600

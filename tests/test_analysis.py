@@ -1,0 +1,164 @@
+"""Tests for static path-delay / design-rule analysis."""
+
+import pytest
+
+from repro.core.analysis import (
+    balance_report,
+    circuit_graph,
+    clock_skew,
+    path_delays,
+    total_jjs,
+)
+from repro.core.circuit import working_circuit
+from repro.core.errors import PylseError
+from repro.core.helpers import inp, inp_at
+from repro.designs import bitonic_delay, bitonic_sorter, full_adder, min_max
+from repro.sfq import and_s, c, c_inv, jtl, s, split
+
+
+class TestCircuitGraph:
+    def test_nodes_and_kinds(self):
+        a = inp_at(10.0, name="A")
+        jtl(a, name="Q")
+        graph = circuit_graph()
+        assert graph.nodes["in:A"]["kind"] == "input"
+        assert graph.nodes["jtl0"]["kind"] == "cell"
+        assert graph.nodes["out:Q"]["kind"] == "output"
+
+    def test_edge_delays_are_firing_delays(self):
+        a = inp_at(10.0, name="A")
+        q = jtl(a)
+        jtl(q, name="Q")
+        graph = circuit_graph()
+        assert graph["in:A"]["jtl0"]["delay"] == 0.0
+        assert graph["jtl0"]["jtl1"]["delay"] == 5.0
+
+    def test_override_reflected(self):
+        a = inp_at(10.0, name="A")
+        q = jtl(a, firing_delay=2.0)
+        jtl(q, name="Q")
+        graph = circuit_graph()
+        assert graph["jtl0"]["jtl1"]["delay"] == 2.0
+
+
+class TestPathDelays:
+    def test_min_max_is_balanced_at_25(self):
+        """Figure 11's arithmetic, computed automatically."""
+        a = inp_at(115.0, name="A")
+        b = inp_at(64.0, name="B")
+        low, high = min_max(a, b)
+        low.observe("low")
+        high.observe("high")
+        delays = path_delays()
+        assert delays[("A", "low")] == (25.0, 25.0)
+        assert delays[("A", "high")] == (25.0, 25.0)
+        assert delays[("B", "low")] == (25.0, 25.0)
+
+    def test_bitonic_depth_delay(self):
+        ins = [inp_at(10.0 * k + 5, name=f"i{k}") for k in range(4)]
+        bitonic_sorter(ins, output_names=["o0", "o1", "o2", "o3"])
+        delays = path_delays()
+        expected = bitonic_delay(4)
+        assert delays[("i0", "o0")] == (expected, expected)
+
+    def test_unbalanced_paths_detected(self):
+        a = inp_at(10.0, name="A")
+        a0, a1 = s(a)
+        longer = jtl(a1)
+        low = c_inv(a0, longer, name="q")
+        del low
+        delays = path_delays()
+        lo, hi = delays[("A", "q")]
+        assert hi - lo == 5.0      # the extra JTL
+
+    def test_cycle_rejected(self):
+        from repro.core.wire import Wire
+        from repro.sfq import M, S
+
+        a = inp_at(10.0, name="A")
+        circuit = working_circuit()
+        loop = Wire("loop")
+        merged = Wire("merged")
+        circuit.add_node(M(), [a, loop], [merged])
+        out = Wire("OUT")
+        circuit.add_node(S(), [merged], [out, loop])
+        with pytest.raises(PylseError, match="loops"):
+            path_delays()
+
+
+class TestBalanceReport:
+    def test_balanced_min_max_is_clean(self):
+        a = inp_at(115.0, name="A")
+        b = inp_at(64.0, name="B")
+        min_max(a, b)
+        assert balance_report() == []
+
+    def test_imbalance_flagged_with_skew(self):
+        a = inp_at(10.0, name="A")
+        a0, a1 = s(a)
+        delayed = jtl(a1, firing_delay=7.0)
+        c(a0, delayed, name="q")
+        findings = balance_report()
+        assert len(findings) == 1
+        assert findings[0].cell == "C"
+        assert findings[0].skew == 7.0
+        assert "skew 7" in str(findings[0])
+
+    def test_tolerance_suppresses_small_skew(self):
+        a = inp_at(10.0, name="A")
+        a0, a1 = s(a)
+        delayed = jtl(a1, firing_delay=1.0)
+        c(a0, delayed, name="q")
+        assert balance_report(tolerance=2.0) == []
+        assert len(balance_report(tolerance=0.5)) == 1
+
+    def test_clk_port_excluded_by_default(self):
+        a = inp_at(30.0, name="A")
+        b = inp_at(35.0, name="B")
+        clk = inp(start=50, period=50, n=2, name="CLK")
+        and_s(a, b, clk, name="Q")
+        assert balance_report() == []
+
+
+class TestClockSkew:
+    def test_uniform_tree_has_zero_skew(self):
+        """The adder's 8-leaf clock tree is deliberately uniform."""
+        a = inp_at(30.0, name="a")
+        b = inp_at(name="b")
+        cin = inp_at(name="cin")
+        clk = inp(start=50, period=50, n=5, name="clk")
+        full_adder(a, b, cin, clk)
+        lo, hi = clock_skew("clk")
+        assert lo == hi == 33.0    # three splitter levels
+
+    def test_skewed_tree_detected(self):
+        a = inp_at(30.0, name="a")
+        b = inp_at(35.0, name="b")
+        clk = inp(start=50, period=50, n=2, name="clk")
+        c1, c2, c3 = split(clk, n=3)    # depths 1 and 2
+        and_s(a, b, c1, name="q1")
+        from repro.sfq import dro
+
+        dro(c2, c3)                      # (ab)use: c2 as data, c3 as clock
+        lo, hi = clock_skew("clk")
+        assert lo == 11.0 and hi == 22.0
+
+    def test_unknown_clock_rejected(self):
+        inp_at(10.0, name="A")
+        jtl(working_circuit().find_wire("A"), name="Q")
+        with pytest.raises(PylseError, match="No circuit input"):
+            clock_skew("nope")
+
+
+class TestTotalJJs:
+    def test_min_max_jj_count(self):
+        a = inp_at(115.0, name="A")
+        b = inp_at(64.0, name="B")
+        min_max(a, b)
+        # 2 splitters (3) + InvC (6) + C (5) + JTL (2)
+        assert total_jjs() == 3 + 3 + 6 + 5 + 2
+
+    def test_jjs_override_counts(self):
+        a = inp_at(10.0, name="A")
+        jtl(a, jjs=4, name="Q")
+        assert total_jjs() == 4

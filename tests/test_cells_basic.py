@@ -1,0 +1,215 @@
+"""Functional truth-table tests for all 16 basic cells (Table 3).
+
+Clocked gates are exercised through the pure Trace Relation (fast and
+exact); structural/metadata expectations pin the Table 3 counts.
+"""
+
+import pytest
+
+from repro.sfq import (
+    AND,
+    BASIC_CELLS,
+    C,
+    DRO,
+    DRO_C,
+    DRO_SR,
+    INV,
+    InvC,
+    JOIN,
+    JTL,
+    M,
+    NAND,
+    NOR,
+    OR,
+    S,
+    XNOR,
+    XOR,
+)
+
+
+def fired(machine, pulses, output=None):
+    """Pulse times of ``output`` produced by tracing ``pulses``."""
+    outs = machine.trace(pulses)
+    return [t for (o, t) in outs if output is None or o == output]
+
+
+def clocked_pulses(cell, a_bit, b_bit):
+    pulses = []
+    if a_bit:
+        pulses.append(("a", 30.0))
+    if b_bit:
+        pulses.append(("b", 36.0))
+    pulses.append(("clk", 60.0))
+    pulses.append(("clk", 120.0))
+    return pulses
+
+
+TRUTH_TABLES = [
+    (AND, lambda a, b: a and b),
+    (OR, lambda a, b: a or b),
+    (NAND, lambda a, b: not (a and b)),
+    (NOR, lambda a, b: not (a or b)),
+    (XOR, lambda a, b: a != b),
+    (XNOR, lambda a, b: a == b),
+]
+
+
+class TestClockedGates:
+    @pytest.mark.parametrize("cell_cls,logic", TRUTH_TABLES)
+    @pytest.mark.parametrize("a_bit", [0, 1])
+    @pytest.mark.parametrize("b_bit", [0, 1])
+    def test_truth_table(self, cell_cls, logic, a_bit, b_bit):
+        machine = cell_cls()._class_machine()
+        pulses = clocked_pulses(cell_cls, a_bit, b_bit)
+        times = fired(machine, pulses, "q")
+        first_period = [t for t in times if t < 120.0]
+        assert (len(first_period) == 1) == bool(logic(a_bit, b_bit))
+
+    @pytest.mark.parametrize("cell_cls,logic", TRUTH_TABLES)
+    def test_firing_time_is_clk_plus_delay(self, cell_cls, logic):
+        a_bit, b_bit = next(
+            (a, b) for a in (1, 0) for b in (1, 0) if logic(a, b)
+        )
+        machine = cell_cls()._class_machine()
+        times = fired(machine, clocked_pulses(cell_cls, a_bit, b_bit), "q")
+        assert times[0] == pytest.approx(60.0 + cell_cls.firing_delay)
+
+    @pytest.mark.parametrize("cell_cls,logic", TRUTH_TABLES)
+    def test_state_resets_each_period(self, cell_cls, logic):
+        """Data from period 1 must not leak into period 2."""
+        machine = cell_cls()._class_machine()
+        times = fired(machine, clocked_pulses(cell_cls, 1, 1), "q")
+        second_period = [t for t in times if t >= 120.0]
+        assert (len(second_period) == 1) == bool(logic(0, 0))
+
+
+class TestInverter:
+    def test_fires_without_input(self):
+        machine = INV()._class_machine()
+        assert fired(machine, [("clk", 50.0)]) == [50.0 + INV.firing_delay]
+
+    def test_silent_with_input(self):
+        machine = INV()._class_machine()
+        assert fired(machine, [("a", 30.0), ("clk", 50.0)]) == []
+
+
+class TestStorage:
+    def test_dro_stores_and_releases(self):
+        machine = DRO()._class_machine()
+        times = fired(machine, [("a", 30.0), ("clk", 50.0), ("clk", 100.0)])
+        assert times == [50.0 + DRO.firing_delay]   # destructive: once only
+
+    def test_dro_empty_read(self):
+        machine = DRO()._class_machine()
+        assert fired(machine, [("clk", 50.0)]) == []
+
+    def test_dro_c_complementary(self):
+        machine = DRO_C()._class_machine()
+        outs = machine.trace([("a", 30.0), ("clk", 50.0), ("clk", 100.0)])
+        assert [(o, t) for o, t in outs] == [
+            ("q", 50.0 + DRO_C.firing_delay),
+            ("qnot", 100.0 + DRO_C.firing_delay),
+        ]
+
+    def test_dro_sr_reset_clears(self):
+        machine = DRO_SR()._class_machine()
+        times = fired(machine, [("a", 30.0), ("rst", 40.0), ("clk", 50.0)])
+        assert times == []
+
+    def test_dro_sr_without_reset_fires(self):
+        machine = DRO_SR()._class_machine()
+        times = fired(machine, [("a", 30.0), ("clk", 50.0)])
+        assert times == [50.0 + DRO_SR.firing_delay]
+
+
+class TestAsyncCells:
+    def test_jtl_passes_all(self):
+        machine = JTL()._class_machine()
+        times = fired(machine, [("a", 10.0), ("a", 20.0)])
+        assert times == [15.0, 25.0]
+
+    def test_splitter_duplicates(self):
+        machine = S()._class_machine()
+        outs = machine.trace([("a", 10.0)])
+        assert sorted(outs) == [("l", 21.0), ("r", 21.0)]
+
+    def test_merger_merges(self):
+        machine = M()._class_machine()
+        times = fired(machine, [("a", 10.0), ("b", 20.0)])
+        assert times == [10.0 + M.firing_delay, 20.0 + M.firing_delay]
+
+    def test_c_waits_for_both(self):
+        machine = C()._class_machine()
+        assert fired(machine, [("a", 10.0)]) == []
+        assert fired(machine, [("a", 10.0), ("b", 40.0)]) == [40.0 + 12.0]
+        assert fired(machine, [("b", 10.0), ("a", 40.0)]) == [40.0 + 12.0]
+
+    def test_c_ignores_duplicates(self):
+        machine = C()._class_machine()
+        times = fired(machine, [("a", 10.0), ("a", 20.0), ("b", 40.0)])
+        assert times == [52.0]
+
+    def test_inv_c_fires_on_first(self):
+        machine = InvC()._class_machine()
+        assert fired(machine, [("a", 10.0), ("b", 40.0)]) == [10.0 + 14.0]
+        assert fired(machine, [("b", 10.0), ("a", 40.0)]) == [10.0 + 14.0]
+
+    def test_inv_c_rearms_after_pair(self):
+        machine = InvC()._class_machine()
+        times = fired(
+            machine,
+            [("a", 10.0), ("b", 40.0), ("b", 100.0), ("a", 130.0)],
+        )
+        assert times == [24.0, 114.0]
+
+
+class TestJoin:
+    CASES = [
+        ("a_t", "b_t", "tt"),
+        ("a_t", "b_f", "tf"),
+        ("a_f", "b_t", "ft"),
+        ("a_f", "b_f", "ff"),
+    ]
+
+    @pytest.mark.parametrize("a_rail,b_rail,expected", CASES)
+    def test_pairings(self, a_rail, b_rail, expected):
+        machine = JOIN()._class_machine()
+        outs = machine.trace([(a_rail, 10.0), (b_rail, 30.0)])
+        assert outs == [(expected, 30.0 + JOIN.firing_delay)]
+
+    @pytest.mark.parametrize("a_rail,b_rail,expected", CASES)
+    def test_pairings_b_first(self, a_rail, b_rail, expected):
+        machine = JOIN()._class_machine()
+        outs = machine.trace([(b_rail, 10.0), (a_rail, 30.0)])
+        assert outs == [(expected, 30.0 + JOIN.firing_delay)]
+
+    def test_sequence_of_pairs(self):
+        machine = JOIN()._class_machine()
+        outs = machine.trace([
+            ("a_t", 10.0), ("b_f", 30.0), ("b_t", 60.0), ("a_f", 90.0),
+        ])
+        assert [o for o, _ in outs] == ["tf", "ft"]
+
+
+class TestTable3Shapes:
+    """Pin the PyLSE columns of Table 3 for every basic cell."""
+
+    EXPECTED = {
+        "C": (6, 3, 6), "C_INV": (6, 3, 6), "M": (2, 1, 2), "S": (1, 1, 1),
+        "JTL": (1, 1, 1), "AND": (11, 4, 12), "OR": (4, 2, 6),
+        "NAND": (12, 4, 12), "NOR": (6, 2, 6), "XOR": (9, 3, 9),
+        "XNOR": (12, 4, 12), "INV": (4, 2, 4), "DRO": (4, 2, 4),
+        "DRO_SR": (6, 2, 6), "DRO_C": (4, 2, 4), "JOIN": (20, 5, 20),
+    }
+
+    @pytest.mark.parametrize("cell_cls", BASIC_CELLS, ids=lambda c: c.name)
+    def test_counts(self, cell_cls):
+        size, states, transitions = self.EXPECTED[cell_cls.name]
+        machine = cell_cls()._class_machine()
+        assert cell_cls.dsl_size() == size
+        assert len(machine.states) == states
+        assert len(machine.transitions) == transitions
+
+    @pytest.mark.parametrize("cell_cls", BASIC_CELLS, ids=lambda c: c.name)
+    def test_every_cell_has_positive_jjs(self, cell_cls):
+        assert cell_cls.jjs > 0

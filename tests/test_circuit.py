@@ -1,0 +1,206 @@
+"""Tests for wires, nodes, and the circuit workspace (Section 4.2 checks)."""
+
+import pytest
+
+from repro.core.circuit import (
+    Circuit,
+    fresh_circuit,
+    reset_working_circuit,
+    working_circuit,
+)
+from repro.core.element import InGen
+from repro.core.errors import FanoutError, PylseError, WireError
+from repro.core.helpers import inp, inp_at, inspect
+from repro.core.wire import Wire
+from repro.sfq import and_s, jtl, m, s, split
+
+
+class TestWire:
+    def test_auto_names_are_sequential(self):
+        assert Wire().name == "_0"
+        assert Wire().name == "_1"
+
+    def test_user_name(self):
+        w = Wire("A")
+        assert w.name == "A"
+        assert w.is_user_named
+
+    def test_observe_sets_alias(self):
+        w = Wire()
+        w.observe("Q")
+        assert w.observed_as == "Q"
+        assert w.is_user_named
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WireError):
+            Wire("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(WireError):
+            Wire(42)  # type: ignore[arg-type]
+
+    def test_bad_observe_rejected(self):
+        with pytest.raises(WireError):
+            Wire().observe("")
+
+
+class TestFanout:
+    def test_wire_reuse_raises_fanout_error(self):
+        a = inp_at(10.0, name="A")
+        jtl(a)
+        with pytest.raises(FanoutError, match="splitter"):
+            jtl(a)
+
+    def test_split_allows_reuse(self):
+        a = inp_at(10.0, name="A")
+        a0, a1 = s(a)
+        jtl(a0)
+        jtl(a1)  # no error
+
+    def test_undriven_wire_rejected_at_validation(self):
+        # Consuming an undriven wire is allowed at add time (feedback loops
+        # are built forward), but validation must reject it.
+        jtl(Wire("floating"))
+        with pytest.raises(WireError, match="no driver"):
+            working_circuit().validate()
+
+
+class TestSplit:
+    def test_split_two(self):
+        a = inp_at(5.0, name="A")
+        outs = split(a)
+        assert len(outs) == 2
+        assert len(working_circuit().cells()) == 1
+
+    def test_split_n_creates_n_minus_1_splitters(self):
+        a = inp_at(5.0, name="A")
+        outs = split(a, n=5)
+        assert len(outs) == 5
+        assert len(working_circuit().cells()) == 4
+
+    def test_split_names(self):
+        a = inp_at(5.0, name="A")
+        outs = split(a, n=3, names="x y z")
+        assert [w.observed_as for w in outs] == ["x", "y", "z"]
+
+    def test_split_n_below_two_rejected(self):
+        a = inp_at(5.0, name="A")
+        with pytest.raises(PylseError):
+            split(a, n=1)
+
+    def test_split_wrong_name_count_rejected(self):
+        a = inp_at(5.0, name="A")
+        with pytest.raises(PylseError, match="name"):
+            split(a, n=3, names=["only", "two"])
+
+
+class TestCircuit:
+    def test_nodes_named_per_type(self):
+        a = inp_at(5.0, name="A")
+        l, r = s(a)
+        jtl(l)
+        jtl(r)
+        names = [n.name for n in working_circuit().cells()]
+        assert names == ["s0", "jtl0", "jtl1"]
+
+    def test_output_wires_are_unconsumed(self):
+        a = inp_at(5.0, name="A")
+        q = jtl(a, name="Q")
+        outs = working_circuit().output_wires()
+        assert outs == [q]
+
+    def test_validate_empty_circuit(self):
+        with pytest.raises(PylseError, match="empty"):
+            Circuit().validate()
+
+    def test_validate_duplicate_observed_names(self):
+        inp_at(5.0, name="X")
+        other = inp_at(6.0)
+        inspect(other, "X")
+        with pytest.raises(WireError, match="same name"):
+            working_circuit().validate()
+
+    def test_find_wire_by_name_and_alias(self):
+        a = inp_at(5.0, name="A")
+        q = jtl(a)
+        inspect(q, "Q")
+        circuit = working_circuit()
+        assert circuit.find_wire("A") is a
+        assert circuit.find_wire("Q") is q
+        with pytest.raises(WireError):
+            circuit.find_wire("nope")
+
+    def test_fresh_circuit_isolates(self):
+        inp_at(5.0, name="A")
+        before = len(working_circuit())
+        with fresh_circuit() as inner:
+            w = inp_at(1.0, name="B")
+            jtl(w)
+            assert len(inner) == 2
+        assert len(working_circuit()) == before
+
+    def test_reset_working_circuit_restarts_names(self):
+        Wire()
+        reset_working_circuit()
+        assert Wire().name == "_0"
+
+    def test_cells_excludes_input_generators(self):
+        a = inp_at(5.0, name="A")
+        jtl(a)
+        circuit = working_circuit()
+        assert len(circuit.cells()) == 1
+        assert len(circuit.input_nodes()) == 1
+        assert isinstance(circuit.input_nodes()[0].element, InGen)
+
+
+class TestHelpers:
+    def test_inp_at_creates_sorted_times(self):
+        a = inp_at(30.0, 10.0, 20.0, name="A")
+        gen = working_circuit().input_nodes()[0].element
+        assert gen.times == (10.0, 20.0, 30.0)
+        assert a.name == "A"
+
+    def test_inp_periodic(self):
+        inp(start=50, period=50, n=3, name="CLK")
+        gen = working_circuit().input_nodes()[0].element
+        assert gen.times == (50.0, 100.0, 150.0)
+
+    def test_inp_zero_n_rejected(self):
+        with pytest.raises(PylseError):
+            inp(n=0)
+
+    def test_inp_multi_needs_period(self):
+        with pytest.raises(PylseError, match="period"):
+            inp(start=0, period=0, n=2)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(PylseError):
+            inp_at(-5.0)
+
+    def test_inp_at_empty_is_logical_zero(self):
+        a = inp_at(name="A")
+        gen = working_circuit().input_nodes()[0].element
+        assert gen.times == ()
+        assert a.name == "A"
+
+    def test_inspect_requires_wire(self):
+        with pytest.raises(PylseError):
+            inspect("not-a-wire", "X")  # type: ignore[arg-type]
+
+
+class TestWrapperArgs:
+    def test_name_on_multi_output_cell_rejected(self):
+        a = inp_at(5.0, name="A")
+        with pytest.raises(PylseError):
+            s(a, name="bad")  # type: ignore[call-arg]
+
+    def test_names_and_name_not_both(self):
+        a = inp_at(5.0, name="A")
+        b = inp_at(6.0, name="B")
+        clk = inp_at(7.0, name="C")
+        with pytest.raises(PylseError):
+            and_s(a, b, clk, name="x", names=["y"])  # type: ignore[call-arg]
+
+    def test_non_wire_input_rejected(self):
+        with pytest.raises(PylseError, match="Wire"):
+            jtl("zap")  # type: ignore[arg-type]

@@ -1,0 +1,106 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "JTL" in out and "Min-Max" in out
+
+    def test_datasheet(self, capsys):
+        assert main(["datasheet", "AND"]) == 0
+        out = capsys.readouterr().out
+        assert "Cell: AND" in out and "q@9.2" in out
+
+    def test_datasheet_unknown_cell(self, capsys):
+        assert main(["datasheet", "NOPE"]) == 2
+        assert "Unknown cell" in capsys.readouterr().err
+
+    def test_dot(self, capsys):
+        assert main(["dot", "DRO"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "DRO"')
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "JTL"]) == 0
+        out = capsys.readouterr().out
+        assert "pulses" in out
+
+    def test_simulate_with_vcd(self, tmp_path, capsys):
+        vcd = tmp_path / "out.vcd"
+        assert main(["simulate", "Min-Max", "--vcd", str(vcd)]) == 0
+        assert vcd.exists()
+        assert "$timescale" in vcd.read_text()
+
+    def test_verify_satisfied(self, capsys):
+        assert main(["verify", "JTL"]) == 0
+        assert "SATISFIED" in capsys.readouterr().out
+
+    def test_verify_budget_exhaustion_nonzero_exit(self, capsys):
+        code = main(["verify", "Bitonic Sort 4", "--max-states", "50",
+                     "--time-limit", "5"])
+        assert code == 1
+        assert "INCOMPLETE" in capsys.readouterr().out
+
+    def test_energy(self, capsys):
+        assert main(["energy", "Min-Max"]) == 0
+        out = capsys.readouterr().out
+        assert "total:" in out and "aJ" in out
+
+    def test_unknown_design(self, capsys):
+        assert main(["simulate", "NOPE"]) == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCliExtensions:
+    def test_lint_clean_design(self, capsys):
+        assert main(["lint", "Min-Max"]) == 0
+        out = capsys.readouterr().out
+        assert "path balance: clean" in out
+
+    def test_lint_reports_imbalance(self, capsys):
+        # The race tree's leaf C elements see deliberately skewed inputs.
+        assert main(["lint", "Race Tree"]) == 1
+        out = capsys.readouterr().out
+        assert "path-balance findings" in out
+
+    def test_lint_reports_clock_skew(self, capsys):
+        main(["lint", "Adder (Sync)"])
+        out = capsys.readouterr().out
+        assert "clock 'clk' skew" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "JTL"]) == 0
+        out = capsys.readouterr().out
+        assert "jtl0(JTL)" in out
+        assert "timing slack report" in out
+
+    def test_export_stdout(self, capsys):
+        assert main(["export", "JTL"]) == 0
+        out = capsys.readouterr().out
+        assert '"format": "repro-circuit-v1"' in out
+
+    def test_export_to_file(self, tmp_path, capsys):
+        target = tmp_path / "circuit.json"
+        assert main(["export", "Min-Max", "-o", str(target)]) == 0
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["format"] == "repro-circuit-v1"
+
+    def test_export_roundtrips_via_library(self, tmp_path, capsys):
+        from repro.core.serialize import circuit_from_json
+        from repro.core.simulation import Simulation
+
+        target = tmp_path / "mm.json"
+        main(["export", "Min-Max", "-o", str(target)])
+        rebuilt = circuit_from_json(target.read_text())
+        events = Simulation(rebuilt).simulate()
+        assert events["low"] == [89.0, 209.0, 329.0]

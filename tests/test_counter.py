@@ -1,0 +1,64 @@
+"""Tests for the T1-based binary counter design."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import fresh_circuit
+from repro.core.errors import PylseError
+from repro.core.helpers import inp, inp_at
+from repro.core.simulation import Simulation
+from repro.designs.counter import binary_counter, divider_chain
+
+
+def read_count(n_pulses: int, bits: int, period: float = 25.0) -> int:
+    with fresh_circuit() as circuit:
+        times = [10.0 + period * k for k in range(n_pulses)]
+        a = inp_at(*times, name="a")
+        strobe_at = 10.0 + period * n_pulses + 100.0
+        clk = inp_at(strobe_at, name="clk")
+        for k, wire in enumerate(binary_counter(a, clk, bits=bits)):
+            wire.observe(f"bit{k}")
+    events = Simulation(circuit).simulate()
+    return sum((1 << k) * len(events[f"bit{k}"]) for k in range(bits))
+
+
+class TestDividerChain:
+    def test_divide_by_powers_of_two(self):
+        with fresh_circuit() as circuit:
+            a = inp(start=10, period=20, n=16, name="a")
+            for k, wire in enumerate(divider_chain(a, 3)):
+                wire.observe(f"d{k}")
+        events = Simulation(circuit).simulate()
+        assert [len(events[f"d{k}"]) for k in range(3)] == [8, 4, 2]
+
+    def test_needs_a_stage(self):
+        with fresh_circuit():
+            a = inp_at(10.0, name="a")
+            with pytest.raises(PylseError):
+                divider_chain(a, 0)
+
+
+class TestBinaryCounter:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_three_bit_counts(self, n):
+        assert read_count(n, bits=3) == n
+
+    def test_wraps_modulo_2_pow_bits(self):
+        assert read_count(9, bits=3) == 1      # 9 mod 8
+
+    def test_single_bit(self):
+        assert read_count(1, bits=1) == 1
+        assert read_count(2, bits=1) == 0
+
+    def test_zero_bits_rejected(self):
+        with fresh_circuit():
+            a = inp_at(10.0, name="a")
+            clk = inp_at(100.0, name="clk")
+            with pytest.raises(PylseError):
+                binary_counter(a, clk, bits=0)
+
+    @given(n=st.integers(min_value=0, max_value=15))
+    @settings(max_examples=16, deadline=None)
+    def test_four_bit_counts_property(self, n):
+        assert read_count(n, bits=4) == n

@@ -1,0 +1,121 @@
+"""Targeted tests for behaviors not covered elsewhere."""
+
+import pytest
+
+from repro.core.circuit import fresh_circuit, working_circuit
+from repro.core.helpers import inp, inp_at
+from repro.core.simulation import Simulation
+from repro.mc import verify_design
+from repro.sfq import and_s, jtl
+from repro.ta import channel_name, translate_circuit
+from repro.core.wire import Wire
+
+
+class TestVerifyDesignOptions:
+    def test_query_subset_query2_only(self):
+        a = inp_at(100.0, name="A")
+        jtl(a, name="Q")
+        report = verify_design(queries=("query2",), time_limit=30)
+        assert report.ok
+        # query1 object is still produced for inspection even if unchecked.
+        assert report.query1.properties
+
+    def test_liveness_query_included(self):
+        a = inp_at(100.0, name="A")
+        jtl(a, name="Q")
+        report = verify_design(queries=("query1", "liveness"), time_limit=30)
+        assert report.ok
+
+    def test_deadlock_query_trips_on_finite_schedule(self):
+        a = inp_at(100.0, name="A")
+        jtl(a, name="Q")
+        report = verify_design(queries=("deadlock",), time_limit=30)
+        assert not report.ok
+        assert report.result.violations_for("no_deadlock")
+
+    def test_until_bounds_simulation_and_schedule(self):
+        a = inp_at(100.0, 5000.0, name="A")
+        jtl(a, name="Q")
+        report = verify_design(until=1000.0, time_limit=30)
+        assert report.ok
+        assert report.events["Q"] == [105.0]
+
+
+class TestChannelNames:
+    def test_plain_names_pass_through(self):
+        assert channel_name(Wire("A")) == "A"
+
+    def test_auto_names_sanitized(self):
+        wire = Wire()
+        assert channel_name(wire).isidentifier()
+
+    def test_weird_characters_replaced(self):
+        wire = Wire("my wire!")
+        assert channel_name(wire) == "my_wire_"
+
+    def test_leading_digit_prefixed(self):
+        wire = Wire("0out")
+        assert channel_name(wire) == "w0out"
+
+
+class TestPlotFallback:
+    def test_matplotlib_absence_is_silent(self, capsys):
+        """plot() must not fail when matplotlib is unavailable."""
+        a = inp_at(10.0, name="A")
+        jtl(a, name="Q")
+        sim = Simulation()
+        sim.simulate()
+        rendering = sim.plot()
+        assert "A" in rendering    # ASCII path always works
+
+
+class TestTuneHarnessExtras:
+    def test_margin_sweep_shape(self):
+        from repro.analog import margin_sweep, scale_all_biases
+
+        outcome = margin_sweep(scale_all_biases, factors=(1.0,), dt=0.2)
+        assert outcome == {1.0: True}
+
+    def test_margin_sweep_detects_broken_bias(self):
+        from repro.analog import margin_sweep, scale_all_biases
+
+        outcome = margin_sweep(scale_all_biases, factors=(0.1,), dt=0.2)
+        assert outcome[0.1] is False   # 10% bias: nothing switches
+
+
+class TestTranslationEdgeCases:
+    def test_distinct_firing_delays_get_distinct_families(self):
+        """Two JTLs with different delays: separate fire channels."""
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, name="A")
+            q = jtl(a, firing_delay=3.0)
+            jtl(q, firing_delay=7.0, name="Q")
+        translation = translate_circuit(circuit)
+        fires = [ch for ch in translation.network.internal_channels]
+        assert len(fires) == 2
+        assert len(set(fires)) == 2
+
+    def test_stats_exclude_environment(self):
+        a = inp_at(30.0, name="A")
+        b = inp_at(35.0, name="B")
+        clk = inp_at(50.0, name="CLK")
+        and_s(a, b, clk, name="Q")
+        translation = translate_circuit(working_circuit())
+        # 5 cell+firing TAs, but 9 total with 3 inputs and 1 sink.
+        assert translation.cell_stats()["ta"] == 5
+        assert translation.network.n_automata == 9
+
+
+class TestRenderEdgeCases:
+    def test_waveform_caps_listed_times(self):
+        from repro.core.simulation import render_waveforms
+
+        text = render_waveforms({"A": [float(k) for k in range(20)]})
+        assert "..." in text
+
+    def test_html_round_step(self):
+        from repro.core.htmlwave import _round_step
+
+        assert _round_step(0.0) == 1.0
+        assert _round_step(3.0) == 5.0
+        assert _round_step(70.0) == 100.0

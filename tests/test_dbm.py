@@ -1,0 +1,219 @@
+"""Unit and property tests for Difference Bound Matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mc.dbm import (
+    DBM,
+    INF,
+    LE_ZERO,
+    add_bounds,
+    bound,
+    bound_is_strict,
+    bound_value,
+    zero_zone,
+)
+
+
+class TestBoundEncoding:
+    def test_roundtrip(self):
+        assert bound_value(bound(5, False)) == 5
+        assert bound_value(bound(5, True)) == 5
+        assert bound_is_strict(bound(5, True))
+        assert not bound_is_strict(bound(5, False))
+
+    def test_negative_values(self):
+        assert bound_value(bound(-3, False)) == -3
+        assert bound_is_strict(bound(-3, True))
+
+    def test_ordering_strict_below_nonstrict(self):
+        assert bound(5, True) < bound(5, False)
+        assert bound(4, False) < bound(5, True)
+
+    def test_add_bounds_combines_strictness(self):
+        a = np.array([bound(2, False)])
+        b = np.array([bound(3, False)])
+        assert add_bounds(a, b)[0] == bound(5, False)
+        b_strict = np.array([bound(3, True)])
+        assert add_bounds(a, b_strict)[0] == bound(5, True)
+
+    def test_add_bounds_inf_absorbs(self):
+        a = np.array([INF])
+        b = np.array([bound(3, False)])
+        assert add_bounds(a, b)[0] == INF
+
+
+class TestZoneOperations:
+    def test_zero_zone_pins_all_clocks(self):
+        z = zero_zone(2)
+        assert z.clock_bounds(1) == (0, 0)
+        assert z.clock_is_pinned(2)
+        assert not z.is_empty()
+
+    def test_up_unbounds_upper(self):
+        z = zero_zone(1).up()
+        low, high = z.clock_bounds(1)
+        assert low == 0 and high is None
+
+    def test_constrain_upper_then_bounds(self):
+        z = zero_zone(1).up()
+        z.constrain_upper(1, 10, strict=False)
+        z.canonicalize()
+        assert z.clock_bounds(1) == (0, 10)
+
+    def test_contradiction_is_empty(self):
+        z = zero_zone(1).up()
+        z.constrain_lower(1, 10, strict=False)
+        z.constrain_upper(1, 5, strict=False)
+        z.canonicalize()
+        assert z.is_empty()
+
+    def test_reset_after_delay(self):
+        z = zero_zone(2).up()
+        z.constrain_lower(1, 10, strict=False)
+        z.canonicalize()
+        z.reset(1)
+        assert z.clock_bounds(1) == (0, 0)
+        low2, high2 = z.clock_bounds(2)
+        assert low2 == 10 and high2 is None
+
+    def test_reset_preserves_other_differences(self):
+        """After delay and reset of x1, x2 - x1 equals elapsed time."""
+        z = zero_zone(2).up()
+        z.constrain_lower(1, 7, strict=False)
+        z.constrain_upper(1, 7, strict=False)
+        z.canonicalize()
+        z.reset(1)
+        # x2 == 7, x1 == 0 -> difference pinned at 7.
+        assert z.clock_bounds(2) == (7, 7)
+
+    def test_reset_range_checked(self):
+        from repro.core.errors import PylseError
+
+        with pytest.raises(PylseError):
+            zero_zone(1).reset(2)
+
+    def test_inclusion_reflexive_and_monotone(self):
+        z = zero_zone(2)
+        assert z.includes(z)
+        widened = z.copy().up()
+        widened.canonicalize()
+        assert widened.includes(z)
+        assert not z.includes(widened)
+
+    def test_key_is_canonical_fingerprint(self):
+        a = zero_zone(2)
+        b = zero_zone(2)
+        assert a.key() == b.key()
+        b.up()
+        assert a.key() != b.key()
+
+
+class TestExtrapolation:
+    def test_extrapolation_drops_large_bounds(self):
+        z = zero_zone(1).up()
+        z.constrain_lower(1, 500, strict=False)
+        z.constrain_upper(1, 600, strict=False)
+        z.canonicalize()
+        z.extrapolate([0, 10])
+        z.canonicalize()
+        low, high = z.clock_bounds(1)
+        assert high is None           # upper bound above M dropped
+        assert low <= 10              # lower bound relaxed to around M
+
+    def test_extrapolation_keeps_small_bounds(self):
+        z = zero_zone(1).up()
+        z.constrain_upper(1, 5, strict=False)
+        z.canonicalize()
+        z.extrapolate([0, 10])
+        z.canonicalize()
+        assert z.clock_bounds(1) == (0, 5)
+
+    def test_extrapolated_zone_includes_original(self):
+        z = zero_zone(2).up()
+        z.constrain_lower(1, 300, strict=False)
+        z.constrain_upper(1, 300, strict=False)
+        z.canonicalize()
+        original = z.copy()
+        z.extrapolate([0, 50, 50])
+        z.canonicalize()
+        assert z.includes(original)
+
+
+# --------------------------------------------------------------------------
+# property-based invariants
+# --------------------------------------------------------------------------
+constraint_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),     # clock
+        st.sampled_from(["upper", "lower"]),
+        st.integers(min_value=0, max_value=30),    # value
+        st.booleans(),                             # strict
+    ),
+    max_size=6,
+)
+
+
+def build_zone(ops):
+    z = zero_zone(3).up()
+    for clock, kind, value, strict in ops:
+        if kind == "upper":
+            z.constrain_upper(clock, value, strict)
+        else:
+            z.constrain_lower(clock, value, strict)
+    z.canonicalize()
+    return z
+
+
+class TestZoneProperties:
+    @given(ops=constraint_lists)
+    @settings(max_examples=80)
+    def test_canonicalize_idempotent_on_nonempty(self, ops):
+        # (Empty zones have no unique canonical form — negative cycles keep
+        # shrinking under Floyd-Warshall — and are discarded on sight by the
+        # explorer, so idempotence is only claimed for satisfiable zones.)
+        z = build_zone(ops)
+        if z.is_empty():
+            return
+        before = z.key()
+        z.canonicalize()
+        assert z.key() == before
+
+    @given(ops=constraint_lists)
+    @settings(max_examples=80)
+    def test_nonempty_zone_includes_itself(self, ops):
+        z = build_zone(ops)
+        if not z.is_empty():
+            assert z.includes(z)
+
+    @given(ops=constraint_lists)
+    @settings(max_examples=80)
+    def test_up_is_superset(self, ops):
+        z = build_zone(ops)
+        if z.is_empty():
+            return
+        up = z.copy().up()
+        up.canonicalize()
+        assert up.includes(z)
+
+    @given(ops=constraint_lists, clock=st.integers(1, 3))
+    @settings(max_examples=80)
+    def test_reset_pins_clock_to_zero(self, ops, clock):
+        z = build_zone(ops)
+        if z.is_empty():
+            return
+        z.reset(clock)
+        assert z.clock_bounds(clock) == (0, 0)
+
+    @given(ops=constraint_lists)
+    @settings(max_examples=60)
+    def test_extrapolation_only_widens(self, ops):
+        z = build_zone(ops)
+        if z.is_empty():
+            return
+        original = z.copy()
+        z.extrapolate([0, 10, 10, 10])
+        z.canonicalize()
+        assert z.includes(original)

@@ -1,0 +1,179 @@
+"""Integration tests for the six larger designs (Table 3, Section 5)."""
+
+import pytest
+
+from repro.core.circuit import working_circuit
+from repro.core.helpers import inp, inp_at
+from repro.core.simulation import Simulation
+from repro.designs import (
+    CLOCK_PERIOD,
+    MINMAX_DELAY,
+    adder_test_times,
+    bitonic_comparators,
+    bitonic_delay,
+    bitonic_sorter,
+    expected_label,
+    full_adder,
+    min_max,
+    network_depth,
+    race_tree,
+    race_tree_inputs,
+    xsfq_full_adder,
+    xsfq_ripple_adder,
+)
+
+
+class TestMinMax:
+    def test_paper_pulse_times(self):
+        """The exact times from the paper's Query 1 formula (Section 5.3)."""
+        a = inp_at(115, 215, 315, name="A")
+        b = inp_at(64, 184, 304, name="B")
+        low, high = min_max(a, b)
+        low.observe("low")
+        high.observe("high")
+        events = Simulation().simulate()
+        assert events["low"] == [89.0, 209.0, 329.0]      # 890/2090/3290 / 10
+        assert events["high"] == [140.0, 240.0, 340.0]    # 1400/2400/3400 / 10
+
+    def test_both_paths_are_25ps(self):
+        a = inp_at(100, name="A")
+        b = inp_at(50, name="B")
+        low, high = min_max(a, b)
+        low.observe("low")
+        high.observe("high")
+        events = Simulation().simulate()
+        assert events["low"] == [50 + MINMAX_DELAY]
+        assert events["high"] == [100 + MINMAX_DELAY]
+
+    def test_uses_five_cells(self):
+        a = inp_at(100, name="A")
+        b = inp_at(50, name="B")
+        min_max(a, b)
+        assert len(working_circuit().cells()) == 5
+
+
+class TestBitonic:
+    def test_comparator_counts(self):
+        assert len(bitonic_comparators(4)) == 6
+        assert len(bitonic_comparators(8)) == 24
+
+    def test_depths(self):
+        assert network_depth(4) == 3
+        assert network_depth(8) == 6
+        assert bitonic_delay(8) == 150.0
+
+    def test_non_power_of_two_rejected(self):
+        from repro.core.errors import PylseError
+
+        with pytest.raises(PylseError):
+            bitonic_comparators(6)
+
+    def test_cell_count_matches_table3(self):
+        ins = [inp_at(10.0 * k + 5, name=f"i{k}") for k in range(8)]
+        bitonic_sorter(ins)
+        assert len(working_circuit().cells()) == 120   # 24 comparators x 5
+
+    def test_sorts_and_delays(self):
+        times = [20, 70, 10, 45, 5, 90, 33, 60]
+        ins = [inp_at(t, name=f"i{k}") for k, t in enumerate(times)]
+        bitonic_sorter(ins, output_names=[f"o{k}" for k in range(8)])
+        events = Simulation().simulate()
+        outputs = [events[f"o{k}"] for k in range(8)]
+        assert all(len(out) == 1 for out in outputs)
+        flat = [out[0] for out in outputs]
+        assert flat == sorted(t + 150.0 for t in times)
+
+    def test_four_input_variant(self):
+        times = [40, 10, 30, 20]
+        ins = [inp_at(t, name=f"i{k}") for k, t in enumerate(times)]
+        bitonic_sorter(ins, output_names=["o0", "o1", "o2", "o3"])
+        events = Simulation().simulate()
+        flat = [events[f"o{k}"][0] for k in range(4)]
+        assert flat == sorted(t + bitonic_delay(4) for t in times)
+
+
+class TestRaceTree:
+    @pytest.mark.parametrize(
+        "x1,x2", [(3.0, 4.0), (3.0, 15.0), (14.0, 2.0), (16.0, 17.0)]
+    )
+    def test_single_correct_winner(self, x1, x2):
+        times = race_tree_inputs(x1, x2)
+        wires = {k: inp_at(v, name=k) for k, v in times.items()}
+        leaves = race_tree(
+            wires["x1"], wires["t1"], wires["x2a"], wires["t2"],
+            wires["x2b"], wires["t3"],
+        )
+        for leaf, label in zip(leaves, "abcd"):
+            leaf.observe(label)
+        events = Simulation().simulate()
+        total = sum(len(events[label]) for label in "abcd")
+        assert total == 1
+        winner = next(label for label in "abcd" if events[label])
+        assert winner == expected_label(x1, x2)
+
+    def test_expected_label_boundaries(self):
+        assert expected_label(9.9, 9.9) == "a"
+        assert expected_label(10.0, 0.0) == "c"   # >= threshold goes right
+        assert expected_label(0.0, 10.0) == "b"
+
+
+class TestSyncAdder:
+    @pytest.mark.parametrize("combo", range(8))
+    def test_all_operand_combinations(self, combo):
+        a_bit, b_bit, c_bit = (combo >> 2) & 1, (combo >> 1) & 1, combo & 1
+        schedule = adder_test_times(a_bit, b_bit, c_bit)
+        a = inp_at(*schedule["a"], name="a")
+        b = inp_at(*schedule["b"], name="b")
+        cin = inp_at(*schedule["cin"], name="cin")
+        clk = inp(start=50, period=CLOCK_PERIOD, n=5, name="clk")
+        total, carry = full_adder(a, b, cin, clk)
+        total.observe("sum")
+        carry.observe("cout")
+        events = Simulation().simulate()
+        value = a_bit + b_bit + c_bit
+        assert len(events["sum"]) == (value & 1)
+        assert len(events["cout"]) == (value >> 1)
+
+
+class TestXsfqAdder:
+    def rail(self, bit, name):
+        true = inp_at(*([10.0] if bit else []), name=f"{name}_t")
+        false = inp_at(*([] if bit else [10.0]), name=f"{name}_f")
+        return (true, false)
+
+    @pytest.mark.parametrize("combo", range(8))
+    def test_full_adder_dual_rail(self, combo):
+        a_bit, b_bit, c_bit = (combo >> 2) & 1, (combo >> 1) & 1, combo & 1
+        total, carry = xsfq_full_adder(
+            self.rail(a_bit, "a"), self.rail(b_bit, "b"), self.rail(c_bit, "c")
+        )
+        total[0].observe("st")
+        total[1].observe("sf")
+        carry[0].observe("ct")
+        carry[1].observe("cf")
+        events = Simulation().simulate()
+        value = a_bit + b_bit + c_bit
+        assert (len(events["st"]), len(events["sf"])) == (value & 1, 1 - (value & 1))
+        assert (len(events["ct"]), len(events["cf"])) == (value >> 1, 1 - (value >> 1))
+
+    @pytest.mark.parametrize("a_val,b_val", [(0, 0), (1, 2), (3, 3), (2, 1)])
+    def test_two_bit_ripple(self, a_val, b_val):
+        a_bits = [self.rail((a_val >> k) & 1, f"a{k}") for k in range(2)]
+        b_bits = [self.rail((b_val >> k) & 1, f"b{k}") for k in range(2)]
+        cin = self.rail(0, "cin")
+        sums, carry = xsfq_ripple_adder(a_bits, b_bits, cin)
+        for k, (true, false) in enumerate(sums):
+            true.observe(f"s{k}_t")
+            false.observe(f"s{k}_f")
+        carry[0].observe("cout_t")
+        carry[1].observe("cout_f")
+        events = Simulation().simulate()
+        expected = a_val + b_val
+        got = sum(
+            (1 << k) * len(events[f"s{k}_t"]) for k in range(2)
+        ) + 4 * len(events["cout_t"])
+        assert got == expected
+        # Dual-rail invariant: exactly one rail per signal fired.
+        for k in range(2):
+            assert len(events[f"s{k}_t"]) + len(events[f"s{k}_f"]) == 1
+        assert len(events["cout_t"]) + len(events["cout_f"]) == 1

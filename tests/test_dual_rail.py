@@ -1,0 +1,143 @@
+"""Tests for the dual-rail gate library."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import fresh_circuit
+from repro.core.errors import PylseError
+from repro.core.helpers import inp_at
+from repro.core.simulation import Simulation
+from repro.designs.dual_rail import (
+    dr_and,
+    dr_equals,
+    dr_fanout,
+    dr_majority,
+    dr_mux,
+    dr_not,
+    dr_or,
+    dr_xor,
+)
+
+
+def rail(bit, name, at=10.0):
+    true = inp_at(*([at] if bit else []), name=f"{name}_t")
+    false = inp_at(*([] if bit else [at]), name=f"{name}_f")
+    return (true, false)
+
+
+def run_gate(gate, bits, names="abc"):
+    with fresh_circuit() as circuit:
+        rails = [rail(bit, names[k]) for k, bit in enumerate(bits)]
+        out = gate(*rails)
+        out[0].observe("out_t")
+        out[1].observe("out_f")
+    events = Simulation(circuit).simulate()
+    t, f = len(events["out_t"]), len(events["out_f"])
+    assert t + f == 1, "dual-rail completion: exactly one rail fires"
+    return t == 1
+
+
+class TestGates:
+    @pytest.mark.parametrize("a", [0, 1])
+    def test_not(self, a):
+        assert run_gate(dr_not, [a]) == (not a)
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_and(self, a, b):
+        assert run_gate(dr_and, [a, b]) == bool(a and b)
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_or(self, a, b):
+        assert run_gate(dr_or, [a, b]) == bool(a or b)
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_xor(self, a, b):
+        assert run_gate(dr_xor, [a, b]) == bool(a != b)
+
+    @pytest.mark.parametrize("combo", range(8))
+    def test_majority(self, combo):
+        bits = [(combo >> k) & 1 for k in range(3)]
+        assert run_gate(dr_majority, bits) == (sum(bits) >= 2)
+
+    @pytest.mark.parametrize("combo", range(8))
+    def test_mux(self, combo):
+        sel, a, b = [(combo >> k) & 1 for k in range(3)]
+        expected = a if sel else b
+        assert run_gate(dr_mux, [sel, a, b], names="sab") == bool(expected)
+
+
+class TestFanout:
+    def test_copies_preserve_value(self):
+        with fresh_circuit() as circuit:
+            copies = dr_fanout(rail(1, "a"), 3)
+            for k, (t, f) in enumerate(copies):
+                t.observe(f"c{k}_t")
+                f.observe(f"c{k}_f")
+        events = Simulation(circuit).simulate()
+        for k in range(3):
+            assert len(events[f"c{k}_t"]) == 1
+            assert len(events[f"c{k}_f"]) == 0
+
+    def test_needs_two(self):
+        with fresh_circuit():
+            with pytest.raises(PylseError):
+                dr_fanout(rail(1, "a"), 1)
+
+
+class TestEquality:
+    @given(
+        a=st.integers(0, 7),
+        b=st.integers(0, 7),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_three_bit_equality(self, a, b):
+        with fresh_circuit() as circuit:
+            a_bits = [rail((a >> k) & 1, f"a{k}") for k in range(3)]
+            b_bits = [rail((b >> k) & 1, f"b{k}") for k in range(3)]
+            out = dr_equals(a_bits, b_bits)
+            out[0].observe("eq_t")
+            out[1].observe("eq_f")
+        events = Simulation(circuit).simulate()
+        assert (len(events["eq_t"]) == 1) == (a == b)
+        assert len(events["eq_t"]) + len(events["eq_f"]) == 1
+
+    def test_mismatched_widths_rejected(self):
+        with fresh_circuit():
+            with pytest.raises(PylseError):
+                dr_equals([rail(1, "a")], [])
+
+
+class TestLoopGuard:
+    def test_runaway_loop_raises(self):
+        """The max_pulses guard catches un-horizoned feedback loops."""
+        from repro.core.circuit import working_circuit
+        from repro.core.errors import SimulationError
+        from repro.core.wire import Wire
+        from repro.sfq import M, S
+
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, name="A")
+            loop, merged = Wire("loop"), Wire("merged")
+            working_circuit().add_node(M(), [a, loop], [merged])
+            out = Wire("OUT")
+            working_circuit().add_node(S(), [merged], [out, loop])
+        with pytest.raises(SimulationError, match="feedback loop"):
+            Simulation(circuit).simulate(max_pulses=500)
+
+    def test_guard_disabled_with_until(self):
+        from repro.core.circuit import working_circuit
+        from repro.core.wire import Wire
+        from repro.sfq import M, S
+
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, name="A")
+            loop, merged = Wire("loop"), Wire("merged")
+            working_circuit().add_node(M(), [a, loop], [merged])
+            out = Wire("OUT")
+            working_circuit().add_node(S(), [merged], [out, loop])
+        events = Simulation(circuit).simulate(until=200.0)
+        assert events["OUT"]

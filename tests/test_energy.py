@@ -1,0 +1,128 @@
+"""Tests for switching-activity tracking and energy estimation."""
+
+import pytest
+
+from repro.core.circuit import fresh_circuit
+from repro.core.energy import E_JJ, energy_report
+from repro.core.errors import PylseError
+from repro.core.helpers import inp, inp_at
+from repro.core.simulation import Simulation
+from repro.designs import min_max
+from repro.sfq import JTL, and_s, jtl, s
+
+
+class TestActivityTracking:
+    def test_counts_in_and_out(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, 30.0, name="A")
+            jtl(a, name="Q")
+        sim = Simulation(circuit)
+        sim.simulate()
+        assert sim.activity["jtl0"] == [2, 2]
+
+    def test_splitter_emits_two_per_input(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, name="A")
+            s(a)
+        sim = Simulation(circuit)
+        sim.simulate()
+        assert sim.activity["s0"] == [1, 2]
+
+    def test_and_consumes_all_clocks(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(30.0, name="A")
+            b = inp_at(35.0, name="B")
+            clk = inp(start=50, period=50, n=3, name="CLK")
+            and_s(a, b, clk, name="Q")
+        sim = Simulation(circuit)
+        sim.simulate()
+        assert sim.activity["and0"] == [5, 1]   # a, b, 3 clks in; 1 q out
+
+
+class TestEnergyReport:
+    def test_requires_simulation(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, name="A")
+            jtl(a, name="Q")
+        with pytest.raises(PylseError, match="simulate"):
+            energy_report(Simulation(circuit))
+
+    def test_jtl_energy_scales_with_pulses(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, 30.0, 50.0, name="A")
+            jtl(a, name="Q")
+        sim = Simulation(circuit)
+        sim.simulate()
+        report = energy_report(sim)
+        assert report.total_joules == pytest.approx(3 * JTL.jjs * E_JJ)
+
+    def test_sub_attojoule_per_switch(self):
+        """The paper's motivation: sub-attojoule switching (E_jj < 1 aJ)."""
+        assert E_JJ < 1e-18
+
+    def test_min_max_breakdown(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(115.0, name="A")
+            b = inp_at(64.0, name="B")
+            low, high = min_max(a, b)
+            low.observe("low")
+            high.observe("high")
+        sim = Simulation(circuit)
+        sim.simulate()
+        report = energy_report(sim)
+        per_type = report.by_cell_type()
+        assert set(per_type) == {"S", "C", "C_INV", "JTL"}
+        assert report.total_attojoules > 0
+        assert "total:" in report.render()
+
+    def test_holes_count_zero(self):
+        from repro.core.functional import hole
+
+        @hole(delay=1.0, inputs=["a"], outputs=["q"])
+        def passthrough(a, time):
+            return a
+
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, name="A")
+            q = passthrough(a)
+            q.observe("Q")
+        sim = Simulation(circuit)
+        sim.simulate()
+        report = energy_report(sim)
+        assert report.total_joules == 0.0
+
+
+class TestDatasheets:
+    def test_datasheet_contents(self):
+        from repro.sfq import AND
+        from repro.sfq.datasheet import datasheet
+
+        text = datasheet(AND)
+        assert "Cell: AND" in text
+        assert "JJs: 11" in text
+        assert "q@9.2" in text
+        assert "*>=2.8" in text
+
+    def test_dot_export_valid_shape(self):
+        from repro.sfq import DRO
+        from repro.sfq.datasheet import machine_to_dot
+
+        dot = machine_to_dot(DRO()._class_machine())
+        assert dot.startswith('digraph "DRO"')
+        assert dot.rstrip().endswith("}")
+        assert '"idle" -> "a_arr"' in dot
+        assert dot.count("->") == 4 + 1   # transitions + start marker
+
+    def test_transition_table_rows(self):
+        from repro.sfq import JOIN
+        from repro.sfq.datasheet import transition_table
+
+        table = transition_table(JOIN()._class_machine())
+        assert len(table.splitlines()) == 20 + 2   # rows + header + rule
+
+    def test_all_cells_have_datasheets(self):
+        from repro.sfq import BASIC_CELLS, EXTENSION_CELLS
+        from repro.sfq.datasheet import datasheet
+
+        for cell in BASIC_CELLS + EXTENSION_CELLS:
+            assert f"Cell: {cell.name}" in datasheet(cell)

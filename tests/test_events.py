@@ -1,0 +1,95 @@
+"""Tests for the pulse heap (getSimPulses semantics)."""
+
+from repro.core.element import InGen
+from repro.core.events import Pulse, PulseHeap
+from repro.core.node import Node
+from repro.core.wire import Wire
+from repro.sfq import C, JTL
+
+
+def make_node(element=None):
+    element = element or C()
+    ins = [Wire() for _ in element.inputs]
+    outs = [Wire() for _ in element.outputs]
+    return Node(element, ins, outs)
+
+
+class TestPulseHeap:
+    def test_orders_by_time(self):
+        node = make_node()
+        heap = PulseHeap()
+        heap.push(Pulse(20.0, node, "a"))
+        heap.push(Pulse(10.0, node, "b"))
+        popped_node, ports, time = heap.pop_simultaneous()
+        assert time == 10.0
+        assert ports == ["b"]
+
+    def test_groups_simultaneous_same_node(self):
+        node = make_node()
+        heap = PulseHeap()
+        heap.push(Pulse(10.0, node, "a"))
+        heap.push(Pulse(10.0, node, "b"))
+        _, ports, time = heap.pop_simultaneous()
+        assert sorted(ports) == ["a", "b"]
+        assert len(heap) == 0
+
+    def test_does_not_group_across_nodes(self):
+        node1, node2 = make_node(), make_node()
+        heap = PulseHeap()
+        heap.push(Pulse(10.0, node2, "a"))
+        heap.push(Pulse(10.0, node1, "a"))
+        first, _, _ = heap.pop_simultaneous()
+        second, _, _ = heap.pop_simultaneous()
+        assert first is not second
+        # Deterministic tie-break: lower node id first.
+        assert first.node_id < second.node_id
+
+    def test_duplicate_port_pulses_collapse(self):
+        node = make_node()
+        heap = PulseHeap()
+        heap.push(Pulse(10.0, node, "a"))
+        heap.push(Pulse(10.0, node, "a"))
+        _, ports, _ = heap.pop_simultaneous()
+        assert ports == ["a"]
+        assert not heap
+
+    def test_pop_empty_raises(self):
+        heap = PulseHeap()
+        try:
+            heap.pop_simultaneous()
+        except IndexError:
+            return
+        raise AssertionError("expected IndexError")
+
+    def test_len_and_bool(self):
+        heap = PulseHeap()
+        assert not heap and len(heap) == 0
+        heap.push(Pulse(1.0, make_node(), "a"))
+        assert heap and len(heap) == 1
+
+    def test_peek_time(self):
+        heap = PulseHeap()
+        assert heap.peek_time() is None
+        heap.push(Pulse(5.0, make_node(), "a"))
+        assert heap.peek_time() == 5.0
+
+
+class TestInGen:
+    def test_times_sorted(self):
+        assert InGen([3.0, 1.0, 2.0]).times == (1.0, 2.0, 3.0)
+
+    def test_rejects_negative(self):
+        import pytest
+
+        from repro.core.errors import PylseError
+
+        with pytest.raises(PylseError):
+            InGen([-1.0])
+
+    def test_rejects_inputs(self):
+        import pytest
+
+        from repro.core.errors import PylseError
+
+        with pytest.raises(PylseError):
+            InGen([1.0]).handle_inputs(["x"], 0.0)

@@ -1,0 +1,63 @@
+"""Tests for the energy and variability experiment harnesses."""
+
+from repro.exp import energy, variability
+from repro.exp.registry import registry
+
+
+class TestEnergyExperiment:
+    def entries(self, *names):
+        return [e for e in registry() if e.name in names]
+
+    def test_rows_for_selected_designs(self):
+        rows = energy.run(self.entries("JTL", "Min-Max"))
+        by_name = {r.name: r for r in rows}
+        assert by_name["JTL"].jjs == 2
+        assert by_name["Min-Max"].cells == 5
+        assert by_name["Min-Max"].jjs == 19
+
+    def test_energy_scales_with_activity(self):
+        rows = energy.run(self.entries("JTL", "Bitonic Sort 4"))
+        by_name = {r.name: r for r in rows}
+        assert by_name["Bitonic Sort 4"].attojoules > by_name["JTL"].attojoules
+
+    def test_render(self):
+        text = energy.render(energy.run(self.entries("JTL")))
+        assert "Energy (aJ)" in text
+        assert "JTL" in text
+
+
+class TestVariabilityExperiment:
+    def test_zero_sigma_always_ok(self):
+        rows = variability.run(sigmas=(0.0,), seeds=(0, 1, 2))
+        assert rows[0].ok == rows[0].total == 3
+        assert rows[0].mis_sorted == rows[0].violations == 0
+
+    def test_large_sigma_degrades(self):
+        rows = variability.run(sigmas=(0.0, 6.0), seeds=tuple(range(6)))
+        assert rows[1].ok < rows[0].ok
+
+    def test_render(self):
+        text = variability.render(
+            variability.run(sigmas=(0.0,), seeds=(0,))
+        )
+        assert "sigma" in text and "0.00" in text
+
+
+class TestAgreementExperiment:
+    def test_cells_agree(self):
+        from repro.exp import agreement
+        from repro.exp.registry import registry
+
+        entries = [e for e in registry() if e.name in ("JTL", "AND", "Min-Max")]
+        rows = agreement.run(entries)
+        assert all(row.agrees for row in rows)
+        assert all(row.outputs >= 1 for row in rows)
+
+    def test_render(self):
+        from repro.exp import agreement
+        from repro.exp.registry import registry
+
+        entries = [e for e in registry() if e.name == "JTL"]
+        text = agreement.render(agreement.run(entries))
+        assert "internal simulator agrees" in text
+        assert "yes" in text

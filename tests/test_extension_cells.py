@@ -1,0 +1,95 @@
+"""Tests for the library-extension cells (NDRO, T1) beyond the paper's 16."""
+
+import pytest
+
+from repro.core.helpers import inp, inp_at
+from repro.core.simulation import Simulation
+from repro.sfq import EXTENSION_CELLS, NDRO, T1, jtl, m, ndro, t1
+
+
+class TestNDRO:
+    def machine(self):
+        return NDRO()._class_machine()
+
+    def test_reads_are_nondestructive(self):
+        outs = self.machine().trace([
+            ("set", 10.0), ("clk", 50.0), ("clk", 100.0), ("clk", 150.0),
+        ])
+        assert [o for o, _ in outs] == ["q", "q", "q"]
+
+    def test_reset_stops_reads(self):
+        outs = self.machine().trace([
+            ("set", 10.0), ("clk", 50.0), ("rst", 70.0), ("clk", 100.0),
+        ])
+        assert len(outs) == 1
+
+    def test_unset_reads_are_silent(self):
+        assert self.machine().trace([("clk", 50.0)]) == []
+
+    def test_in_circuit(self):
+        set_ = inp_at(10.0, name="SET")
+        rst = inp_at(120.0, name="RST")
+        clk = inp(start=50, period=50, n=3, name="CLK")
+        ndro(set_, rst, clk, name="Q")
+        events = Simulation().simulate()
+        # Reads at 50 and 100 fire; the read at 150 follows the reset.
+        assert events["Q"] == [50.0 + NDRO.firing_delay, 100.0 + NDRO.firing_delay]
+
+
+class TestT1:
+    def test_alternating_outputs(self):
+        outs = T1()._class_machine().trace([
+            ("a", 10.0), ("a", 30.0), ("a", 50.0), ("a", 70.0),
+        ])
+        assert [o for o, _ in outs] == ["q0", "q1", "q0", "q1"]
+
+    def test_frequency_divider_chain(self):
+        """Two T1s in series divide an 8-pulse train by four."""
+        a = inp(start=10, period=20, n=8, name="A")
+        q0, q1 = t1(a)
+        q0b, _q1b = t1(q0, names="DIV4 spare")
+        del q0b
+        events = Simulation().simulate()
+        assert len(events["DIV4"]) == 2      # 8 / 4
+        assert len(events["spare"]) == 2
+
+    def test_divider_with_merged_monitor(self):
+        """q0+q1 merged reproduces the full input rate (sanity)."""
+        a = inp(start=10, period=25, n=6, name="A")
+        q0, q1 = t1(a)
+        m(q0, q1, name="ALL")
+        events = Simulation().simulate()
+        assert len(events["ALL"]) == 6
+
+
+class TestRegistryHygiene:
+    def test_extensions_not_in_basic_cells(self):
+        from repro.sfq import BASIC_CELLS
+
+        from repro.sfq import INH
+
+        assert NDRO not in BASIC_CELLS
+        assert T1 not in BASIC_CELLS
+        assert len(BASIC_CELLS) == 16
+        assert set(EXTENSION_CELLS) == {NDRO, T1, INH}
+
+    def test_extensions_translate_to_ta(self):
+        from repro.core.circuit import working_circuit
+        from repro.ta import translate_circuit
+
+        set_ = inp_at(10.0, name="SET")
+        rst = inp_at(name="RST")
+        clk = inp(start=50, period=50, n=2, name="CLK")
+        ndro(set_, rst, clk, name="Q")
+        stats = translate_circuit(working_circuit()).cell_stats()
+        assert stats["channels"] == 4
+        assert stats["ta"] >= 2
+
+    def test_extensions_verify(self):
+        from repro.mc import verify_design
+
+        a = inp(start=10, period=30, n=3, name="A")
+        q0, q1 = t1(a, names="Q0 Q1")
+        del q0, q1
+        report = verify_design(time_limit=60)
+        assert report.ok, report.result.violations

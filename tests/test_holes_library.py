@@ -1,0 +1,126 @@
+"""Tests for the reusable behavioral-hole library."""
+
+from repro.core.circuit import fresh_circuit
+from repro.core.helpers import inp, inp_at
+from repro.core.simulation import Simulation
+from repro.designs.holes import (
+    make_accumulator,
+    make_comparator,
+    make_counter,
+    make_shift_register,
+)
+
+
+def simulate(build):
+    with fresh_circuit() as circuit:
+        build()
+    return Simulation(circuit).simulate()
+
+
+class TestCounter:
+    def test_counts_and_emits_binary(self):
+        def build():
+            counter = make_counter(bits=3)
+            inc = inp_at(10.0, 20.0, 30.0, name="inc")   # 3 pulses
+            clk = inp_at(50.0, name="clk")
+            bits = counter(inc, clk, names="b2 b1 b0")
+            del bits
+
+        events = simulate(build)
+        # count == 3 == 0b011
+        assert events["b2"] == []
+        assert events["b1"] == [55.0]
+        assert events["b0"] == [55.0]
+
+    def test_accumulates_across_periods(self):
+        def build():
+            counter = make_counter(bits=3)
+            inc = inp_at(10.0, 60.0, 70.0, name="inc")
+            clk = inp(start=50, period=50, n=2, name="clk")
+            counter(inc, clk, names="b2 b1 b0")
+
+        events = simulate(build)
+        # period 1: count 1 (b0); period 2: count 3 (b1, b0).
+        assert events["b0"] == [55.0, 105.0]
+        assert events["b1"] == [105.0]
+
+    def test_wraparound(self):
+        def build():
+            counter = make_counter(bits=2)
+            inc = inp_at(*[float(t) for t in range(10, 10 + 5 * 4, 4)], name="inc")
+            clk = inp_at(50.0, name="clk")
+            counter(inc, clk, names="b1 b0")
+
+        events = simulate(build)
+        # 5 mod 4 == 1
+        assert events["b1"] == []
+        assert events["b0"] == [55.0]
+
+
+class TestShiftRegister:
+    def test_bit_emerges_after_n_clocks(self):
+        def build():
+            sr = make_shift_register(stages=3)
+            d = inp_at(10.0, name="d")
+            clk = inp(start=20, period=20, n=4, name="clk")
+            q = sr(d, clk)
+            q.observe("q")
+
+        events = simulate(build)
+        # Shifted in at clk@20; emerges on the 3rd following clock (t=80).
+        assert events["q"] == [85.0]
+
+    def test_zero_stream_is_silent(self):
+        def build():
+            sr = make_shift_register(stages=2)
+            d = inp_at(name="d")
+            clk = inp(start=20, period=20, n=5, name="clk")
+            q = sr(d, clk)
+            q.observe("q")
+
+        assert simulate(build)["q"] == []
+
+
+class TestAccumulator:
+    def test_fires_at_threshold(self):
+        def build():
+            acc = make_accumulator(threshold=3)
+            x = inp_at(10.0, 20.0, 30.0, name="x")
+            clk = inp(start=40, period=40, n=2, name="clk")
+            spike = acc(x, clk)
+            spike.observe("spike")
+
+        events = simulate(build)
+        assert events["spike"] == [45.0]    # fires once, then reset
+
+    def test_below_threshold_is_silent(self):
+        def build():
+            acc = make_accumulator(threshold=3)
+            x = inp_at(10.0, name="x")
+            clk = inp(start=40, period=40, n=3, name="clk")
+            spike = acc(x, clk)
+            spike.observe("spike")
+
+        assert simulate(build)["spike"] == []
+
+
+class TestComparator:
+    def test_all_three_verdicts(self):
+        def build():
+            cmp_hole = make_comparator()
+            a = inp_at(10.0, 20.0, 60.0, name="a")
+            b = inp_at(15.0, 65.0, 70.0, name="b")
+            clk = inp(start=40, period=40, n=3, name="clk")
+            gt, eq, lt = cmp_hole(a, b, clk, names="gt eq lt")
+            del gt, eq, lt
+
+        events = simulate(build)
+        assert events["gt"] == [45.0]            # window 1: a=2, b=1
+        assert events["lt"] == [85.0]            # window 2: a=1, b=2
+        assert events["eq"] == [125.0]           # window 3: 0 == 0
+
+    def test_independent_instances(self):
+        """Factories must not share state between instantiations."""
+        first = make_counter(bits=2)
+        second = make_counter(bits=2)
+        assert first.state is not second.state

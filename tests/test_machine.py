@@ -1,0 +1,258 @@
+"""Unit tests for the PyLSE Machine formalism (Section 3 / Figure 6)."""
+
+import math
+
+import pytest
+
+from repro.core.errors import (
+    PriorInputViolation,
+    PylseError,
+    TransitionTimeViolation,
+    WellFormednessError,
+)
+from repro.core.machine import Configuration, PylseMachine, Transition
+
+
+def two_state_machine(**overrides):
+    """idle --a--> busy (fires q after 5); busy --a--> idle; tt on first."""
+    defaults = dict(transition_time=2.0, firing={"q": 5.0})
+    defaults.update(overrides)
+    return PylseMachine(
+        name="T",
+        inputs=["a"],
+        outputs=["q"],
+        transitions=[
+            Transition(id=0, source="idle", trigger="a", dest="busy",
+                       priority=0, **defaults),
+            Transition(id=1, source="busy", trigger="a", dest="idle",
+                       priority=0),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_states_collected_in_order(self):
+        m = two_state_machine()
+        assert m.states == ("idle", "busy")
+
+    def test_initial_configuration(self):
+        config = two_state_machine().initial_configuration()
+        assert config.state == "idle"
+        assert config.tau_done == 0.0
+        assert config.theta["a"] == -math.inf
+
+    def test_delta_total(self):
+        m = two_state_machine()
+        assert m.delta("idle", "a").dest == "busy"
+        assert m.delta("busy", "a").dest == "idle"
+
+    def test_delta_unknown_pair_raises(self):
+        with pytest.raises(PylseError, match="no transition"):
+            two_state_machine().delta("idle", "zzz")
+
+    def test_missing_transition_rejected(self):
+        with pytest.raises(WellFormednessError, match="not fully specified"):
+            PylseMachine(
+                name="Bad", inputs=["a", "b"], outputs=["q"],
+                transitions=[
+                    Transition(0, "idle", "a", "idle", 0, firing={"q": 1.0}),
+                ],
+            )
+
+    def test_unknown_trigger_rejected(self):
+        with pytest.raises(WellFormednessError, match="unknown input"):
+            PylseMachine(
+                name="Bad", inputs=["a"], outputs=["q"],
+                transitions=[
+                    Transition(0, "idle", "x", "idle", 0, firing={"q": 1.0}),
+                ],
+            )
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(WellFormednessError, match="unknown output"):
+            PylseMachine(
+                name="Bad", inputs=["a"], outputs=["q"],
+                transitions=[
+                    Transition(0, "idle", "a", "idle", 0, firing={"z": 1.0}),
+                ],
+            )
+
+    def test_no_output_anywhere_rejected(self):
+        with pytest.raises(WellFormednessError, match="ever fires"):
+            PylseMachine(
+                name="Bad", inputs=["a"], outputs=["q"],
+                transitions=[Transition(0, "idle", "a", "idle", 0)],
+            )
+
+    def test_duplicate_state_input_pair_rejected(self):
+        with pytest.raises(WellFormednessError, match="must be a function"):
+            PylseMachine(
+                name="Bad", inputs=["a"], outputs=["q"],
+                transitions=[
+                    Transition(0, "idle", "a", "idle", 0, firing={"q": 1.0}),
+                    Transition(1, "idle", "a", "idle", 1),
+                ],
+            )
+
+    def test_missing_initial_state_rejected(self):
+        with pytest.raises(WellFormednessError, match="initial state"):
+            PylseMachine(
+                name="Bad", inputs=["a"], outputs=["q"], initial="nowhere",
+                transitions=[
+                    Transition(0, "idle", "a", "idle", 0, firing={"q": 1.0}),
+                ],
+            )
+
+    def test_negative_transition_time_rejected(self):
+        with pytest.raises(WellFormednessError, match="negative transition"):
+            two_state_machine(transition_time=-1.0)
+
+    def test_invalid_past_constraint_rejected(self):
+        with pytest.raises(WellFormednessError, match="past-constraint"):
+            two_state_machine(past_constraints={"a": -3.0})
+
+    def test_constraint_on_unknown_input_rejected(self):
+        with pytest.raises(WellFormednessError, match="constrains unknown"):
+            two_state_machine(past_constraints={"zzz": 3.0})
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(WellFormednessError, match="no inputs"):
+            PylseMachine(name="Bad", inputs=[], outputs=["q"], transitions=[])
+
+
+class TestStep:
+    """The Transition Relation: Normal-kappa and the two error rules."""
+
+    def test_normal_step_updates_configuration(self):
+        m = two_state_machine()
+        config, outs = m.step(m.initial_configuration(), "a", 10.0)
+        assert config.state == "busy"
+        assert config.tau_done == 12.0          # tau_tran + tau_arr
+        assert config.theta["a"] == 10.0
+        assert outs == [("q", 5.0)]
+
+    def test_arrival_exactly_at_tau_done_is_legal(self):
+        m = two_state_machine()
+        config, _ = m.step(m.initial_configuration(), "a", 10.0)
+        config, _ = m.step(config, "a", 12.0)    # tau_arr == tau_done
+        assert config.state == "idle"
+
+    def test_error_kappa_tran(self):
+        m = two_state_machine()
+        config, _ = m.step(m.initial_configuration(), "a", 10.0)
+        with pytest.raises(TransitionTimeViolation, match="still transitioning"):
+            m.step(config, "a", 11.0)
+
+    def test_error_kappa_cons(self):
+        m = two_state_machine(past_constraints={"a": 50.0})
+        config, _ = m.step(m.initial_configuration(), "a", 10.0)
+        config, _ = m.step(config, "a", 20.0)    # back to idle, theta[a]=20
+        with pytest.raises(PriorInputViolation, match="past_constraints"):
+            m.step(config, "a", 30.0)            # 30 < 20 + 50
+
+    def test_constraint_satisfied_when_enough_time_passed(self):
+        m = two_state_machine(past_constraints={"a": 5.0})
+        config, _ = m.step(m.initial_configuration(), "a", 10.0)
+        config, _ = m.step(config, "a", 20.0)
+        config, _ = m.step(config, "a", 25.0)    # exactly theta + dist
+        assert config.state == "busy"
+
+    def test_wildcard_constraint_covers_all_inputs(self):
+        m = PylseMachine(
+            name="W", inputs=["a", "b"], outputs=["q"],
+            transitions=[
+                Transition(0, "idle", "a", "idle", 0, firing={"q": 1.0},
+                           past_constraints={"*": 10.0}),
+                Transition(1, "idle", "b", "idle", 0),
+            ],
+        )
+        config = m.initial_configuration()
+        config, _ = m.step(config, "b", 5.0)
+        with pytest.raises(PriorInputViolation, match="input 'b'"):
+            m.step(config, "a", 8.0)             # b seen 3 < 10 ago
+
+    def test_explicit_constraint_overrides_wildcard(self):
+        m = PylseMachine(
+            name="W", inputs=["a", "b"], outputs=["q"],
+            transitions=[
+                Transition(0, "idle", "a", "idle", 0, firing={"q": 1.0},
+                           past_constraints={"*": 10.0, "b": 1.0}),
+                Transition(1, "idle", "b", "idle", 0),
+            ],
+        )
+        config = m.initial_configuration()
+        config, _ = m.step(config, "b", 5.0)
+        config, outs = m.step(config, "a", 8.0)  # b constrained to 1.0 only
+        assert outs == [("q", 1.0)]
+
+    def test_never_seen_inputs_never_violate(self):
+        m = two_state_machine(past_constraints={"a": 1e9})
+        config, _ = m.step(m.initial_configuration(), "a", 0.0)
+        assert config.state == "busy"
+
+
+class TestDispatchAndTrace:
+    def make_priority_machine(self):
+        """Two inputs; 'clk' has priority 0 over 'a' at 1, from idle."""
+        return PylseMachine(
+            name="P", inputs=["a", "clk"], outputs=["q"],
+            transitions=[
+                Transition(0, "idle", "clk", "idle", 0, firing={"q": 2.0}),
+                Transition(1, "idle", "a", "armed", 1),
+                Transition(2, "armed", "clk", "idle", 0),
+                Transition(3, "armed", "a", "armed", 1),
+            ],
+        )
+
+    def test_choose_respects_priority(self):
+        m = self.make_priority_machine()
+        assert m.choose("idle", {"a", "clk"}) == "clk"
+
+    def test_choose_tie_deterministic_without_rng(self):
+        m = self.make_priority_machine()
+        assert m.choose("armed", {"a"}) == "a"
+
+    def test_dispatch_processes_all_simultaneous_inputs(self):
+        m = self.make_priority_machine()
+        config, outs = m.dispatch(m.initial_configuration(), {"a", "clk"}, 5.0)
+        # clk first (fires q at 7.0), then a moves idle -> armed.
+        assert outs == [("q", 7.0)]
+        assert config.state == "armed"
+
+    def test_dispatch_unknown_input_rejected(self):
+        m = self.make_priority_machine()
+        with pytest.raises(PylseError, match="unknown input"):
+            m.dispatch(m.initial_configuration(), {"zzz"}, 5.0)
+
+    def test_trace_accumulates_outputs_in_time_order(self):
+        m = self.make_priority_machine()
+        outs = m.trace([("clk", 10.0), ("clk", 5.0)])
+        assert outs == [("q", 7.0), ("q", 12.0)]
+
+    def test_trace_groups_simultaneous_pulses(self):
+        m = self.make_priority_machine()
+        outs = m.trace([("a", 5.0), ("clk", 5.0), ("clk", 10.0)])
+        # t=5: clk fires then a arms; t=10: clk in armed, no output.
+        assert outs == [("q", 7.0)]
+
+    def test_trace_empty_input(self):
+        m = self.make_priority_machine()
+        assert m.trace([]) == []
+
+    def test_transitions_from(self):
+        m = self.make_priority_machine()
+        assert {t.trigger for t in m.transitions_from("idle")} == {"a", "clk"}
+
+
+class TestConfigurationImmutability:
+    def test_step_does_not_mutate_input_configuration(self):
+        m = two_state_machine()
+        config = m.initial_configuration()
+        m.step(config, "a", 10.0)
+        assert config.state == "idle"
+        assert config.theta["a"] == -math.inf
+
+    def test_configuration_is_frozen(self):
+        config = Configuration("idle", 0.0, {})
+        with pytest.raises(AttributeError):
+            config.state = "busy"  # type: ignore[misc]

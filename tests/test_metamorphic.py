@@ -1,0 +1,163 @@
+"""Metamorphic tests: independent implementations must agree.
+
+* The discrete-event simulator (Network Relation) restricted to a single
+  cell must agree exactly with the pure Trace Relation of that cell's
+  machine (two separate code paths over the same semantics).
+* The static path-delay analysis must predict the simulator's pulse times
+  on acyclic single-path circuits.
+* Translation + model checking must accept exactly the simulator's output
+  times (checked for all cells in test_verification_all_cells.py).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import fresh_circuit, working_circuit
+from repro.core.analysis import path_delays
+from repro.core.helpers import inp_at
+from repro.core.node import Node
+from repro.core.simulation import Simulation
+from repro.core.wire import Wire
+from repro.sfq import C, DRO, JOIN, M, jtl
+
+
+def single_cell_circuit(cell_cls, stimulus):
+    """Place one cell driven by input generators; return (circuit, element)."""
+    with fresh_circuit() as circuit:
+        # Wires bind to ports positionally: iterate in declaration order.
+        wires = [
+            inp_at(*stimulus.get(port, []), name=f"IN_{port}")
+            for port in cell_cls.inputs
+        ]
+        element = cell_cls()
+        outs = [Wire(f"OUT_{p}") for p in cell_cls.outputs]
+        circuit.add_node(element, wires, outs)
+    return circuit, element
+
+
+def simulate_events(circuit, cell_cls):
+    events = Simulation(circuit).simulate()
+    return {
+        port: events[f"OUT_{port}"]
+        for port in cell_cls.outputs
+    }
+
+
+def trace_events(cell_cls, stimulus):
+    machine = cell_cls()._class_machine()
+    pulses = [
+        (port, t) for port, times in stimulus.items() for t in times
+    ]
+    result = {port: [] for port in cell_cls.outputs}
+    for out, t in machine.trace(pulses):
+        result[out].append(t)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# strategies: stimuli that respect each cell's timing constraints
+# ---------------------------------------------------------------------------
+def sparse_times(max_pulses=4, gap=20.0, start=10.0):
+    return st.lists(
+        st.integers(min_value=0, max_value=20),
+        min_size=0, max_size=max_pulses,
+    ).map(lambda ks: sorted({start + gap * k + 3.0 * i for i, k in enumerate(ks)}))
+
+
+class TestSimulatorMatchesTrace:
+    @given(a=sparse_times(), b=sparse_times())
+    @settings(max_examples=30, deadline=None)
+    def test_c_element(self, a, b):
+        stimulus = {"a": a, "b": [t + 1.0 for t in b]}
+        circuit, _ = single_cell_circuit(C, stimulus)
+        assert simulate_events(circuit, C) == trace_events(C, stimulus)
+
+    @given(a=sparse_times(), b=sparse_times())
+    @settings(max_examples=30, deadline=None)
+    def test_merger(self, a, b):
+        stimulus = {"a": a, "b": [t + 1.0 for t in b]}
+        circuit, _ = single_cell_circuit(M, stimulus)
+        assert simulate_events(circuit, M) == trace_events(M, stimulus)
+
+    @given(data=sparse_times(max_pulses=3))
+    @settings(max_examples=30, deadline=None)
+    def test_dro(self, data):
+        # Clocks far from the data pulses to respect setup/hold.
+        stimulus = {"a": data, "clk": [600.0, 700.0]}
+        circuit, _ = single_cell_circuit(DRO, stimulus)
+        assert simulate_events(circuit, DRO) == trace_events(DRO, stimulus)
+
+    @given(
+        first=st.sampled_from(["a_t", "a_f"]),
+        second=st.sampled_from(["b_t", "b_f"]),
+        t1=st.floats(min_value=5, max_value=50),
+        dt=st.floats(min_value=1, max_value=50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_join(self, first, second, t1, dt):
+        stimulus = {
+            port: [] for port in JOIN.inputs
+        }
+        stimulus[first] = [t1]
+        stimulus[second] = [t1 + dt]
+        circuit, _ = single_cell_circuit(JOIN, stimulus)
+        assert simulate_events(circuit, JOIN) == trace_events(JOIN, stimulus)
+
+
+class TestAnalysisMatchesSimulation:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.5, max_value=20.0),
+            min_size=1, max_size=6,
+        ).map(lambda ds: [round(d, 1) for d in ds]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_jtl_chain_delay_prediction(self, delays):
+        with fresh_circuit() as circuit:
+            wire = inp_at(10.0, name="A")
+            for d in delays:
+                wire = jtl(wire, firing_delay=d)
+            wire.observe("Q")
+        predicted = path_delays(circuit)[("A", "Q")]
+        events = Simulation(circuit).simulate()
+        measured = events["Q"][0] - 10.0
+        assert predicted[0] == predicted[1]
+        assert abs(predicted[0] - measured) < 1e-9
+
+
+class TestAllCellsSimulatorMatchesTrace:
+    """The two semantics implementations agree on every basic cell, using
+    each cell's canonical registry stimulus."""
+
+    @staticmethod
+    def _cases():
+        import pytest as _pytest
+
+        from repro.exp.registry import _cell_stimulus
+        from repro.sfq import BASIC_CELLS, EXTENSION_CELLS
+
+        cells = []
+        for cls in BASIC_CELLS:
+            cells.append((cls, _cell_stimulus(cls)))
+        return cells
+
+    def test_every_basic_cell(self):
+        from repro.exp.registry import _cell_stimulus
+        from repro.sfq import BASIC_CELLS
+
+        for cls in BASIC_CELLS:
+            stimulus = _cell_stimulus(cls)
+            circuit, _ = single_cell_circuit(cls, stimulus)
+            assert simulate_events(circuit, cls) == trace_events(cls, stimulus), cls.name
+
+    def test_extension_cells(self):
+        from repro.sfq import INH, NDRO, T1
+
+        cases = {
+            NDRO: {"set": [10.0], "rst": [120.0], "clk": [50.0, 100.0, 150.0]},
+            T1: {"a": [10.0, 30.0, 50.0]},
+            INH: {"a": [40.0], "b": [10.0, 60.0]},
+        }
+        for cls, stimulus in cases.items():
+            circuit, _ = single_cell_circuit(cls, stimulus)
+            assert simulate_events(circuit, cls) == trace_events(cls, stimulus), cls.name

@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import fresh_circuit
+from repro.core.helpers import inp_at
+from repro.core.simulation import Simulation
+from repro.designs import bitonic_delay, bitonic_sorter, min_max
+from repro.sfq import C, DRO, InvC, M
+
+
+# --------------------------------------------------------------------------
+# strategies
+# --------------------------------------------------------------------------
+def spaced_times(min_size=1, max_size=6, gap=10.0):
+    """Strictly increasing pulse times with a minimum gap."""
+    return st.lists(
+        st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+        min_size=min_size, max_size=max_size,
+    ).map(lambda deltas: [
+        round(sum(deltas[: k + 1]) + gap * (k + 1), 3)
+        for k in range(len(deltas))
+    ])
+
+
+# --------------------------------------------------------------------------
+# machine-level properties
+# --------------------------------------------------------------------------
+class TestMergerProperties:
+    @given(a=spaced_times(), b=spaced_times())
+    @settings(max_examples=40)
+    def test_merger_output_is_sorted_union(self, a, b):
+        machine = M()._class_machine()
+        b = [t + 5.0 for t in b]  # avoid exact collisions with a
+        outs = machine.trace([("a", t) for t in a] + [("b", t) for t in b])
+        expected = sorted(t + M.firing_delay for t in a + b)
+        got = [t for _, t in outs]
+        assert all(math.isclose(x, y) for x, y in zip(got, expected))
+        assert len(got) == len(expected)
+
+
+class TestCElementProperties:
+    @given(a=st.floats(1, 500), b=st.floats(1, 500))
+    @settings(max_examples=60)
+    def test_c_fires_at_max(self, a, b):
+        machine = C()._class_machine()
+        outs = machine.trace([("a", a), ("b", b)])
+        if a == b:
+            # Simultaneous arrivals dispatch in sequence: still one firing.
+            assert len(outs) == 1
+        else:
+            assert outs == [("q", max(a, b) + C.firing_delay)]
+
+    @given(a=st.floats(1, 500), b=st.floats(1, 500))
+    @settings(max_examples=60)
+    def test_inv_c_fires_at_min(self, a, b):
+        machine = InvC()._class_machine()
+        outs = machine.trace([("a", a), ("b", b)])
+        assert len(outs) == 1
+        if a != b:
+            assert outs == [("q", min(a, b) + InvC.firing_delay)]
+
+    @given(rounds=st.lists(
+        st.tuples(st.floats(1, 40), st.floats(1, 40)),
+        min_size=1, max_size=5,
+    ))
+    @settings(max_examples=40)
+    def test_c_round_trip(self, rounds):
+        """Across rounds of (a, b) pairs, C fires once per round at the max."""
+        machine = C()._class_machine()
+        pulses, expected, offset = [], [], 0.0
+        for da, db in rounds:
+            ta, tb = offset + da, offset + db
+            if ta == tb:
+                tb += 1.0
+            pulses += [("a", ta), ("b", tb)]
+            expected.append(max(ta, tb) + C.firing_delay)
+            offset = max(ta, tb) + 100.0
+        outs = machine.trace(pulses)
+        assert [t for _, t in outs] == expected
+
+
+class TestDROProperties:
+    @given(data=spaced_times(max_size=4), clks=spaced_times(max_size=4))
+    @settings(max_examples=40)
+    def test_dro_fires_at_most_once_per_clock(self, data, clks):
+        machine = DRO()._class_machine()
+        clks = [t + 500.0 for t in clks]  # keep clocks clear of data pulses
+        outs = machine.trace(
+            [("a", t) for t in data] + [("clk", t) for t in clks]
+        )
+        assert len(outs) <= len(clks)
+        # And exactly once here: all data precede the first clock.
+        assert len(outs) == (1 if data else 0)
+
+
+# --------------------------------------------------------------------------
+# full-circuit properties
+# --------------------------------------------------------------------------
+class TestSorterProperties:
+    @given(perm=st.permutations([10.0, 35.0, 60.0, 85.0]))
+    @settings(max_examples=20, deadline=None)
+    def test_bitonic4_sorts_any_permutation(self, perm):
+        with fresh_circuit() as circuit:
+            ins = [inp_at(t, name=f"i{k}") for k, t in enumerate(perm)]
+            bitonic_sorter(ins, output_names=[f"o{k}" for k in range(4)])
+        events = Simulation(circuit).simulate()
+        outputs = [events[f"o{k}"][0] for k in range(4)]
+        assert outputs == sorted(t + bitonic_delay(4) for t in perm)
+
+    @given(perm=st.permutations([5.0, 20.0, 33.0, 45.0, 60.0, 70.0, 82.0, 90.0]))
+    @settings(max_examples=8, deadline=None)
+    def test_bitonic8_sorts_any_permutation(self, perm):
+        with fresh_circuit() as circuit:
+            ins = [inp_at(t, name=f"i{k}") for k, t in enumerate(perm)]
+            bitonic_sorter(ins, output_names=[f"o{k}" for k in range(8)])
+        events = Simulation(circuit).simulate()
+        outputs = [events[f"o{k}"][0] for k in range(8)]
+        assert outputs == sorted(t + bitonic_delay(8) for t in perm)
+
+    @given(
+        a=st.floats(10, 200), b=st.floats(10, 200)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_minmax_orders_any_pair(self, a, b):
+        with fresh_circuit() as circuit:
+            wa = inp_at(a, name="A")
+            wb = inp_at(b, name="B")
+            low, high = min_max(wa, wb)
+            low.observe("low")
+            high.observe("high")
+        events = Simulation(circuit).simulate()
+        assert events["low"] == [min(a, b) + 25.0]
+        assert events["high"] == [max(a, b) + 25.0]

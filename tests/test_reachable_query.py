@@ -1,0 +1,72 @@
+"""Tests for the E<> reachability query (output_fires_query)."""
+
+import pytest
+
+from repro.core.circuit import working_circuit
+from repro.core.errors import PylseError
+from repro.core.helpers import inp, inp_at
+from repro.mc import ModelChecker
+from repro.sfq import and_s, jtl
+from repro.ta import translate_circuit
+from repro.ta.queries import Query, output_fires_query
+
+
+class TestOutputFiresQuery:
+    def test_satisfied_when_output_fires(self):
+        a = inp_at(100.0, name="A")
+        jtl(a, name="Q")
+        circuit = working_circuit()
+        translation = translate_circuit(circuit)
+        query = output_fires_query(circuit, translation)
+        result = ModelChecker(translation.network, time_limit=30).run([query])
+        assert result.satisfied
+
+    def test_violated_when_output_never_fires(self):
+        a = inp_at(30.0, name="A")
+        b = inp_at(name="B")               # logical 0: AND can never fire
+        clk = inp_at(50.0, name="CLK")
+        and_s(a, b, clk, name="Q")
+        circuit = working_circuit()
+        translation = translate_circuit(circuit)
+        query = output_fires_query(circuit, translation)
+        result = ModelChecker(translation.network, time_limit=30).run([query])
+        violations = result.violations_for("reachable")
+        assert violations
+        assert "E<> unsatisfied" in violations[0].detail
+
+    def test_selects_named_outputs_only(self):
+        a = inp_at(100.0, name="A")
+        jtl(a, name="Q")
+        circuit = working_circuit()
+        translation = translate_circuit(circuit)
+        query = output_fires_query(circuit, translation, output_wires=["Q"])
+        assert all(loc == "fta_end" for _, loc in query.error_locations)
+
+    def test_unknown_output_rejected(self):
+        a = inp_at(100.0, name="A")
+        jtl(a, name="Q")
+        circuit = working_circuit()
+        translation = translate_circuit(circuit)
+        with pytest.raises(PylseError):
+            output_fires_query(circuit, translation, output_wires=["A"])
+
+    def test_tctl_rendering(self):
+        query = Query(
+            kind="reachable",
+            error_locations=[("firingauto0", "fta_end")],
+        )
+        assert query.to_tctl() == "E<> (firingauto0.fta_end)"
+
+    def test_incomplete_exploration_gives_no_verdict(self):
+        """Budget exhaustion must not spuriously report E<> violated."""
+        a = inp_at(100.0, 200.0, 300.0, name="A")
+        jtl(a, name="Q")
+        circuit = working_circuit()
+        translation = translate_circuit(circuit)
+        query = output_fires_query(circuit, translation)
+        result = ModelChecker(translation.network, max_states=2).run([query])
+        assert not result.completed
+        # No 'reachable' violation claimed without a full exploration
+        # (unless the target was in the explored prefix).
+        if result.violations_for("reachable"):
+            raise AssertionError("E<> verdict claimed on incomplete search")

@@ -1,0 +1,135 @@
+"""Round-trip tests for circuit JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.circuit import fresh_circuit
+from repro.core.errors import PylseError
+from repro.core.helpers import inp, inp_at
+from repro.core.serialize import circuit_from_json, circuit_to_json
+from repro.core.simulation import Simulation
+from repro.core.timing import Normal
+from repro.designs import make_memory, min_max
+from repro.sfq import AND, and_s, jtl
+
+
+def build_fig12():
+    with fresh_circuit() as circuit:
+        a = inp_at(125, 175, 225, 275, name="A")
+        b = inp_at(75, 185, 225, 265, name="B")
+        clk = inp(start=50, period=50, n=6, name="CLK")
+        and_s(a, b, clk, name="Q")
+    return circuit
+
+
+class TestRoundTrip:
+    def test_simulation_identical_after_roundtrip(self):
+        original = build_fig12()
+        rebuilt = circuit_from_json(circuit_to_json(original))
+        assert Simulation(rebuilt).simulate() == Simulation(original).simulate()
+
+    def test_min_max_roundtrip(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(115, 215, 315, name="A")
+            b = inp_at(64, 184, 304, name="B")
+            low, high = min_max(a, b)
+            low.observe("low")
+            high.observe("high")
+        rebuilt = circuit_from_json(circuit_to_json(circuit))
+        events = Simulation(rebuilt).simulate()
+        assert events["low"] == [89.0, 209.0, 329.0]
+        assert events["high"] == [140.0, 240.0, 340.0]
+
+    def test_node_names_preserved(self):
+        circuit = build_fig12()
+        rebuilt = circuit_from_json(circuit_to_json(circuit))
+        assert [n.name for n in rebuilt.cells()] == [
+            n.name for n in circuit.cells()
+        ]
+
+    def test_overrides_preserved(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, name="A")
+            jtl(a, firing_delay=2.5, jjs=4, name="Q")
+        rebuilt = circuit_from_json(circuit_to_json(circuit))
+        cell = rebuilt.cells()[0].element
+        assert cell.jjs == 4
+        events = Simulation(rebuilt).simulate()
+        assert events["Q"] == [12.5]
+
+    def test_transition_time_override_roundtrip(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, 11.0, name="A")
+            jtl(a, transition_time={("idle", "a"): 5.0}, name="Q")
+        rebuilt = circuit_from_json(circuit_to_json(circuit))
+        with pytest.raises(PylseError):
+            Simulation(rebuilt).simulate()   # second pulse inside the window
+
+    def test_distribution_delay_roundtrip(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, name="A")
+            jtl(a, firing_delay=Normal(5.0, 0.5), name="Q")
+        rebuilt = circuit_from_json(circuit_to_json(circuit))
+        cell = rebuilt.cells()[0].element
+        delay = cell.machine.delta("idle", "a").firing["q"]
+        assert isinstance(delay, Normal)
+        assert delay.mean == 5.0 and delay.stddev == 0.5
+
+
+class TestFormat:
+    def test_json_shape(self):
+        text = circuit_to_json(build_fig12())
+        payload = json.loads(text)
+        assert payload["format"] == "repro-circuit-v1"
+        kinds = {node["kind"] for node in payload["nodes"]}
+        assert kinds == {"input", "cell"}
+        cell = next(n for n in payload["nodes"] if n["kind"] == "cell")
+        assert cell["cell"] == "AND"
+        assert cell["outputs"]["q"]["wire"] == "Q"
+
+    def test_holes_rejected(self):
+        with fresh_circuit() as circuit:
+            memory = make_memory()
+            wires = [inp_at(10.0, name=f"w{k}") for k in range(12)]
+            memory(*wires)
+        with pytest.raises(PylseError, match="hole"):
+            circuit_to_json(circuit)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(PylseError, match="Invalid circuit JSON"):
+            circuit_from_json("{nope")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(PylseError, match="Unsupported circuit format"):
+            circuit_from_json('{"format": "other", "nodes": []}')
+
+    def test_unknown_cell_rejected(self):
+        text = json.dumps({
+            "format": "repro-circuit-v1",
+            "nodes": [{
+                "kind": "cell", "name": "x0", "cell": "MYSTERY",
+                "overrides": {}, "inputs": {}, "outputs": {},
+            }],
+        })
+        with pytest.raises(PylseError, match="Unknown cell class"):
+            circuit_from_json(text)
+
+    def test_extra_cells_registry(self):
+        class CustomJTL(AND):
+            pass
+
+        with fresh_circuit() as circuit:
+            a = inp_at(30.0, name="A")
+            b = inp_at(35.0, name="B")
+            clk = inp_at(50.0, name="CLK")
+            from repro.core.circuit import working_circuit
+            from repro.core.wire import Wire
+
+            element = CustomJTL()
+            working_circuit().add_node(element, [a, b, clk], [Wire("Q")])
+        text = circuit_to_json(circuit)
+        with pytest.raises(PylseError, match="Unknown cell class"):
+            circuit_from_json(text)
+        rebuilt = circuit_from_json(text, extra_cells={"CustomJTL": CustomJTL})
+        assert rebuilt.cells()[0].element.name == "AND"

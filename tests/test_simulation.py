@@ -1,0 +1,172 @@
+"""Tests for the discrete-event simulator (Section 4.3)."""
+
+import pytest
+
+from repro.core.circuit import working_circuit
+from repro.core.errors import (
+    PriorInputViolation,
+    PylseError,
+    TransitionTimeViolation,
+)
+from repro.core.helpers import inp, inp_at
+from repro.core.simulation import Simulation, render_waveforms
+from repro.sfq import and_s, c, dro, jtl, m, s
+
+
+class TestBasics:
+    def test_events_include_inputs_and_outputs(self):
+        a = inp_at(10.0, name="A")
+        jtl(a, name="Q")
+        events = Simulation().simulate()
+        assert events["A"] == [10.0]
+        assert events["Q"] == [15.0]
+
+    def test_anonymous_wires_keyed_by_auto_name(self):
+        a = inp_at(10.0, name="A")
+        q = jtl(a)
+        events = Simulation().simulate()
+        assert events[q.name] == [15.0]
+
+    def test_pulses_processed_counter(self):
+        a = inp_at(10.0, 20.0, name="A")
+        jtl(a, name="Q")
+        sim = Simulation()
+        sim.simulate()
+        assert sim.pulses_processed == 2
+
+    def test_simulation_is_repeatable(self):
+        a = inp_at(10.0, name="A")
+        jtl(a, name="Q")
+        sim = Simulation()
+        first = sim.simulate()
+        second = sim.simulate()
+        assert first == second
+
+    def test_until_cuts_off_processing(self):
+        a = inp_at(10.0, 100.0, name="A")
+        jtl(a, name="Q")
+        events = Simulation().simulate(until=50.0)
+        assert events["Q"] == [15.0]
+
+    def test_plot_requires_simulation(self):
+        inp_at(10.0, name="A")
+        with pytest.raises(PylseError, match="simulate"):
+            Simulation().plot()
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(PylseError, match="empty"):
+            Simulation().simulate()
+
+
+class TestSemantics:
+    def test_figure12_and_gate(self):
+        a = inp_at(125, 175, 225, 275, name="A")
+        b = inp_at(75, 185, 225, 265, name="B")
+        clk = inp(start=50, period=50, n=6, name="CLK")
+        and_s(a, b, clk, name="Q")
+        events = Simulation().simulate()
+        assert events["Q"] == [209.2, 259.2, 309.2]
+
+    def test_figure13_error_message(self):
+        a = inp_at(125, 175, 225, 275, name="A")
+        b = inp_at(99, 185, 225, 265, name="B")
+        clk = inp(start=50, period=50, n=6, name="CLK")
+        and_s(a, b, clk, name="Q")
+        with pytest.raises(PriorInputViolation) as exc:
+            Simulation().simulate()
+        message = str(exc.value)
+        assert "Error while sending input(s) 'clk'" in message
+        assert "transition '7'" in message
+        assert "It was last seen at 99.0" in message
+
+    def test_transition_time_violation_detected(self):
+        a = inp_at(30.0, name="A")
+        clk = inp_at(31.0, name="CLK")  # inside the 2.5 ps hold window? no:
+        # DRO hold starts when clk arrives; send a second 'a' pulse inside it.
+        a2 = None
+        dro(a, clk, name="Q")
+        del a2
+        with pytest.raises(PriorInputViolation):
+            Simulation().simulate()
+
+    def test_hold_window_violation(self):
+        a = inp_at(30.0, 51.0, name="A")   # 51 is inside clk@50's 2.5 hold
+        clk = inp_at(50.0, name="CLK")
+        dro(a, clk, name="Q")
+        with pytest.raises(TransitionTimeViolation):
+            Simulation().simulate()
+
+    def test_simultaneous_inputs_on_one_cell(self):
+        a = inp_at(50.0, name="A")
+        b = inp_at(50.0, name="B")
+        c(a, b, name="Q")               # both arrive at once: C element fires
+        events = Simulation().simulate()
+        assert events["Q"] == [62.0]
+
+    def test_merger_passes_everything(self):
+        a = inp_at(10.0, 30.0, name="A")
+        b = inp_at(20.0, name="B")
+        m(a, b, name="Q")
+        events = Simulation().simulate()
+        assert events["Q"] == [18.2, 28.2, 38.2]
+
+    def test_deep_chain_accumulates_delay(self):
+        w = inp_at(0.0, name="A")
+        for _ in range(10):
+            w = jtl(w)
+        w.observe("Q")
+        events = Simulation().simulate()
+        assert events["Q"] == [50.0]
+
+    def test_splitter_fans_out_both_sides(self):
+        a = inp_at(10.0, name="A")
+        left, right = s(a, names="L R")
+        del left, right
+        events = Simulation().simulate()
+        assert events["L"] == [21.0]
+        assert events["R"] == [21.0]
+
+
+class TestFeedbackLoop:
+    def test_ring_needs_until(self):
+        """A pulse circulating in a merger+splitter ring runs forever;
+        the ``until`` horizon bounds it (the paper's loop use case)."""
+        a = inp_at(10.0, name="A")
+        circuit = working_circuit()
+        from repro.core.wire import Wire
+        from repro.sfq import M, S
+
+        loop_back = Wire("loop")
+        merged = Wire("merged")
+        circuit.add_node(M(), [a, loop_back], [merged])
+        out = Wire("OUT")
+        circuit.add_node(S(), [merged], [out, loop_back])
+        events = Simulation().simulate(until=100.0)
+        assert len(events["OUT"]) >= 4          # one lap every 19.2 ps
+        laps = [t2 - t1 for t1, t2 in zip(events["OUT"], events["OUT"][1:])]
+        assert all(abs(lap - 19.2) < 1e-9 for lap in laps)
+
+
+class TestRenderWaveforms:
+    def test_render_contains_all_series(self):
+        text = render_waveforms({"A": [1.0, 2.0], "B": []}, width=20)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("A")
+        assert "2 pulses" in lines[0]
+        assert "no pulses" in lines[1]
+
+    def test_render_marks_pulses(self):
+        text = render_waveforms({"A": [0.0, 100.0]}, width=10)
+        row = text.splitlines()[0]
+        assert row.count("|") == 2
+
+    def test_plot_returns_rendering(self, capsys):
+        a = inp_at(10.0, name="A")
+        jtl(a, name="Q")
+        sim = Simulation()
+        sim.simulate()
+        rendering = sim.plot()
+        captured = capsys.readouterr()
+        assert rendering in captured.out
+        assert "A" in rendering and "Q" in rendering

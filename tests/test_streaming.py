@@ -1,0 +1,71 @@
+"""Tests for streaming re-use of asynchronous networks.
+
+C and Inverted C elements return to idle after each pulse pair, so sorting
+networks process successive value vectors on the same hardware — the basis
+of examples/streaming_median.py.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import fresh_circuit
+from repro.core.helpers import inp_at
+from repro.core.simulation import Simulation
+from repro.designs import bitonic_delay, bitonic_sorter, min_max
+
+PERIOD = 300.0
+
+
+class TestMinMaxStreaming:
+    @given(rounds=st.lists(
+        st.tuples(st.floats(10, 80), st.floats(10, 80)),
+        min_size=1, max_size=5,
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_comparator_rearms_every_round(self, rounds):
+        with fresh_circuit() as circuit:
+            a = inp_at(*[pair[0] + PERIOD * k for k, pair in enumerate(rounds)],
+                       name="A")
+            b = inp_at(*[pair[1] + PERIOD * k for k, pair in enumerate(rounds)],
+                       name="B")
+            low, high = min_max(a, b)
+            low.observe("low")
+            high.observe("high")
+        events = Simulation(circuit).simulate()
+        assert len(events["low"]) == len(rounds)
+        assert len(events["high"]) == len(rounds)
+        for k, (x, y) in enumerate(rounds):
+            assert events["low"][k] == min(x, y) + PERIOD * k + 25.0
+            assert events["high"][k] == max(x, y) + PERIOD * k + 25.0
+
+
+class TestSorterStreaming:
+    @given(rounds=st.lists(
+        st.permutations([10.0, 30.0, 50.0, 70.0]),
+        min_size=1, max_size=4,
+    ))
+    @settings(max_examples=15, deadline=None)
+    def test_bitonic4_streams_windows(self, rounds):
+        with fresh_circuit() as circuit:
+            inputs = []
+            for lane in range(4):
+                times = [r[lane] + PERIOD * k for k, r in enumerate(rounds)]
+                inputs.append(inp_at(*times, name=f"i{lane}"))
+            bitonic_sorter(inputs, output_names=[f"o{k}" for k in range(4)])
+        events = Simulation(circuit).simulate()
+        delay = bitonic_delay(4)
+        for k, window in enumerate(rounds):
+            got = [events[f"o{lane}"][k] - PERIOD * k - delay for lane in range(4)]
+            assert got == sorted(window)
+
+    def test_per_round_pulse_counts(self):
+        rounds = [[30, 10, 40, 20], [15, 45, 5, 35]]
+        with fresh_circuit() as circuit:
+            inputs = []
+            for lane in range(4):
+                times = [r[lane] + PERIOD * k for k, r in enumerate(rounds)]
+                inputs.append(inp_at(*times, name=f"i{lane}"))
+            bitonic_sorter(inputs, output_names=[f"o{k}" for k in range(4)])
+        events = Simulation(circuit).simulate()
+        for lane in range(4):
+            assert len(events[f"o{lane}"]) == len(rounds)

@@ -1,0 +1,163 @@
+"""Tests for the PyLSE -> Timed Automata translation (Figure 14)."""
+
+import pytest
+
+from repro.core.circuit import working_circuit
+from repro.core.errors import PylseError
+from repro.core.helpers import inp_at
+from repro.designs import make_memory, min_max
+from repro.sfq import and_s, jtl, s
+from repro.ta import (
+    SCALE,
+    TANetwork,
+    TimedAutomaton,
+    Constraint,
+    scale_time,
+    translate_circuit,
+)
+
+
+class TestScaleTime:
+    def test_one_decimal_precision(self):
+        assert scale_time(9.2) == 92
+        assert scale_time(209.0) == 2090
+        assert SCALE == 10
+
+    def test_unrepresentable_rejected(self):
+        with pytest.raises(PylseError, match="not representable"):
+            scale_time(1.23)
+
+
+class TestAutomatonValidation:
+    def test_duplicate_location_rejected(self):
+        ta = TimedAutomaton("t", "a")
+        ta.add_location("a")
+        with pytest.raises(PylseError, match="duplicate"):
+            ta.add_location("a")
+
+    def test_edge_unknown_location_rejected(self):
+        ta = TimedAutomaton("t", "a")
+        ta.add_location("a")
+        with pytest.raises(PylseError, match="unknown location"):
+            ta.add_edge("a", "b")
+
+    def test_guard_unknown_clock_rejected(self):
+        ta = TimedAutomaton("t", "a")
+        ta.add_location("a")
+        ta.add_edge("a", "a", guard=[Constraint("c", ">=", 1)])
+        with pytest.raises(PylseError, match="unknown clock"):
+            ta.validate()
+
+    def test_network_duplicate_name_rejected(self):
+        network = TANetwork()
+        ta = TimedAutomaton("t", "a")
+        ta.add_location("a")
+        network.add_automaton(ta)
+        ta2 = TimedAutomaton("t", "a")
+        ta2.add_location("a")
+        with pytest.raises(PylseError, match="Duplicate"):
+            network.add_automaton(ta2)
+
+
+class TestCellTranslation:
+    def translate_single(self, build):
+        build()
+        return translate_circuit(working_circuit())
+
+    def test_jtl_network_shape(self):
+        a = inp_at(100.0, name="A")
+        jtl(a, name="Q")
+        result = translate_circuit(working_circuit())
+        stats = result.cell_stats()
+        assert stats["ta"] == 2          # main + one firing TA
+        assert stats["channels"] == 2    # A and Q
+        roles = {ta.role for ta in result.network.automata}
+        assert roles == {"cell", "firing", "input", "sink"}
+
+    def test_and_matches_paper_ta_count(self):
+        """AND: soaking ceil(9.2/3.0) = 4 firing TAs + main = 5 (Table 3)."""
+        a = inp_at(30.0, name="A")
+        b = inp_at(35.0, name="B")
+        clk = inp_at(50.0, name="CLK")
+        and_s(a, b, clk, name="Q")
+        stats = translate_circuit(working_circuit()).cell_stats()
+        assert stats["ta"] == 5
+        assert stats["channels"] == 4
+
+    def test_error_locations_cover_setup_and_hold(self):
+        a = inp_at(30.0, name="A")
+        b = inp_at(35.0, name="B")
+        clk = inp_at(50.0, name="CLK")
+        and_s(a, b, clk, name="Q")
+        result = translate_circuit(working_circuit())
+        errors = result.all_error_locations()
+        assert errors
+        # Hold errors for every input on all 12 transitions, plus setup
+        # errors for every input on the 4 constrained clk transitions.
+        names = [loc for _, loc in errors]
+        assert all(name.startswith("AND_err_") for name in names)
+        assert len(names) == 12 * 3 + 4 * 3
+
+    def test_firing_tas_indexed_by_output_channel(self):
+        a = inp_at(100.0, name="A")
+        s(a, names="L R")
+        result = translate_circuit(working_circuit())
+        assert set(result.firing_tas_by_channel) == {"L", "R"}
+
+    def test_min_max_translates_completely(self):
+        a = inp_at(115.0, name="A")
+        b = inp_at(64.0, name="B")
+        low, high = min_max(a, b)
+        low.observe("low")
+        high.observe("high")
+        result = translate_circuit(working_circuit())
+        stats = result.cell_stats()
+        assert stats["ta"] >= 6                 # 5 cells + firing TAs
+        assert set(result.main_tas) == {"s0", "s1", "c_inv0", "c0", "jtl0"}
+
+    def test_holes_are_rejected(self):
+        memory = make_memory()
+        wires = [inp_at(10.0, name=f"w{k}") for k in range(12)]
+        memory(*wires)
+        with pytest.raises(PylseError, match="hole"):
+            translate_circuit(working_circuit())
+
+    def test_input_schedule_truncated_by_until(self):
+        inp_at(10.0, 100.0, 1000.0, name="A")
+        a = working_circuit().find_wire("A")
+        jtl(a, name="Q")
+        result = translate_circuit(working_circuit(), until=500.0)
+        input_ta = result.network.find("input_A")
+        # i0 -> i1 -> i2 only (two pulses kept).
+        assert input_ta.n_locations == 3
+
+    def test_transition_expansion_structure(self):
+        """One JTL transition: idle + q0 + q1 locations, urgent fire chain."""
+        a = inp_at(10.0, name="A")
+        jtl(a, name="Q")
+        result = translate_circuit(working_circuit())
+        main = result.main_tas["jtl0"]
+        assert main.initial == "idle"
+        assert "q0_0" in main.locations and "q1_0" in main.locations
+        sends = [e for e in main.edges if e.action and e.action.kind == "!"]
+        assert len(sends) == 1
+        assert sends[0].guard[0].op == "=="
+        assert sends[0].guard[0].value == 0
+
+
+class TestSoaking:
+    def test_zero_transition_time_uses_default_soak(self):
+        a = inp_at(10.0, name="A")
+        jtl(a, name="Q")
+        result = translate_circuit(working_circuit(), default_soak=3)
+        firing = [ta for ta in result.network.automata if ta.role == "firing"]
+        assert len(firing) == 3
+
+    def test_positive_transition_time_uses_ceiling(self):
+        a = inp_at(30.0, name="A")
+        b = inp_at(35.0, name="B")
+        clk = inp_at(50.0, name="CLK")
+        and_s(a, b, clk, name="Q")
+        result = translate_circuit(working_circuit())
+        firing = [ta for ta in result.network.automata if ta.role == "firing"]
+        assert len(firing) == 4          # ceil(9.2 / 3.0)

@@ -1,0 +1,176 @@
+"""Tests for the race-logic / temporal-computing toolkit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import fresh_circuit
+from repro.core.errors import PylseError
+from repro.core.simulation import Simulation
+from repro.sfq import C, INH, InvC
+from repro.temporal import (
+    TemporalCode,
+    delay_by,
+    first_arrival,
+    inhibit,
+    last_arrival,
+    max_n,
+    min_n,
+    tree_latency,
+    winner_take_all,
+)
+
+
+class TestTemporalCode:
+    def test_roundtrip(self):
+        code = TemporalCode(offset=10, unit=5)
+        assert code.to_time(3) == 25.0
+        assert code.from_time(25.0) == 3.0
+        assert code.from_time(50.0, latency=25.0) == 3.0
+
+    def test_invalid_params(self):
+        with pytest.raises(PylseError):
+            TemporalCode(unit=0)
+        with pytest.raises(PylseError):
+            TemporalCode(offset=-1)
+        with pytest.raises(PylseError):
+            TemporalCode().to_time(-2)
+
+    def test_encode_inputs_names(self):
+        code = TemporalCode()
+        with fresh_circuit() as circuit:
+            wires = code.encode_inputs([1, 2], prefix="v")
+        assert [w.name for w in wires] == ["v0", "v1"]
+        del circuit
+
+    def test_decode_events(self):
+        code = TemporalCode(offset=0, unit=1)
+        decoded = code.decode_events(
+            {"a": [7.0], "b": []}, names=["a", "b"]
+        )
+        assert decoded == {"a": 7.0, "b": None}
+
+
+class TestInhCell:
+    def test_signal_passes_when_uninhibited(self):
+        outs = INH()._class_machine().trace([("b", 10.0)])
+        assert outs == [("q", 10.0 + INH.firing_delay)]
+
+    def test_inhibitor_blocks_later_signal(self):
+        outs = INH()._class_machine().trace([("a", 5.0), ("b", 10.0)])
+        assert outs == []
+
+    def test_simultaneous_arrival_blocks(self):
+        """Priorities process the inhibitor first on exact ties."""
+        outs = INH()._class_machine().trace([("a", 10.0), ("b", 10.0)])
+        assert outs == []
+
+    def test_multiple_signals_before_inhibitor_pass(self):
+        outs = INH()._class_machine().trace([
+            ("b", 5.0), ("b", 10.0), ("a", 20.0), ("b", 30.0),
+        ])
+        assert len(outs) == 2
+
+
+class TestPrimitives:
+    def test_first_and_last_arrival(self):
+        code = TemporalCode(offset=10, unit=10)
+        with fresh_circuit() as circuit:
+            a, b = code.encode_inputs([2, 5])
+            first_arrival(a, b, name="lo")
+            # fresh wires needed: encode again for the max
+            a2, b2 = code.encode_inputs([2, 5], prefix="y")
+            last_arrival(a2, b2, name="hi")
+        events = Simulation(circuit).simulate()
+        assert events["lo"] == [code.to_time(2) + InvC.firing_delay]
+        assert events["hi"] == [code.to_time(5) + C.firing_delay]
+
+    def test_delay_by(self):
+        with fresh_circuit() as circuit:
+            code = TemporalCode(offset=10, unit=10)
+            x = code.encode_input(3, name="x")
+            delay_by(x, 40.0, name="y")      # +4 in units of 10
+        events = Simulation(circuit).simulate()
+        assert code.from_time(events["y"][0]) == 7.0
+
+    def test_inhibit_wrapper(self):
+        with fresh_circuit() as circuit:
+            from repro.core.helpers import inp_at
+
+            blocker = inp_at(5.0, name="blk")
+            sig = inp_at(10.0, name="sig")
+            inhibit(blocker, sig, name="q")
+        events = Simulation(circuit).simulate()
+        assert events["q"] == []
+
+
+class TestTrees:
+    def test_tree_latency(self):
+        assert tree_latency(1) == 0.0
+        assert tree_latency(2) == InvC.firing_delay
+        assert tree_latency(4) == 2 * InvC.firing_delay
+        assert tree_latency(5) == 3 * InvC.firing_delay
+        assert tree_latency(4, C) == 2 * C.firing_delay
+
+    def test_empty_rejected(self):
+        with pytest.raises(PylseError):
+            min_n([])
+
+    @given(values=st.lists(
+        st.integers(min_value=0, max_value=12), min_size=2, max_size=6,
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_min_n_property(self, values):
+        code = TemporalCode(offset=10, unit=10)
+        with fresh_circuit() as circuit:
+            min_n(code.encode_inputs(values), name="MIN")
+        events = Simulation(circuit).simulate()
+        decoded = code.from_time(events["MIN"][0], tree_latency(len(values)))
+        assert decoded == min(values)
+
+    @given(values=st.lists(
+        st.integers(min_value=0, max_value=12), min_size=2, max_size=6,
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_max_n_property(self, values):
+        code = TemporalCode(offset=10, unit=10)
+        with fresh_circuit() as circuit:
+            max_n(code.encode_inputs(values), name="MAX")
+        events = Simulation(circuit).simulate()
+        decoded = code.from_time(events["MAX"][0], tree_latency(len(values), C))
+        assert decoded == max(values)
+
+
+class TestWinnerTakeAll:
+    def run_wta(self, values):
+        code = TemporalCode(offset=10, unit=10)
+        labels = [f"w{k}" for k in range(len(values))]
+        with fresh_circuit() as circuit:
+            winner_take_all(code.encode_inputs(values), names=labels)
+        events = Simulation(circuit).simulate()
+        return [k for k, label in enumerate(labels) if events[label]]
+
+    def test_two_way(self):
+        assert self.run_wta([5, 2]) == [1]
+        assert self.run_wta([2, 5]) == [0]
+
+    def test_four_way(self):
+        assert self.run_wta([6, 2, 9, 4]) == [1]
+
+    def test_three_way_non_power_of_two(self):
+        assert self.run_wta([6, 2, 9]) == [1]
+
+    def test_exact_tie_has_no_winner(self):
+        assert self.run_wta([4, 4, 8]) == []
+
+    @given(perm=st.permutations([0, 3, 6, 9]))
+    @settings(max_examples=15, deadline=None)
+    def test_unique_winner_property(self, perm):
+        winners = self.run_wta(list(perm))
+        assert winners == [perm.index(0)]
+
+    def test_needs_two_inputs(self):
+        code = TemporalCode()
+        with fresh_circuit():
+            with pytest.raises(PylseError):
+                winner_take_all(code.encode_inputs([1]))

@@ -1,0 +1,155 @@
+"""Tests for delay distributions and the variability machinery."""
+
+import random
+
+import pytest
+
+from repro.core.errors import PylseError
+from repro.core.helpers import inp_at
+from repro.core.simulation import Simulation
+from repro.core.timing import (
+    Normal,
+    Uniform,
+    VariabilitySpec,
+    nominal_delay,
+    sample_delay,
+)
+from repro.sfq import jtl
+
+
+class TestDistributions:
+    def test_normal_nominal_is_mean(self):
+        assert Normal(9.2, 0.5).nominal() == 9.2
+
+    def test_normal_sampling_varies(self):
+        rng = random.Random(0)
+        dist = Normal(10.0, 1.0)
+        samples = {dist.sample(rng) for _ in range(10)}
+        assert len(samples) > 1
+        assert all(s >= 0 for s in samples)
+
+    def test_normal_truncates_at_zero(self):
+        rng = random.Random(0)
+        dist = Normal(0.1, 100.0)
+        assert all(dist.sample(rng) >= 0 for _ in range(50))
+
+    def test_normal_rejects_negative_params(self):
+        with pytest.raises(PylseError):
+            Normal(-1.0, 1.0)
+        with pytest.raises(PylseError):
+            Normal(1.0, -1.0)
+
+    def test_uniform_mean_and_bounds(self):
+        dist = Uniform(2.0, 4.0)
+        assert dist.mean == 3.0
+        rng = random.Random(1)
+        assert all(2.0 <= dist.sample(rng) <= 4.0 for _ in range(50))
+
+    def test_uniform_rejects_bad_bounds(self):
+        with pytest.raises(PylseError):
+            Uniform(4.0, 2.0)
+
+    def test_nominal_delay_validates(self):
+        assert nominal_delay(5) == 5.0
+        with pytest.raises(PylseError):
+            nominal_delay(-1.0)
+        with pytest.raises(PylseError):
+            nominal_delay(float("nan"))
+        with pytest.raises(PylseError):
+            nominal_delay(float("inf"))
+
+    def test_sample_delay_passes_scalars_through(self):
+        assert sample_delay(3.0, random.Random(0)) == 3.0
+
+
+class TestVariabilitySpec:
+    def test_false_is_disabled(self):
+        spec = VariabilitySpec.normalize(False)
+        assert not spec.enabled
+        assert not spec.applies_to("JTL", "jtl0")
+
+    def test_true_applies_everywhere(self):
+        spec = VariabilitySpec.normalize(True, seed=1)
+        assert spec.applies_to("JTL", "jtl0")
+        assert spec.applies_to("AND", "and3")
+
+    def test_dict_cell_types_filter(self):
+        spec = VariabilitySpec.normalize({"cell_types": ["JTL"]}, seed=1)
+        assert spec.applies_to("JTL", "jtl0")
+        assert not spec.applies_to("AND", "and0")
+
+    def test_dict_instances_filter(self):
+        spec = VariabilitySpec.normalize({"instances": ["jtl1"]}, seed=1)
+        assert spec.applies_to("JTL", "jtl1")
+        assert not spec.applies_to("JTL", "jtl0")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(PylseError, match="Unknown variability"):
+            VariabilitySpec.normalize({"bogus": 1})
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(PylseError):
+            VariabilitySpec.normalize(42)  # type: ignore[arg-type]
+
+    def test_callable_used_directly(self):
+        spec = VariabilitySpec.normalize(lambda d, node: d + 1.0)
+        assert spec.perturb(4.0, None) == 5.0
+
+    def test_perturb_never_negative(self):
+        spec = VariabilitySpec.normalize(lambda d, node: -10.0)
+        assert spec.perturb(4.0, None) == 0.0
+
+    def test_stddev_controls_spread(self):
+        spec = VariabilitySpec.normalize({"stddev": 0.0}, seed=1)
+        assert spec.perturb(4.0, None) == 4.0
+
+
+class TestSimulationVariability:
+    def test_deterministic_without_variability(self):
+        a = inp_at(10.0, name="A")
+        jtl(a, name="Q")
+        assert Simulation().simulate() == Simulation().simulate()
+
+    def test_variability_perturbs_delays(self):
+        a = inp_at(10.0, name="A")
+        jtl(a, name="Q")
+        events = Simulation().simulate(variability=True, seed=3)
+        assert events["Q"] != [15.0]
+        assert 10.0 < events["Q"][0] < 20.0
+
+    def test_seed_makes_variability_reproducible(self):
+        a = inp_at(10.0, name="A")
+        jtl(a, name="Q")
+        sim = Simulation()
+        first = sim.simulate(variability=True, seed=42)
+        second = sim.simulate(variability=True, seed=42)
+        assert first == second
+
+    def test_cell_type_scoped_variability(self):
+        a = inp_at(10.0, name="A")
+        q = jtl(a)
+        jtl(q, name="Q")
+        events = Simulation().simulate(
+            variability={"cell_types": ["AND"]}, seed=1
+        )
+        assert events["Q"] == [20.0]     # JTLs untouched
+
+    def test_custom_function_variability(self):
+        a = inp_at(10.0, name="A")
+        jtl(a, name="Q")
+        events = Simulation().simulate(
+            variability=lambda delay, node: delay * 2, seed=1
+        )
+        assert events["Q"] == [20.0]     # 10 + 5*2
+
+    def test_distribution_delay_samples_even_without_variability(self):
+        a = inp_at(10.0, name="A")
+        jtl(a, firing_delay=Normal(5.0, 1.0), name="Q")
+        events = Simulation().simulate(seed=5)
+        assert events["Q"] != [15.0]
+
+    def test_distribution_delay_nominal_in_machine(self):
+        a = inp_at(10.0, name="A")
+        jtl(a, firing_delay=Normal(5.0, 0.0), name="Q")
+        events = Simulation().simulate(seed=5)
+        assert events["Q"] == [15.0]

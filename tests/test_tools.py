@@ -1,0 +1,48 @@
+"""Tests for the repo tools: doc and golden generators stay in sync."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestGeneratedArtifactsInSync:
+    def test_cell_docs_match_generator(self, tmp_path):
+        """docs/cells.md must match what the generator produces today."""
+        from repro.sfq import BASIC_CELLS, EXTENSION_CELLS
+        from repro.sfq.datasheet import datasheet
+
+        committed = (ROOT / "docs" / "cells.md").read_text()
+        for cell in BASIC_CELLS + EXTENSION_CELLS:
+            sheet = datasheet(cell).rstrip()
+            assert sheet in committed, f"docs/cells.md stale for {cell.name}"
+
+    def test_dot_files_exist_for_all_cells(self):
+        from repro.sfq import BASIC_CELLS, EXTENSION_CELLS
+
+        dot_dir = ROOT / "docs" / "dot"
+        for cell in BASIC_CELLS + EXTENSION_CELLS:
+            assert (dot_dir / f"{cell.name.lower()}.dot").exists()
+
+    def test_goldens_match_generator_slugs(self):
+        from repro.exp.registry import registry
+        from tools_shim import golden_slug
+
+        golden_dir = ROOT / "tests" / "goldens"
+        for entry in registry():
+            path = golden_dir / f"{golden_slug(entry.name)}.json"
+            assert path.exists()
+            payload = json.loads(path.read_text())
+            assert payload["design"] == entry.name
+
+    def test_generators_run_cleanly(self, tmp_path):
+        """Both generators execute without error (into the real tree: they
+        are idempotent by the tests above)."""
+        for tool in ("tools/gen_cell_docs.py", "tools/gen_goldens.py"):
+            result = subprocess.run(
+                [sys.executable, str(ROOT / tool)],
+                cwd=ROOT, capture_output=True, text=True, timeout=300,
+            )
+            assert result.returncode == 0, result.stderr

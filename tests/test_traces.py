@@ -1,0 +1,69 @@
+"""Tests for counterexample traces and the deadlock query."""
+
+from repro.core.circuit import working_circuit
+from repro.core.helpers import inp, inp_at
+from repro.mc import ModelChecker
+from repro.sfq import and_s, jtl
+from repro.ta import deadlock_query, no_error_query, translate_circuit
+
+
+def build_fig13():
+    a = inp_at(125, 175, name="A")
+    b = inp_at(99, 185, name="B")
+    clk = inp(start=50, period=50, n=4, name="CLK")
+    and_s(a, b, clk, name="Q")
+    return translate_circuit(working_circuit())
+
+
+class TestCounterexampleTraces:
+    def test_error_violation_carries_trace(self):
+        translation = build_fig13()
+        result = ModelChecker(translation.network, time_limit=60).run(
+            [no_error_query(translation)]
+        )
+        violation = result.violations_for("query2")[0]
+        assert violation.trace, "expected a counterexample trace"
+        # The final step must enter the error location.
+        assert violation.location in violation.trace[-1]
+
+    def test_trace_steps_are_transitions(self):
+        translation = build_fig13()
+        result = ModelChecker(translation.network, time_limit=60).run(
+            [no_error_query(translation)]
+        )
+        violation = result.violations_for("query2")[0]
+        # Each step names at least one automaton and an action.
+        for step in violation.trace:
+            assert "-->" in step
+        # The scenario: CLK handled, then B stored, then the violating CLK.
+        joined = " ".join(violation.trace)
+        assert "CLK!" in joined and "B!" in joined
+
+    def test_format_trace_numbering(self):
+        translation = build_fig13()
+        result = ModelChecker(translation.network, time_limit=60).run(
+            [no_error_query(translation)]
+        )
+        text = result.violations_for("query2")[0].format_trace()
+        assert text.splitlines()[0].startswith("  1. ")
+
+
+class TestDeadlockQuery:
+    def test_good_deadlock_on_finite_schedule(self):
+        """The paper's point (Section 5.3): 'A[] not deadlock' is not useful
+        because exhausting the input schedule also deadlocks the network."""
+        a = inp_at(100.0, name="A")
+        jtl(a, name="Q")
+        translation = translate_circuit(working_circuit())
+        result = ModelChecker(translation.network, time_limit=30).run(
+            [deadlock_query(), no_error_query(translation)]
+        )
+        # No timing errors...
+        assert not result.violations_for("query2")
+        # ...but the network still "deadlocks" once the pulse is consumed.
+        deadlocks = result.violations_for("no_deadlock")
+        assert deadlocks
+        assert deadlocks[0].trace  # reachable via a real path
+
+    def test_deadlock_tctl_string(self):
+        assert deadlock_query().to_tctl() == "A[] not deadlock"

@@ -1,0 +1,233 @@
+"""Tests for the Cell Definition level: dict parsing and well-formedness."""
+
+import pytest
+
+from repro.core.errors import WellFormednessError
+from repro.core.transitional import Transitional, parse_transitions
+from repro.sfq import AND, SFQ
+
+
+class Toggle(Transitional):
+    name = "TOGGLE"
+    inputs = ["a"]
+    outputs = ["q"]
+    firing_delay = 3.0
+    transitions = [
+        {"src": "idle", "trigger": "a", "dst": "set"},
+        {"src": "set", "trigger": "a", "dst": "idle", "firing": "q"},
+    ]
+
+
+class TestParsing:
+    def test_trigger_list_expands(self):
+        parsed = parse_transitions(
+            "X", ["q"],
+            [
+                {"src": "idle", "trigger": ["a", "b"], "dst": "idle",
+                 "firing": {"q": 1.0}},
+            ],
+        )
+        assert [(t.trigger, t.id) for t in parsed] == [("a", 0), ("b", 1)]
+        assert all(t.priority == 0 for t in parsed)  # same raw index
+
+    def test_priority_defaults_to_listing_order(self):
+        parsed = parse_transitions(
+            "X", ["q"],
+            [
+                {"src": "idle", "trigger": "a", "dst": "x", "firing": {"q": 1}},
+                {"src": "idle", "trigger": "b", "dst": "y"},
+            ],
+        )
+        assert parsed[0].priority == 0
+        assert parsed[1].priority == 1
+
+    def test_explicit_priority_wins(self):
+        parsed = parse_transitions(
+            "X", ["q"],
+            [{"src": "i", "trigger": "a", "dst": "i", "priority": 7,
+              "firing": {"q": 1}}],
+        )
+        assert parsed[0].priority == 7
+
+    def test_firing_string_uses_default_delay(self):
+        parsed = parse_transitions(
+            "X", ["q"],
+            [{"src": "i", "trigger": "a", "dst": "i", "firing": "q"}],
+            firing_delay=4.5,
+        )
+        assert parsed[0].firing == {"q": 4.5}
+
+    def test_firing_list_uses_default_delay(self):
+        parsed = parse_transitions(
+            "X", ["l", "r"],
+            [{"src": "i", "trigger": "a", "dst": "i", "firing": ["l", "r"]}],
+            firing_delay=2.0,
+        )
+        assert parsed[0].firing == {"l": 2.0, "r": 2.0}
+
+    def test_firing_dict_gives_explicit_delays(self):
+        parsed = parse_transitions(
+            "X", ["q"],
+            [{"src": "i", "trigger": "a", "dst": "i", "firing": {"q": 9.9}}],
+        )
+        assert parsed[0].firing == {"q": 9.9}
+
+    def test_per_output_delay_dict(self):
+        parsed = parse_transitions(
+            "X", ["l", "r"],
+            [{"src": "i", "trigger": "a", "dst": "i", "firing": ["l", "r"]}],
+            firing_delay={"l": 1.0, "r": 2.0},
+        )
+        assert parsed[0].firing == {"l": 1.0, "r": 2.0}
+
+    def test_scalar_past_constraint_becomes_wildcard(self):
+        parsed = parse_transitions(
+            "X", ["q"],
+            [{"src": "i", "trigger": "a", "dst": "i", "firing": {"q": 1},
+              "past_constraints": 2.8}],
+        )
+        assert parsed[0].past_constraints == {"*": 2.8}
+
+    def test_transition_time_override_by_src_trigger(self):
+        parsed = parse_transitions(
+            "X", ["q"],
+            [{"src": "i", "trigger": "a", "dst": "i",
+              "transition_time": 1.0, "firing": {"q": 1}}],
+            transition_time_overrides={("i", "a"): 7.0},
+        )
+        assert parsed[0].transition_time == 7.0
+
+    def test_unrecognized_field_rejected(self):
+        with pytest.raises(WellFormednessError, match="unrecognized field"):
+            parse_transitions(
+                "X", ["q"],
+                [{"src": "i", "trigger": "a", "dst": "i", "bogus": 1}],
+            )
+
+    def test_missing_trigger_rejected(self):
+        with pytest.raises(WellFormednessError, match="missing its 'trigger'"):
+            parse_transitions("X", ["q"], [{"src": "i", "dst": "i"}])
+
+    def test_firing_without_delay_source_rejected(self):
+        with pytest.raises(WellFormednessError, match="no 'firing_delay'"):
+            parse_transitions(
+                "X", ["q"],
+                [{"src": "i", "trigger": "a", "dst": "i", "firing": "q"}],
+            )
+
+    def test_delay_dict_missing_output_rejected(self):
+        with pytest.raises(WellFormednessError, match="no entry for output"):
+            parse_transitions(
+                "X", ["l", "r"],
+                [{"src": "i", "trigger": "a", "dst": "i", "firing": ["l", "r"]}],
+                firing_delay={"l": 1.0},
+            )
+
+    def test_bad_priority_rejected(self):
+        with pytest.raises(WellFormednessError, match="priority"):
+            parse_transitions(
+                "X", ["q"],
+                [{"src": "i", "trigger": "a", "dst": "i", "priority": -1,
+                  "firing": {"q": 1}}],
+            )
+
+    def test_empty_trigger_list_rejected(self):
+        with pytest.raises(WellFormednessError, match="empty trigger"):
+            parse_transitions(
+                "X", ["q"], [{"src": "i", "trigger": [], "dst": "i"}]
+            )
+
+
+class TestTransitionalClass:
+    def test_machine_shared_across_instances(self):
+        assert Toggle().machine is Toggle().machine
+
+    def test_instance_override_builds_private_machine(self):
+        fast = Toggle(firing_delay=1.0)
+        assert fast.machine is not Toggle().machine
+        transition = fast.machine.delta("set", "a")
+        assert transition.firing == {"q": 1.0}
+
+    def test_handle_inputs_mutates_state(self):
+        cell = Toggle()
+        assert cell.state == "idle"
+        assert cell.handle_inputs(["a"], 1.0) == []
+        assert cell.state == "set"
+        assert cell.handle_inputs(["a"], 2.0) == [("q", 3.0)]
+        assert cell.state == "idle"
+
+    def test_reset_restores_initial_configuration(self):
+        cell = Toggle()
+        cell.handle_inputs(["a"], 1.0)
+        cell.reset()
+        assert cell.state == "idle"
+
+    def test_missing_class_attribute_rejected(self):
+        class Broken(Transitional):
+            name = "B"
+            inputs = ["a"]
+            outputs = ["q"]
+            # no transitions
+
+        with pytest.raises(WellFormednessError, match="transitions"):
+            Broken()
+
+    def test_unknown_init_option_rejected(self):
+        with pytest.raises(WellFormednessError, match="unknown instantiation"):
+            Toggle(bogus=3)
+
+    def test_transition_time_override_applies(self):
+        slow = Toggle(transition_time={("idle", "a"): 9.0})
+        assert slow.machine.delta("idle", "a").transition_time == 9.0
+
+
+class TestSFQ:
+    def test_and_matches_figure8(self):
+        cell = AND()
+        machine = cell.machine
+        assert machine.inputs == ("a", "b", "clk")
+        assert machine.outputs == ("q",)
+        assert len(machine.states) == 4
+        assert len(machine.transitions) == 12
+        assert AND.dsl_size() == 11
+        assert cell.jjs == 11
+        assert AND.firing_delay == 9.2
+
+    def test_figure13_transition_id_is_seven(self):
+        """The b_arr --clk--> idle edge must be transition 7 (Figure 13)."""
+        transition = AND().machine.delta("b_arr", "clk")
+        assert transition.id == 7
+
+    def test_jjs_override(self):
+        assert AND(jjs=15).jjs == 15
+
+    def test_bad_jjs_override_rejected(self):
+        with pytest.raises(WellFormednessError, match="jjs"):
+            AND(jjs=-2)
+
+    def test_sfq_requires_jjs(self):
+        class NoJJ(SFQ):
+            name = "NOJJ"
+            inputs = ["a"]
+            outputs = ["q"]
+            firing_delay = 1.0
+            transitions = [
+                {"src": "idle", "trigger": "a", "dst": "idle", "firing": "q"},
+            ]
+
+        with pytest.raises(WellFormednessError, match="jjs"):
+            NoJJ()
+
+    def test_sfq_requires_firing_delay(self):
+        class NoDelay(SFQ):
+            name = "NOD"
+            inputs = ["a"]
+            outputs = ["q"]
+            jjs = 2
+            transitions = [
+                {"src": "idle", "trigger": "a", "dst": "idle",
+                 "firing": {"q": 1.0}},
+            ]
+
+        with pytest.raises(WellFormednessError, match="firing_delay"):
+            NoDelay()

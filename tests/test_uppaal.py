@@ -1,0 +1,133 @@
+"""Tests for the UPPAAL XML export and generated TCTL queries."""
+
+import xml.etree.ElementTree as ET
+
+from repro.core.circuit import working_circuit
+from repro.core.helpers import inp_at
+from repro.core.simulation import Simulation
+from repro.designs import min_max
+from repro.sfq import and_s, jtl
+from repro.ta import (
+    correctness_query,
+    no_error_query,
+    to_uppaal_xml,
+    translate_circuit,
+)
+
+
+def build_and():
+    a = inp_at(30.0, name="A")
+    b = inp_at(35.0, name="B")
+    clk = inp_at(50.0, 100.0, name="CLK")
+    and_s(a, b, clk, name="Q")
+    return working_circuit()
+
+
+class TestXmlExport:
+    def test_xml_is_well_formed(self):
+        circuit = build_and()
+        translation = translate_circuit(circuit)
+        xml = to_uppaal_xml(translation.network)
+        root = ET.fromstring(xml)
+        assert root.tag == "nta"
+
+    def test_doctype_targets_uppaal(self):
+        circuit = build_and()
+        xml = to_uppaal_xml(translate_circuit(circuit).network)
+        assert "Uppaal Team//DTD Flat System" in xml
+
+    def test_one_template_per_automaton(self):
+        circuit = build_and()
+        translation = translate_circuit(circuit)
+        root = ET.fromstring(to_uppaal_xml(translation.network))
+        templates = root.findall("template")
+        assert len(templates) == len(translation.network.automata)
+
+    def test_declarations_cover_clocks_and_channels(self):
+        circuit = build_and()
+        translation = translate_circuit(circuit)
+        root = ET.fromstring(to_uppaal_xml(translation.network))
+        decl = root.find("declaration").text
+        assert "clock global" in decl
+        assert "chan " in decl
+        for channel in translation.network.channels:
+            assert channel in decl
+
+    def test_system_instantiates_everything(self):
+        circuit = build_and()
+        translation = translate_circuit(circuit)
+        root = ET.fromstring(to_uppaal_xml(translation.network))
+        system = root.find("system").text
+        for ta in translation.network.automata:
+            assert ta.name in system
+
+    def test_invariants_and_guards_serialized(self):
+        circuit = build_and()
+        translation = translate_circuit(circuit)
+        xml = to_uppaal_xml(translation.network)
+        root = ET.fromstring(xml)
+        kinds = {
+            label.get("kind")
+            for label in root.iter("label")
+        }
+        assert {"invariant", "guard", "synchronisation", "assignment"} <= kinds
+
+    def test_queries_embedded(self):
+        circuit = build_and()
+        translation = translate_circuit(circuit)
+        xml = to_uppaal_xml(translation.network, queries=["A[] not deadlock"])
+        root = ET.fromstring(xml)
+        formulas = [q.find("formula").text for q in root.iter("query")]
+        assert formulas == ["A[] not deadlock"]
+
+    def test_save_roundtrip(self, tmp_path):
+        from repro.ta import save_uppaal_xml
+
+        circuit = build_and()
+        translation = translate_circuit(circuit)
+        path = tmp_path / "out.xml"
+        save_uppaal_xml(translation.network, str(path))
+        assert ET.parse(path).getroot().tag == "nta"
+
+
+class TestGeneratedQueries:
+    def test_query1_matches_paper_shape(self):
+        """The min-max Query 1 formula from Section 5.3, scaled x10."""
+        a = inp_at(115, 215, 315, name="A")
+        b = inp_at(64, 184, 304, name="B")
+        low, high = min_max(a, b)
+        low.observe("low")
+        high.observe("high")
+        circuit = working_circuit()
+        events = Simulation(circuit).simulate()
+        translation = translate_circuit(circuit)
+        tctl = correctness_query(circuit, translation, events).to_tctl()
+        for constant in ("890", "2090", "3290", "1400", "2400", "3400"):
+            assert f"global == {constant}" in tctl
+        assert tctl.startswith("A[] (")
+        assert "fta_end imply" in tctl
+
+    def test_query2_lists_instance_error_locations(self):
+        """Query 2 names locations like c0.C_err_a_1 (Section 5.3)."""
+        a = inp_at(115, name="A")
+        b = inp_at(64, name="B")
+        low, high = min_max(a, b)
+        low.observe("low")
+        high.observe("high")
+        circuit = working_circuit()
+        tctl = no_error_query(translate_circuit(circuit)).to_tctl()
+        assert "c0.C_err_" in tctl
+        assert "c_inv0.C_INV_err_" in tctl
+
+    def test_query1_without_pulses_forbids_location(self):
+        a = inp_at(30.0, name="A")   # AND never fires: no b pulse
+        b = inp_at(name="B")
+        clk = inp_at(50.0, name="CLK")
+        and_s(a, b, clk, name="Q")
+        circuit = working_circuit()
+        events = Simulation(circuit).simulate()
+        assert events["Q"] == []
+        translation = translate_circuit(circuit)
+        query = correctness_query(circuit, translation, events)
+        assert all(not p.allowed_times for p in query.properties)
+        assert "A[] not" in query.properties[0].to_tctl()

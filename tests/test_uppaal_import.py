@@ -1,0 +1,92 @@
+"""Round-trip tests: UPPAAL XML export -> import -> re-verification."""
+
+import pytest
+
+from repro.core.circuit import working_circuit
+from repro.core.errors import PylseError
+from repro.core.helpers import inp, inp_at
+from repro.mc import ModelChecker
+from repro.sfq import and_s, jtl
+from repro.ta import (
+    Query,
+    from_uppaal_xml,
+    no_error_query,
+    to_uppaal_xml,
+    translate_circuit,
+)
+from repro.designs import min_max
+
+
+def build_and_translation():
+    a = inp_at(125, 175, name="A")
+    b = inp_at(75, 185, name="B")
+    clk = inp(start=50, period=50, n=4, name="CLK")
+    and_s(a, b, clk, name="Q")
+    return translate_circuit(working_circuit())
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        translation = build_and_translation()
+        reimported = from_uppaal_xml(to_uppaal_xml(translation.network))
+        original = translation.network
+        assert reimported.n_automata == original.n_automata
+        assert reimported.n_locations == original.n_locations
+        assert reimported.n_edges == original.n_edges
+        assert sorted(reimported.all_clocks()) == sorted(original.all_clocks())
+        assert sorted(reimported.all_channels()) == sorted(original.all_channels())
+
+    def test_roles_and_markers_recovered(self):
+        translation = build_and_translation()
+        reimported = from_uppaal_xml(to_uppaal_xml(translation.network))
+        roles = {ta.role for ta in reimported.automata}
+        assert roles == {"cell", "firing", "input", "sink"}
+        firing = next(ta for ta in reimported.automata if ta.role == "firing")
+        assert firing.end_locations == ["fta_end"]
+        main = next(ta for ta in reimported.automata if ta.name == "and0")
+        assert main.error_locations      # AND_err_* recovered by name
+
+    def test_reimported_network_verifies_identically(self):
+        translation = build_and_translation()
+        reimported = from_uppaal_xml(to_uppaal_xml(translation.network))
+        q2_orig = no_error_query(translation)
+        q2_reimp = Query(
+            kind="no_errors",
+            error_locations=[
+                (ta.name, loc)
+                for ta in reimported.automata
+                for loc in ta.error_locations
+            ],
+        )
+        original = ModelChecker(translation.network, time_limit=60).run([q2_orig])
+        again = ModelChecker(reimported, time_limit=60).run([q2_reimp])
+        assert original.satisfied == again.satisfied
+        assert original.states_explored == again.states_explored
+
+    def test_min_max_roundtrip(self):
+        a = inp_at(115, name="A")
+        b = inp_at(64, name="B")
+        low, high = min_max(a, b)
+        low.observe("low")
+        high.observe("high")
+        translation = translate_circuit(working_circuit())
+        reimported = from_uppaal_xml(to_uppaal_xml(translation.network))
+        assert reimported.n_locations == translation.network.n_locations
+
+
+class TestImportErrors:
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(PylseError, match="Invalid UPPAAL XML"):
+            from_uppaal_xml("<nta><unclosed>")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(PylseError, match="Expected <nta>"):
+            from_uppaal_xml("<other/>")
+
+    def test_bad_constraint_rejected(self):
+        a = inp_at(10.0, name="A")
+        jtl(a, name="Q")
+        xml = to_uppaal_xml(translate_circuit(working_circuit()).network)
+        broken = xml.replace("c_jtl0_h == 0", "c_jtl0_h ** 0", 1)
+        with pytest.raises(PylseError, match="Cannot parse"):
+            from_uppaal_xml(broken)

@@ -1,0 +1,96 @@
+"""Tests for VCD waveform export."""
+
+import pytest
+
+from repro.core.errors import PylseError
+from repro.core.helpers import inp_at
+from repro.core.simulation import Simulation
+from repro.core.vcd import PULSE_WIDTH, TICKS_PER_PS, events_to_vcd, save_vcd
+from repro.sfq import jtl
+
+
+def parse_changes(vcd_text):
+    """Extract {tick: [(value, code), ...]} from a VCD body."""
+    changes = {}
+    tick = None
+    in_body = False
+    for line in vcd_text.splitlines():
+        if line.startswith("$enddefinitions"):
+            in_body = True
+            continue
+        if not in_body:
+            continue
+        if line.startswith("#"):
+            tick = int(line[1:])
+            changes.setdefault(tick, [])
+        elif line and line[0] in "01" and tick is not None:
+            changes[tick].append((int(line[0]), line[1:]))
+    return changes
+
+
+class TestVcdFormat:
+    def test_header_structure(self):
+        text = events_to_vcd({"A": [1.0]})
+        assert text.startswith("$comment")
+        assert "$timescale 100fs $end" in text
+        assert "$var wire 1 ! A $end" in text
+        assert "$enddefinitions $end" in text
+
+    def test_empty_events_rejected(self):
+        with pytest.raises(PylseError):
+            events_to_vcd({})
+
+    def test_pulse_becomes_rise_and_fall(self):
+        text = events_to_vcd({"A": [10.0]})
+        changes = parse_changes(text)
+        rise = 10 * TICKS_PER_PS
+        fall = round((10.0 + PULSE_WIDTH) * TICKS_PER_PS)
+        assert (1, "!") in changes[rise]
+        assert (0, "!") in changes[fall]
+
+    def test_close_pulses_do_not_overlap(self):
+        text = events_to_vcd({"A": [10.0, 11.0]})
+        changes = parse_changes(text)
+        # Fall of pulse 1 is clipped to the rise of pulse 2.
+        assert (0, "!") in changes[110]
+        assert (1, "!") in changes[110]
+
+    def test_spaces_in_names_sanitized(self):
+        text = events_to_vcd({"my wire": [1.0]})
+        assert "my_wire" in text
+        assert "my wire" not in text.split("$enddefinitions")[0].split("$var")[1]
+
+    def test_many_wires_get_unique_codes(self):
+        events = {f"w{k}": [float(k + 1)] for k in range(100)}
+        text = events_to_vcd(events)
+        codes = [
+            line.split()[3]
+            for line in text.splitlines()
+            if line.startswith("$var")
+        ]
+        assert len(codes) == len(set(codes)) == 100
+
+
+class TestVcdIntegration:
+    def test_simulation_roundtrip(self, tmp_path):
+        a = inp_at(10.0, 30.0, name="A")
+        jtl(a, name="Q")
+        events = Simulation().simulate()
+        path = tmp_path / "wave.vcd"
+        save_vcd(events, str(path))
+        text = path.read_text()
+        changes = parse_changes(text)
+        # A pulses at ticks 100, 300; Q at 150, 350.
+        codes = {
+            line.split()[4]: line.split()[3]
+            for line in text.splitlines()
+            if line.startswith("$var")
+        }
+        assert (1, codes["A"]) in changes[100]
+        assert (1, codes["Q"]) in changes[150]
+        assert (1, codes["Q"]) in changes[350]
+
+    def test_fractional_times_exact(self):
+        text = events_to_vcd({"Q": [209.2]})
+        changes = parse_changes(text)
+        assert (1, "!") in changes[2092]

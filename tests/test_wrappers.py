@@ -1,0 +1,120 @@
+"""Systematic tests of the cell wrapper functions (Table 1 / Section 4.1)."""
+
+import pytest
+
+from repro.core.circuit import working_circuit
+from repro.core.helpers import inp, inp_at
+from repro.core.simulation import Simulation
+from repro.sfq import (
+    and_s, c, c_inv, dro, dro_c, dro_sr, inv_s, join, jtl, m, nand_s, ndro,
+    nor_s, or_s, s, t1, xnor_s, xor_s,
+)
+
+TWO_IN_CLOCKED = [and_s, or_s, nand_s, nor_s, xor_s, xnor_s]
+
+
+class TestWrapperPlacement:
+    @pytest.mark.parametrize("wrapper", TWO_IN_CLOCKED, ids=lambda f: f.__name__)
+    def test_clocked_gate_wrappers(self, wrapper):
+        a = inp_at(30.0, name="A")
+        b = inp_at(35.0, name="B")
+        clk = inp(start=50, period=50, n=2, name="CLK")
+        q = wrapper(a, b, clk, name="Q")
+        assert q.name == "Q"
+        node = working_circuit().cells()[0]
+        assert list(node.input_wires.values()) == [a, b, clk]
+        Simulation().simulate()   # runs clean
+
+    def test_async_wrappers(self):
+        a = inp_at(10.0, name="A")
+        b = inp_at(40.0, name="B")
+        q1 = c(a, b)
+        q2 = jtl(q1)
+        left, right = s(q2)
+        merged = m(left, right, name="OUT")
+        del merged
+        events = Simulation().simulate()
+        # C fires at 52, JTL at 57, splitter at 68, merger twice at 76.2.
+        assert events["OUT"] == [76.2, 76.2]
+
+    def test_c_inv_wrapper(self):
+        a = inp_at(10.0, name="A")
+        b = inp_at(40.0, name="B")
+        c_inv(a, b, name="Q")
+        assert Simulation().simulate()["Q"] == [24.0]
+
+    def test_storage_wrappers(self):
+        a = inp_at(30.0, name="A")
+        clk = inp(start=50, period=50, n=2, name="CLK")
+        dro(a, clk, name="Q")
+        events = Simulation().simulate()
+        assert events["Q"] == [55.1]
+
+    def test_dro_sr_wrapper(self):
+        a = inp_at(30.0, name="A")
+        rst = inp_at(40.0, name="RST")
+        clk = inp_at(60.0, name="CLK")
+        dro_sr(a, rst, clk, name="Q")
+        assert Simulation().simulate()["Q"] == []
+
+    def test_dro_c_wrapper(self):
+        a = inp_at(30.0, name="A")
+        clk = inp(start=50, period=50, n=2, name="CLK")
+        q, qnot = dro_c(a, clk, names="Q QN")
+        del q, qnot
+        events = Simulation().simulate()
+        assert len(events["Q"]) == 1 and len(events["QN"]) == 1
+
+    def test_inv_wrapper(self):
+        a = inp_at(name="A")     # never pulses
+        clk = inp_at(50.0, name="CLK")
+        inv_s(a, clk, name="Q")
+        assert len(Simulation().simulate()["Q"]) == 1
+
+    def test_join_wrapper(self):
+        a_t = inp_at(10.0, name="AT")
+        a_f = inp_at(name="AF")
+        b_t = inp_at(name="BT")
+        b_f = inp_at(30.0, name="BF")
+        outs = join(a_t, a_f, b_t, b_f, names="tt tf ft ff")
+        del outs
+        events = Simulation().simulate()
+        assert len(events["tf"]) == 1
+        assert not events["tt"] and not events["ft"] and not events["ff"]
+
+    def test_extension_wrappers(self):
+        set_ = inp_at(10.0, name="SET")
+        rst = inp_at(name="RST")
+        clk = inp(start=50, period=50, n=2, name="CLK")
+        ndro(set_, rst, clk, name="Q")
+        a = inp_at(200.0, 220.0, name="A2")
+        q0, q1 = t1(a, names="T0 T1")
+        del q0, q1
+        events = Simulation().simulate()
+        assert len(events["Q"]) == 2          # non-destructive readout
+        assert len(events["T0"]) == len(events["T1"]) == 1
+
+
+class TestDispatchPriorityReevaluation:
+    def test_priority_read_from_new_state(self):
+        """After the first simultaneous symbol is dispatched, the remaining
+        symbols' priorities are re-read from the *new* state (the Dispatch
+        Relation's argmin is per-configuration, not per-group)."""
+        from repro.core.machine import PylseMachine, Transition
+
+        machine = PylseMachine(
+            name="P2", inputs=["x", "y"], outputs=["q"],
+            transitions=[
+                # In 'idle', x has priority; in 'next', y does.
+                Transition(0, "idle", "x", "next", 0),
+                Transition(1, "idle", "y", "idle", 1, firing={"q": 1.0}),
+                Transition(2, "next", "y", "idle", 0, firing={"q": 2.0}),
+                Transition(3, "next", "x", "next", 1),
+            ],
+        )
+        config, outs = machine.dispatch(
+            machine.initial_configuration(), {"x", "y"}, 10.0
+        )
+        # x first (priority 0 in idle) -> 'next'; then y fires with delay 2.
+        assert outs == [("q", 12.0)]
+        assert config.state == "idle"

@@ -1,0 +1,6 @@
+"""Helpers shared between the tools/ scripts and their tests."""
+
+
+def golden_slug(name: str) -> str:
+    """The filename slug tools/gen_goldens.py uses for a design name."""
+    return name.lower().replace(" ", "_").replace("(", "").replace(")", "")

@@ -1,0 +1,41 @@
+"""Regenerate tests/goldens/*.json — golden simulation events per design.
+
+Run from the repository root after an intentional behavior change:
+
+    python tools/gen_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.simulation import Simulation
+from repro.exp.registry import build_in_fresh_circuit, registry
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "tests" / "goldens"
+
+
+def slug(name: str) -> str:
+    return name.lower().replace(" ", "_").replace("(", "").replace(")", "")
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for entry in registry():
+        circuit = build_in_fresh_circuit(entry)
+        events = Simulation(circuit).simulate()
+        # Only user-named wires: auto names depend on elaboration order.
+        named = {
+            name: times
+            for name, times in sorted(events.items())
+            if not name.startswith("_")
+        }
+        path = GOLDEN_DIR / f"{slug(entry.name)}.json"
+        path.write_text(json.dumps({"design": entry.name, "events": named},
+                                   indent=1) + "\n")
+    print(f"wrote {len(registry())} goldens to {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    main()
