@@ -1,16 +1,57 @@
-"""Model-checker scaling: symbolic states vs input-schedule length.
+"""MC scaling benchmarks: model checking and Monte-Carlo yield.
 
-The zone graph grows with the number of environment pulses; this pins the
-growth curve on the AND cell (the paper's Table 3 'States' column, swept).
+Two MC axes in one file:
+
+* model-checker scaling — symbolic states vs input-schedule length on the
+  AND cell (the paper's Table 3 'States' column, swept);
+* Monte-Carlo yield scaling — a 200-seed Section 5.2 sweep of the bitonic-8
+  sorter, sequential (``workers=1``, the reference path) vs the
+  seed-sharded process pool (``workers=4``). On multi-core hosts the pool
+  run should be several times faster; results are bit-identical either way.
 """
 
 import pytest
 
 from repro.core.circuit import fresh_circuit
 from repro.core.helpers import inp, inp_at
+from repro.core.montecarlo import measure_yield
+from repro.designs import bitonic_sorter
 from repro.mc import ModelChecker
 from repro.sfq import and_s
 from repro.ta import no_error_query, translate_circuit
+
+MC_SORT_TIMES = (20.0, 70.0, 10.0, 45.0, 5.0, 90.0, 33.0, 60.0)
+MC_SIGMA = 0.5
+MC_SEEDS = 200
+
+
+def bitonic8_factory():
+    """Fresh bitonic-8 circuit (module-level: picklable for the pool)."""
+    with fresh_circuit() as circuit:
+        ins = [inp_at(t, name=f"i{k}") for k, t in enumerate(MC_SORT_TIMES)]
+        bitonic_sorter(ins, output_names=[f"o{k}" for k in range(8)])
+    return circuit
+
+
+def bitonic8_ok(events):
+    """Every output pulsed once, in sorted arrival order."""
+    if any(len(events[f"o{k}"]) != 1 for k in range(8)):
+        return False
+    firsts = [events[f"o{k}"][0] for k in range(8)]
+    return firsts == sorted(firsts)
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_mc_yield_workers(benchmark, workers):
+    result = benchmark.pedantic(
+        lambda: measure_yield(
+            bitonic8_factory, bitonic8_ok, sigma=MC_SIGMA,
+            seeds=range(MC_SEEDS), workers=workers,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert result.runs == MC_SEEDS
+    assert result.passed + result.mis_behaved + result.violations == MC_SEEDS
 
 
 @pytest.mark.parametrize("n_clocks", [2, 4, 6])

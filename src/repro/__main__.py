@@ -7,6 +7,7 @@ Usage::
     python -m repro dot DRO                   # Graphviz source for a cell
     python -m repro simulate Min-Max          # simulate a registry design
     python -m repro simulate Min-Max --vcd out.vcd
+    python -m repro yield Min-Max --sigma 1.0 --workers 4   # Monte-Carlo yield
     python -m repro verify JTL                # model-check a design
     python -m repro energy Min-Max            # switching-energy estimate
     python -m repro lint "Adder (Sync)"       # static design-rule report
@@ -24,11 +25,17 @@ import sys
 from .core.analysis import balance_report, clock_skew, total_jjs
 from .core.energy import energy_report
 from .core.errors import PylseError
+from .core.montecarlo import measure_yield
 from .core.serialize import circuit_to_json
 from .core.statictiming import slack_report
 from .core.simulation import Simulation, render_waveforms
 from .core.vcd import save_vcd
-from .exp.registry import build_in_fresh_circuit, registry
+from .exp.registry import (
+    PulseCountPredicate,
+    RegistryFactory,
+    build_in_fresh_circuit,
+    registry,
+)
 from .mc.check import verify_design
 from .sfq import BASIC_CELLS, EXTENSION_CELLS
 from .sfq.datasheet import datasheet, machine_to_dot
@@ -87,6 +94,39 @@ def cmd_simulate(args) -> int:
     if args.vcd:
         save_vcd(events, args.vcd, comment=f"repro design {entry.name}")
         print(f"\nwrote {args.vcd}")
+    return 0
+
+
+def cmd_yield(args) -> int:
+    entry = _require(_designs(), args.name, "design")
+    if entry is None:
+        return 2
+    factory = RegistryFactory(entry.name)
+    baseline = Simulation(factory()).simulate()
+    predicate = PulseCountPredicate(baseline)
+    try:
+        result = measure_yield(
+            factory,
+            predicate,
+            sigma=args.sigma,
+            seeds=range(args.seeds),
+            workers=args.workers,
+        )
+    except PylseError as err:
+        print(str(err), file=sys.stderr)
+        return 1
+    print(f"Monte-Carlo yield for {entry.name}:")
+    print(f"  sigma: {result.sigma:g} ps, runs: {result.runs}, "
+          f"workers: {args.workers}")
+    print(f"  passed: {result.passed}  mis-behaved: {result.mis_behaved}  "
+          f"violations: {result.violations}")
+    print(f"  yield: {result.yield_fraction:.1%}")
+    if result.failures:
+        preview = ", ".join(
+            f"{seed}:{kind}" for seed, kind in list(result.failures.items())[:8]
+        )
+        more = "..." if len(result.failures) > 8 else ""
+        print(f"  failing seeds: {preview}{more}")
     return 0
 
 
@@ -196,6 +236,14 @@ def main(argv=None) -> int:
     p = sub.add_parser("simulate", help="simulate a registry design")
     p.add_argument("name")
     p.add_argument("--vcd", help="also write a VCD waveform file")
+    p = sub.add_parser("yield", help="Monte-Carlo timing yield for a design")
+    p.add_argument("name")
+    p.add_argument("--sigma", type=float, default=0.5,
+                   help="Gaussian delay noise in ps (default 0.5)")
+    p.add_argument("--seeds", type=int, default=50,
+                   help="number of Monte-Carlo trials (default 50)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool workers; 0 = one per CPU (default 1)")
     p = sub.add_parser("verify", help="model-check a registry design")
     p.add_argument("name")
     p.add_argument("--max-states", type=int, default=200_000)
@@ -217,6 +265,7 @@ def main(argv=None) -> int:
         "datasheet": cmd_datasheet,
         "dot": cmd_dot,
         "simulate": cmd_simulate,
+        "yield": cmd_yield,
         "verify": cmd_verify,
         "energy": cmd_energy,
         "lint": cmd_lint,

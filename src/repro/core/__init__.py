@@ -26,6 +26,7 @@ from .helpers import inp, inp_at, inspect
 from .htmlwave import events_to_html, save_html
 from .machine import Configuration, PylseMachine, Transition, WILDCARD
 from .montecarlo import YieldResult, critical_sigma, measure_yield, yield_curve
+from .parallel import resolve_workers, run_seeds_parallel
 from .serialize import circuit_from_json, circuit_to_json
 from .simulation import Events, Simulation, TraceEntry, render_waveforms
 from .statictiming import (
@@ -63,6 +64,8 @@ __all__ = [
     "YieldResult",
     "critical_sigma",
     "measure_yield",
+    "resolve_workers",
+    "run_seeds_parallel",
     "yield_curve",
     "Configuration",
     "Element",

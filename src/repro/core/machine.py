@@ -113,6 +113,28 @@ class PylseMachine:
         self.states: Tuple[str, ...] = self._collect_states()
         self._delta: Dict[Tuple[str, str], Transition] = {}
         self._validate()
+        # Precomputed per-edge dispatch entries for the simulator hot loop:
+        # (dest, transition_time, firing items, expanded past constraints,
+        # transition). Wildcard constraints are expanded here, once, instead
+        # of per step.
+        self._fast: Dict[
+            Tuple[str, str],
+            Tuple[str, float, Tuple[Tuple[str, DelayLike], ...],
+                  Tuple[Tuple[str, float], ...], Transition],
+        ] = {
+            key: (
+                t.dest,
+                t.transition_time,
+                tuple(t.firing.items()),
+                tuple(self._constraint_items(t)),
+                t,
+            )
+            for key, t in self._delta.items()
+        }
+        #: theta template for initial configurations (copied, never mutated).
+        self._init_theta: Dict[str, float] = {
+            sym: -math.inf for sym in self.inputs
+        }
 
     # ------------------------------------------------------------------
     # validation
@@ -203,7 +225,7 @@ class PylseMachine:
         return Configuration(
             state=self.initial,
             tau_done=0.0,
-            theta={sym: -math.inf for sym in self.inputs},
+            theta=self._init_theta.copy(),
         )
 
     def delta(self, state: str, symbol: str) -> Transition:

@@ -14,8 +14,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .circuit import Circuit
-from .errors import PylseError, SimulationError
-from .simulation import Events, Simulation
+from .errors import PylseError
+from .parallel import (
+    MIS_BEHAVED,
+    OK,
+    VIOLATION,
+    classify_seed,
+    resolve_workers,
+    run_seeds_parallel,
+)
+from .simulation import Events
 
 #: A correctness predicate over simulation events.
 Predicate = Callable[[Events], bool]
@@ -46,6 +54,7 @@ def measure_yield(
     predicate: Predicate,
     sigma: float,
     seeds: Sequence[int] = tuple(range(50)),
+    workers: int = 1,
 ) -> YieldResult:
     """Run the design once per seed at the given noise level.
 
@@ -53,26 +62,37 @@ def measure_yield(
     instance naming are per-circuit); ``predicate`` judges the events of a
     completed run. Timing violations count as failures of kind
     "violation"; predicate failures as "mis-behaved".
+
+    ``workers`` shards the seed list across a process pool
+    (:mod:`repro.core.parallel`): ``1`` (the default) is the in-process
+    reference path, ``None``/``0`` means one worker per CPU. Parallel runs
+    are bit-identical to sequential ones for the same seed list, but
+    require ``factory`` and ``predicate`` to be picklable (module-level
+    callables).
     """
+    seeds = list(seeds)
     if not seeds:
         raise PylseError("measure_yield needs at least one seed")
+    workers = resolve_workers(workers)
+    if workers > 1 and len(seeds) > 1:
+        outcomes = run_seeds_parallel(
+            factory, predicate, sigma, seeds, workers
+        )
+    else:
+        outcomes = [
+            classify_seed(factory, predicate, sigma, seed) for seed in seeds
+        ]
     passed = mis = viol = 0
     failures: Dict[int, str] = {}
-    for seed in seeds:
-        circuit = factory()
-        try:
-            events = Simulation(circuit).simulate(
-                variability={"stddev": sigma}, seed=seed
-            )
-        except SimulationError:
-            viol += 1
-            failures[seed] = "violation"
-            continue
-        if predicate(events):
+    for seed, outcome in zip(seeds, outcomes):
+        if outcome == OK:
             passed += 1
+        elif outcome == VIOLATION:
+            viol += 1
+            failures[seed] = outcome
         else:
             mis += 1
-            failures[seed] = "mis-behaved"
+            failures[seed] = MIS_BEHAVED
     return YieldResult(
         sigma=sigma,
         runs=len(seeds),
@@ -88,9 +108,13 @@ def yield_curve(
     predicate: Predicate,
     sigmas: Sequence[float],
     seeds: Sequence[int] = tuple(range(25)),
+    workers: int = 1,
 ) -> List[YieldResult]:
     """Yield at each noise level, for plotting or tabulation."""
-    return [measure_yield(factory, predicate, s, seeds) for s in sigmas]
+    return [
+        measure_yield(factory, predicate, s, seeds, workers=workers)
+        for s in sigmas
+    ]
 
 
 def critical_sigma(
@@ -100,23 +124,31 @@ def critical_sigma(
     sigma_hi: float = 8.0,
     seeds: Sequence[int] = tuple(range(20)),
     iterations: int = 6,
+    workers: int = 1,
 ) -> Optional[float]:
     """Bisect for the smallest sigma at which yield drops below target.
 
     Returns None if the design already fails at sigma = 0 (a functional
     bug, not a robustness limit); returns ``sigma_hi`` if the design still
     meets the target there (more robust than the search range).
+    ``workers`` is forwarded to every underlying :func:`measure_yield`.
     """
     if not 0 < target_yield <= 1:
         raise PylseError(f"target_yield must be in (0, 1], got {target_yield}")
-    if measure_yield(factory, predicate, 0.0, seeds).yield_fraction < target_yield:
+
+    def sample(sigma: float) -> float:
+        return measure_yield(
+            factory, predicate, sigma, seeds, workers=workers
+        ).yield_fraction
+
+    if sample(0.0) < target_yield:
         return None
-    if measure_yield(factory, predicate, sigma_hi, seeds).yield_fraction >= target_yield:
+    if sample(sigma_hi) >= target_yield:
         return sigma_hi
     lo, hi = 0.0, sigma_hi
     for _ in range(iterations):
         mid = (lo + hi) / 2
-        if measure_yield(factory, predicate, mid, seeds).yield_fraction >= target_yield:
+        if sample(mid) >= target_yield:
             lo = mid
         else:
             hi = mid

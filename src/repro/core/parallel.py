@@ -1,0 +1,148 @@
+"""Parallel Monte-Carlo execution: a seed-sharded process-pool backend.
+
+Section 5.2's yield sweeps re-run the same design once per seed; every run
+is independent, so the sweep shards its seed list into contiguous chunks
+and farms them out to a ``concurrent.futures`` process pool. Each worker
+elaborates a *fresh* circuit per seed via the caller's ``CircuitFactory``
+(element state and instance naming are per-circuit, so nothing is shared),
+classifies the run, and sends back one outcome token per seed.
+
+Determinism contract: chunks are contiguous slices of the caller's seed
+list and results are merged back in chunk order, so the outcome sequence —
+and therefore every :class:`~repro.core.montecarlo.YieldResult` field,
+including the insertion order of the ``failures`` dict — is bit-identical
+to running the same seed list sequentially. The sequential path in
+:mod:`repro.core.montecarlo` stays the reference implementation
+(``workers=1``).
+
+Process pools pickle their tasks, so ``factory`` and ``predicate`` must be
+module-level callables (or otherwise picklable objects); lambdas and
+closures are rejected up front with a clear error instead of a mid-pool
+traceback.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+from .errors import PylseError, SimulationError
+from .simulation import Events, Simulation
+
+#: Outcome tokens, one per seed. ``OK`` counts toward yield; the other two
+#: are recorded in ``YieldResult.failures``.
+OK = "ok"
+MIS_BEHAVED = "mis-behaved"
+VIOLATION = "violation"
+
+
+def classify_seed(
+    factory: Callable[[], object],
+    predicate: Callable[[Events], bool],
+    sigma: float,
+    seed: int,
+) -> str:
+    """One Monte-Carlo trial: build, simulate under noise, judge.
+
+    This is the unit of work shared by the sequential and parallel
+    backends, which is what makes their results definitionally identical.
+    """
+    circuit = factory()
+    try:
+        events = Simulation(circuit).simulate(
+            variability={"stddev": sigma}, seed=seed
+        )
+    except SimulationError:
+        return VIOLATION
+    return OK if predicate(events) else MIS_BEHAVED
+
+
+def run_chunk(
+    factory: Callable[[], object],
+    predicate: Callable[[Events], bool],
+    sigma: float,
+    seeds: Sequence[int],
+) -> List[str]:
+    """Classify a contiguous chunk of seeds (the per-worker task)."""
+    return [classify_seed(factory, predicate, sigma, seed) for seed in seeds]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers=`` argument to a concrete positive count.
+
+    ``None`` or ``0`` means "one per available CPU"; negative counts are
+    rejected.
+    """
+    if workers is None or workers == 0:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # platforms without affinity support
+            return max(1, os.cpu_count() or 1)
+    if not isinstance(workers, int) or workers < 0:
+        raise PylseError(
+            f"workers must be a non-negative integer or None, got {workers!r}"
+        )
+    return workers
+
+
+def chunk_seeds(seeds: Sequence[int], chunks: int) -> List[Sequence[int]]:
+    """Split ``seeds`` into at most ``chunks`` contiguous, near-equal slices.
+
+    Contiguity is what keeps the merged outcome order identical to the
+    sequential backend's.
+    """
+    if chunks < 1:
+        raise PylseError(f"chunk count must be >= 1, got {chunks}")
+    n = len(seeds)
+    chunks = min(chunks, n) or 1
+    size, extra = divmod(n, chunks)
+    out: List[Sequence[int]] = []
+    start = 0
+    for index in range(chunks):
+        stop = start + size + (1 if index < extra else 0)
+        out.append(seeds[start:stop])
+        start = stop
+    return out
+
+
+def _require_picklable(factory, predicate) -> None:
+    try:
+        pickle.dumps((factory, predicate))
+    except Exception as err:
+        raise PylseError(
+            "Parallel Monte-Carlo needs a picklable factory and predicate "
+            "(module-level functions, not lambdas or closures) so they can "
+            f"be shipped to worker processes; pickling failed with: {err}"
+        ) from None
+
+
+def run_seeds_parallel(
+    factory: Callable[[], object],
+    predicate: Callable[[Events], bool],
+    sigma: float,
+    seeds: Sequence[int],
+    workers: int,
+    chunks_per_worker: int = 1,
+) -> List[str]:
+    """Classify every seed using a process pool; outcomes in seed order.
+
+    ``chunks_per_worker > 1`` trades merge determinism for nothing (order
+    is preserved either way) but improves load balance when per-seed cost
+    varies, e.g. when some seeds hit early timing violations.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        return []
+    _require_picklable(factory, predicate)
+    chunks = chunk_seeds(seeds, workers * max(1, chunks_per_worker))
+    outcomes: List[str] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(run_chunk, factory, predicate, sigma, chunk)
+            for chunk in chunks
+        ]
+        for future in futures:  # submission order == seed order
+            outcomes.extend(future.result())
+    return outcomes

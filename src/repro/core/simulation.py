@@ -10,6 +10,21 @@ with feedback loops).
 The result is the ``events`` dictionary mapping every named wire to the
 ordered list of pulse times that appeared on it — the object the paper's
 Section 5.2 dynamic-correctness checks are written against.
+
+The inner loop is the hot path behind every workload in this repo (Table 2,
+the bitonic scaling study, the Section 5.2 Monte-Carlo sweeps), so
+``simulate`` front-loads all per-node decisions before draining the heap:
+
+* each node gets a *dispatch record* carrying its bound deliver method
+  (``raw_firings`` vs ``handle_inputs`` — no ``isinstance`` per group), its
+  activity counters, and a per-output-port map to ``(event series,
+  destination record)`` so ``emit`` costs one dict probe instead of two;
+* the heap holds flat primitive tuples (see :mod:`repro.core.events`), not
+  ``Pulse`` objects;
+* variability, tracing, and per-group object bookkeeping live in a separate
+  general loop — the common ``simulate()`` call with no noise and no trace
+  pays for none of it. Both loops produce bit-identical events for the same
+  inputs (the fast path is the reference semantics, minus the bookkeeping).
 """
 
 from __future__ import annotations
@@ -19,9 +34,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .circuit import Circuit, working_circuit
-from .element import InGen
 from .errors import PylseError, SimulationError
-from .events import Pulse, PulseHeap
+from .events import PulseHeap
 from .functional import Functional
 from .node import Node
 from .timing import Distribution, VariabilitySpec, sample_delay
@@ -29,6 +43,13 @@ from .transitional import Transitional
 from .wire import Wire
 
 Events = Dict[str, List[float]]
+
+#: Per-node dispatch record indices (plain lists beat attribute access in
+#: the inner loop): NODE is the placed node, DELIVER the bound dispatch
+#: method, COUNTS the mutable [pulses_in, pulses_out] pair shared with
+#: ``Simulation.activity``, OUTS the per-output-port emit map, and
+#: TRANSITIONAL whether the element carries machine state (trace recording).
+_REC_NODE, _REC_DELIVER, _REC_COUNTS, _REC_OUTS, _REC_TRANSITIONAL = range(5)
 
 
 @dataclass(frozen=True)
@@ -110,67 +131,68 @@ class Simulation:
             if isinstance(node.element, Transitional):
                 node.element.set_dispatch_rng(tie_rng)
 
-        events: Events = {self._label(w): [] for w in circuit.wires}
+        # ---- precompute the dispatch plan -----------------------------
+        # Wires sharing an observation label share one series list, exactly
+        # as the previous per-emit dict lookup behaved.
+        events: Events = {}
+        series_of: Dict[Wire, List[float]] = {}
+        for wire in circuit.wires:
+            label = wire.observed_as
+            series = events.get(label)
+            if series is None:
+                series = events[label] = []
+            series_of[wire] = series
+
+        records: Dict[Node, list] = {}
+        activity: Dict[str, List[int]] = {}
+        for node in circuit.cells():
+            element = node.element
+            if isinstance(element, (Transitional, Functional)):
+                deliver = element.raw_firings
+            else:
+                deliver = element.handle_inputs
+            counts = [0, 0]
+            activity[node.name] = counts
+            records[node] = [
+                node, deliver, counts, {}, isinstance(element, Transitional)
+            ]
+        dest_of = circuit.dest_of
+        for node, rec in records.items():
+            outs = rec[_REC_OUTS]
+            for port, wire in node.output_wires.items():
+                dest = dest_of.get(wire)
+                if dest is None:
+                    outs[port] = (series_of[wire], -1, None, "")
+                else:
+                    dnode, dport = dest
+                    outs[port] = (
+                        series_of[wire], dnode.node_id, records[dnode], dport
+                    )
+
         heap = PulseHeap()
+        push = heap.push_raw
         self.pulses_processed = 0
         self.until = until
-        self.activity = {node.name: [0, 0] for node in circuit.cells()}
+        self.activity = activity
         self.trace = []
-
-        def emit(wire: Wire, time: float) -> None:
-            events[self._label(wire)].append(time)
-            dest = circuit.dest_of.get(wire)
-            if dest is not None:
-                node, port = dest
-                heap.push(Pulse(time, node, port))
 
         for node in circuit.input_nodes():
             out_wire = node.output_wires["out"]
+            series = series_of[out_wire]
+            dest = dest_of.get(out_wire)
+            if dest is None:
+                series.extend(node.element.times)  # type: ignore[attr-defined]
+                continue
+            dnode, dport = dest
+            dkey, drec = dnode.node_id, records[dnode]
             for t in node.element.times:  # type: ignore[attr-defined]
-                emit(out_wire, t)
+                series.append(t)
+                push(t, dkey, drec, dport)
 
-        while heap:
-            node, ports, time = heap.pop_simultaneous()
-            if until is not None and time > until:
-                break
-            if max_pulses is not None and self.pulses_processed >= max_pulses:
-                raise SimulationError(
-                    f"Simulation exceeded {max_pulses} pulses at t={time:g} "
-                    "without draining; a feedback loop probably needs an "
-                    "'until' horizon (or raise max_pulses)"
-                )
-            self.pulses_processed += len(ports)
-            state_before = (
-                node.element.state
-                if record and isinstance(node.element, Transitional)
-                else None
-            )
-            firings = self._deliver(node, ports, time)
-            counts = self.activity[node.name]
-            counts[0] += len(ports)
-            counts[1] += len(firings)
-            emitted: List[Tuple[str, float]] = []
-            for out_port, delay in firings:
-                resolved = self._resolve_delay(delay, node, spec, rng)
-                emitted.append((out_port, time + resolved))
-                emit(node.output_wires[out_port], time + resolved)
-            if record:
-                state_after = (
-                    node.element.state
-                    if isinstance(node.element, Transitional)
-                    else None
-                )
-                self.trace.append(
-                    TraceEntry(
-                        time=time,
-                        node=node.name,
-                        cell=node.element.name,
-                        ports=tuple(ports),
-                        state_before=state_before,
-                        state_after=state_after,
-                        fired=tuple(emitted),
-                    )
-                )
+        if spec.enabled or record:
+            self._drain_general(heap, spec, rng, until, record, max_pulses)
+        else:
+            self._drain_fast(heap, rng, until, max_pulses)
 
         for series in events.values():
             series.sort()
@@ -178,21 +200,143 @@ class Simulation:
         return events
 
     # ------------------------------------------------------------------
+    def _drain_fast(
+        self,
+        heap: PulseHeap,
+        rng: random.Random,
+        until: Optional[float],
+        max_pulses: Optional[int],
+    ) -> None:
+        """Drain the heap with no variability and no trace recording.
+
+        This is the hot path: no per-group objects, no spec/trace checks,
+        scalar delays added directly (they were validated non-negative when
+        the machine / hole was built). Distribution-valued delays are still
+        sampled from ``rng``, matching the general path.
+        """
+        pending = heap._heap
+        pop = heap.pop_simultaneous
+        push = heap.push_raw
+        processed = self.pulses_processed
+        while pending:
+            rec, ports, time = pop()
+            if until is not None and time > until:
+                break
+            if max_pulses is not None and processed >= max_pulses:
+                self._overflow(max_pulses, time)
+            processed += len(ports)
+            try:
+                firings = rec[_REC_DELIVER](ports, time)
+            except SimulationError as err:
+                self.pulses_processed = processed
+                self._dispatch_error(rec[_REC_NODE], ports, err)
+            counts = rec[_REC_COUNTS]
+            counts[0] += len(ports)
+            counts[1] += len(firings)
+            outs = rec[_REC_OUTS]
+            for out_port, delay in firings:
+                if isinstance(delay, Distribution):
+                    delay = delay.sample(rng)
+                    if delay < 0:
+                        raise PylseError(
+                            f"Resolved firing delay is negative: {delay}"
+                        )
+                t = time + delay
+                series, dkey, drec, dport = outs[out_port]
+                series.append(t)
+                if drec is not None:
+                    push(t, dkey, drec, dport)
+        self.pulses_processed = processed
+
+    def _drain_general(
+        self,
+        heap: PulseHeap,
+        spec: VariabilitySpec,
+        rng: random.Random,
+        until: Optional[float],
+        record: bool,
+        max_pulses: Optional[int],
+    ) -> None:
+        """Drain the heap with variability and/or trace bookkeeping on."""
+        pending = heap._heap
+        pop = heap.pop_simultaneous
+        push = heap.push_raw
+        while pending:
+            rec, ports, time = pop()
+            if until is not None and time > until:
+                break
+            if max_pulses is not None and self.pulses_processed >= max_pulses:
+                self._overflow(max_pulses, time)
+            self.pulses_processed += len(ports)
+            node = rec[_REC_NODE]
+            is_transitional = rec[_REC_TRANSITIONAL]
+            state_before = node.element.state if record and is_transitional else None
+            try:
+                firings = rec[_REC_DELIVER](ports, time)
+            except SimulationError as err:
+                self._dispatch_error(node, ports, err)
+            counts = rec[_REC_COUNTS]
+            counts[0] += len(ports)
+            counts[1] += len(firings)
+            outs = rec[_REC_OUTS]
+            emitted: List[Tuple[str, float]] = []
+            for out_port, delay in firings:
+                resolved = self._resolve_delay(delay, node, spec, rng)
+                t = time + resolved
+                emitted.append((out_port, t))
+                series, dkey, drec, dport = outs[out_port]
+                series.append(t)
+                if drec is not None:
+                    push(t, dkey, drec, dport)
+            if record:
+                self.trace.append(
+                    TraceEntry(
+                        time=time,
+                        node=node.name,
+                        cell=node.element.name,
+                        ports=tuple(ports),
+                        state_before=state_before,
+                        state_after=(
+                            node.element.state if is_transitional else None
+                        ),
+                        fired=tuple(emitted),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def _overflow(self, max_pulses: int, time: float) -> None:
+        raise SimulationError(
+            f"Simulation exceeded {max_pulses} pulses at t={time:g} "
+            "without draining; a feedback loop probably needs an "
+            "'until' horizon (or raise max_pulses)"
+        )
+
+    def _dispatch_error(
+        self, node: Node, ports: Sequence[str], err: SimulationError
+    ) -> None:
+        """Re-raise a dispatch failure with node/port context attached."""
+        first_out = next(iter(node.output_wires.values()), None)
+        where = f"'{first_out.name}'" if first_out is not None else "(no output)"
+        inputs = ", ".join(f"'{p}'" for p in ports)
+        raise type(err)(
+            f"Error while sending input(s) {inputs} to the node with output "
+            f"wire {where}:\n{err}"
+        ) from None
+
     def _deliver(self, node: Node, ports: Sequence[str], time: float):
-        """Send a simultaneous pulse group to a node, with error context."""
+        """Send a simultaneous pulse group to a node, with error context.
+
+        Kept as the standalone (un-precomputed) form of the dispatch the
+        drain loops perform via per-node records; used by external callers
+        and tests exercising a single node.
+        """
         element = node.element
         try:
             if isinstance(element, (Transitional, Functional)):
                 return element.raw_firings(ports, time)
             return element.handle_inputs(ports, time)
         except SimulationError as err:
-            first_out = next(iter(node.output_wires.values()), None)
-            where = f"'{first_out.name}'" if first_out is not None else "(no output)"
-            inputs = ", ".join(f"'{p}'" for p in ports)
-            raise type(err)(
-                f"Error while sending input(s) {inputs} to the node with output "
-                f"wire {where}:\n{err}"
-            ) from None
+            self._dispatch_error(node, ports, err)
 
     def _resolve_delay(
         self,
@@ -241,10 +385,14 @@ class Simulation:
     def _try_matplotlib(self) -> None:
         try:
             from . import plot as _plot
-
+        except ImportError:
+            return
+        try:
             _plot.matplotlib_plot(self.events)
-        except Exception:
-            pass
+        except ImportError:
+            # matplotlib itself is an optional dependency; anything else
+            # (a genuine plotting bug) propagates to the caller.
+            return
 
 
 def render_waveforms(events: Events, width: int = 72) -> str:
@@ -253,13 +401,11 @@ def render_waveforms(events: Events, width: int = 72) -> str:
     Each wire is one row; ``|`` marks a pulse, positioned proportionally to
     its time within the simulation span, with the pulse times listed after.
     """
-    interesting = {k: v for k, v in events.items()}
-    max_time = max((ts[-1] for ts in interesting.values() if ts), default=0.0)
+    max_time = max((ts[-1] for ts in events.values() if ts), default=0.0)
     span = max(max_time, 1e-9)
-    name_width = max((len(k) for k in interesting), default=4)
+    name_width = max((len(k) for k in events), default=4)
     lines = []
-    for name in interesting:
-        times = interesting[name]
+    for name, times in events.items():
         row = ["_"] * width
         for t in times:
             col = min(width - 1, int(t / span * (width - 1)))

@@ -274,8 +274,15 @@ class Transitional(Element):
             self.machine = self._build_machine(delay_spec, transition_time)
         else:
             self.machine = self._class_machine()
-        self._config: Configuration = self.machine.initial_configuration()
         self._rng: Optional[random.Random] = None
+        # Mutable configuration mirror (state, tau_done, theta): the formal
+        # semantics is immutable Configurations (machine.step), but a placed
+        # element steps many thousands of times per simulation, so the
+        # instance keeps its configuration as plain mutable fields and only
+        # materializes a Configuration on demand.
+        self._state: str = self.machine.initial
+        self._tau_done: float = 0.0
+        self._theta: Dict[str, float] = self.machine._init_theta.copy()
 
     # ------------------------------------------------------------------
     # machine construction
@@ -331,14 +338,20 @@ class Transitional(Element):
     @property
     def configuration(self) -> Configuration:
         """The current ``<q, tau_done, Theta>`` configuration."""
-        return self._config
+        return Configuration(
+            state=self._state,
+            tau_done=self._tau_done,
+            theta=dict(self._theta),
+        )
 
     @property
     def state(self) -> str:
-        return self._config.state
+        return self._state
 
     def reset(self) -> None:
-        self._config = self.machine.initial_configuration()
+        self._state = self.machine.initial
+        self._tau_done = 0.0
+        self._theta = self.machine._init_theta.copy()
 
     def set_dispatch_rng(self, rng: Optional[random.Random]) -> None:
         """Install a random source for nondeterministic priority ties."""
@@ -350,29 +363,49 @@ class Transitional(Element):
         Returns raw ``(output, firing delay)`` pairs; the simulator converts
         them to absolute pulse times (applying variability if enabled).
         """
-        remaining = set(active)
-        outs: List[Firing] = []
-        while remaining:
-            symbol = self.machine.choose(
-                self._config.state, frozenset(remaining), self._rng
-            )
-            remaining.discard(symbol)
-            self._config, fired = self.machine.step(self._config, symbol, time)
-            outs.extend((out, nominal_delay(delay)) for out, delay in fired)
-        return outs
+        return [
+            (out, nominal_delay(delay))
+            for out, delay in self.raw_firings(active, time)
+        ]
+
+    def _step_fast(self, symbol: str, time: float):
+        """One transition via the machine's precomputed dispatch table.
+
+        Mutates the instance configuration in place and returns the fired
+        ``(output, delay)`` tuple. Timing violations are re-raised through
+        :meth:`PylseMachine.step` so the error messages stay canonical.
+        """
+        entry = self.machine._fast.get((self._state, symbol))
+        if entry is None:
+            self.machine.delta(self._state, symbol)  # raises PylseError
+        dest, transition_time, firing, constraints, _transition = entry
+        theta = self._theta
+        if time < self._tau_done:
+            self.machine.step(self.configuration, symbol, time)
+        for constrained, tau_dist in constraints:
+            if time < theta[constrained] + tau_dist:
+                self.machine.step(self.configuration, symbol, time)
+        theta[symbol] = time
+        self._state = dest
+        self._tau_done = transition_time + time
+        return firing
 
     def raw_firings(self, active: Sequence[str], time: float) -> List[Tuple[str, DelayLike]]:
         """Like :meth:`handle_inputs` but keeps distribution-valued delays."""
+        if len(active) == 1:
+            return list(self._step_fast(active[0], time))
         remaining = set(active)
         outs: List[Tuple[str, DelayLike]] = []
         while remaining:
-            symbol = self.machine.choose(
-                self._config.state, frozenset(remaining), self._rng
-            )
-            remaining.discard(symbol)
-            self._config, fired = self.machine.step(self._config, symbol, time)
-            outs.extend(fired)
+            if len(remaining) == 1:
+                symbol = remaining.pop()
+            else:
+                symbol = self.machine.choose(
+                    self._state, frozenset(remaining), self._rng
+                )
+                remaining.discard(symbol)
+            outs.extend(self._step_fast(symbol, time))
         return outs
 
     def __repr__(self) -> str:
-        return f"{type(self).__name__}(state={self._config.state!r})"
+        return f"{type(self).__name__}(state={self._state!r})"

@@ -170,3 +170,50 @@ def build_in_fresh_circuit(entry: DesignEntry) -> Circuit:
     with fresh_circuit() as circuit:
         entry.build()
     return circuit
+
+
+class RegistryFactory:
+    """A picklable ``CircuitFactory`` for a registry design.
+
+    Stores only the design name, so instances can be shipped to the
+    process-pool workers of :mod:`repro.core.parallel` and re-elaborate the
+    design from the registry on the other side.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __call__(self) -> Circuit:
+        for entry in registry():
+            if entry.name == self.name:
+                return build_in_fresh_circuit(entry)
+        raise ValueError(f"Unknown registry design {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f"RegistryFactory({self.name!r})"
+
+
+class PulseCountPredicate:
+    """Monte-Carlo pass criterion: every named wire pulses as often as in
+    the noiseless baseline run.
+
+    Only user-visible wire labels are compared (auto-generated ``_N`` names
+    are not stable across elaborations). Picklable, so it works with
+    ``measure_yield(..., workers=N)``.
+    """
+
+    def __init__(self, baseline_events: Dict[str, List[float]]):
+        self.expected = {
+            label: len(times)
+            for label, times in baseline_events.items()
+            if not label.startswith("_")
+        }
+
+    def __call__(self, events: Dict[str, List[float]]) -> bool:
+        return all(
+            len(events.get(label, ())) == count
+            for label, count in self.expected.items()
+        )
+
+    def __repr__(self) -> str:
+        return f"PulseCountPredicate({len(self.expected)} wires)"

@@ -36,6 +36,23 @@ class TestCli:
         assert vcd.exists()
         assert "$timescale" in vcd.read_text()
 
+    def test_yield_sequential(self, capsys):
+        assert main(["yield", "Min-Max", "--sigma", "0.1",
+                     "--seeds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Monte-Carlo yield for Min-Max" in out
+        assert "runs: 5" in out
+        assert "yield:" in out
+
+    def test_yield_parallel_matches_cli_contract(self, capsys):
+        assert main(["yield", "Min-Max", "--sigma", "0.1", "--seeds", "4",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "workers: 2" in out
+
+    def test_yield_unknown_design(self, capsys):
+        assert main(["yield", "NOPE"]) == 2
+
     def test_verify_satisfied(self, capsys):
         assert main(["verify", "JTL"]) == 0
         assert "SATISFIED" in capsys.readouterr().out

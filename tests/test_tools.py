@@ -46,3 +46,51 @@ class TestGeneratedArtifactsInSync:
                 cwd=ROOT, capture_output=True, text=True, timeout=300,
             )
             assert result.returncode == 0, result.stderr
+
+
+class TestBenchGuard:
+    """tools/bench_guard.py plumbing (without running the benchmarks)."""
+
+    def _load(self):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_guard", ROOT / "tools" / "bench_guard.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_extract_medians(self, tmp_path):
+        guard = self._load()
+        raw = tmp_path / "bench.json"
+        raw.write_text(json.dumps({
+            "benchmarks": [
+                {"name": "test_bitonic_scaling[8]", "stats": {"median": 6.5e-4}},
+                {"name": "test_mc_yield_workers[1]", "stats": {"median": 0.74}},
+            ]
+        }))
+        medians = guard.extract_medians(raw)
+        assert medians["test_bitonic_scaling[8]"] == 6.5e-4
+        assert medians["test_mc_yield_workers[1]"] == 0.74
+
+    def test_guarded_benchmark_has_seed_baseline(self):
+        guard = self._load()
+        assert guard.GUARDED in guard.SEED_MEDIANS_US
+
+    def test_committed_artifact_fresh_and_consistent(self):
+        """BENCH_sim.json exists, guards the right bench, and shows the
+        required >= 2x improvement over the seed medians."""
+        payload = json.loads((ROOT / "BENCH_sim.json").read_text())
+        guarded = payload["guarded"]
+        assert guarded == "test_bitonic_scaling[8]"
+        assert payload["medians_us"][guarded] > 0
+        assert payload["speedup_vs_seed"][guarded] >= 2.0
+
+    def test_help_runs(self):
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "bench_guard.py"), "--help"],
+            cwd=ROOT, capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0
+        assert "regression guard" in result.stdout

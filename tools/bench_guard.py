@@ -1,0 +1,164 @@
+"""Benchmark regression guard for the simulation core.
+
+Runs the simulator benchmarks (``bench_scaling_bitonic.py`` and the
+Monte-Carlo sweep in ``bench_mc_scaling.py``) via pytest-benchmark, writes
+the medians to ``BENCH_sim.json`` at the repository root, and fails (exit
+code 1) if the bitonic-8 median regressed more than the tolerance against
+the committed baseline.
+
+Usage, from the repository root::
+
+    PYTHONPATH=src python tools/bench_guard.py            # run + guard
+    PYTHONPATH=src python tools/bench_guard.py --update   # accept new baseline
+    PYTHONPATH=src python tools/bench_guard.py --tolerance 0.1
+
+The ``seed`` block in BENCH_sim.json records the pre-optimization medians
+and is carried forward verbatim so speedup-vs-seed stays visible across
+regenerations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = ROOT / "BENCH_sim.json"
+
+#: The benchmark whose median is guarded against regression.
+GUARDED = "test_bitonic_scaling[8]"
+
+#: Medians measured on the seed revision (before the fast-path work),
+#: kept for the speedup-vs-seed figure when no baseline file exists yet.
+SEED_MEDIANS_US = {
+    "test_bitonic_scaling[2]": 123.799,
+    "test_bitonic_scaling[4]": 495.637,
+    "test_bitonic_scaling[8]": 1714.631,
+    "test_bitonic_scaling[16]": 6233.377,
+}
+
+#: Each group runs in its own pytest invocation: the guarded hot-loop
+#: timings must not share a process-pool-thrashed machine state with the
+#: Monte-Carlo sweep that follows.
+BENCH_GROUPS = [
+    ["benchmarks/bench_scaling_bitonic.py"],
+    ["benchmarks/bench_mc_scaling.py::test_mc_yield_workers"],
+]
+
+
+def run_benchmarks(json_path: pathlib.Path, targets) -> None:
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable, "-m", "pytest", "-q", *targets,
+        f"--benchmark-json={json_path}",
+    ]
+    result = subprocess.run(cmd, cwd=ROOT, env=env)
+    if result.returncode != 0:
+        raise SystemExit(f"benchmark run failed (exit {result.returncode})")
+
+
+def extract_medians(json_path: pathlib.Path) -> dict:
+    payload = json.loads(json_path.read_text())
+    medians = {}
+    for bench in payload["benchmarks"]:
+        medians[bench["name"]] = bench["stats"]["median"]
+    return medians
+
+
+def cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional regression of the guarded median "
+             "(default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="write the new numbers even if the guard fails",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    seed_block = dict(SEED_MEDIANS_US)
+    if BENCH_FILE.exists():
+        committed = json.loads(BENCH_FILE.read_text())
+        baseline = committed.get("medians_us", {}).get(GUARDED)
+        seed_block = committed.get("seed_medians_us", seed_block)
+
+    medians_s = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for i, targets in enumerate(BENCH_GROUPS):
+            raw = pathlib.Path(tmp) / f"bench{i}.json"
+            run_benchmarks(raw, targets)
+            medians_s.update(extract_medians(raw))
+
+    medians_us = {name: value * 1e6 for name, value in medians_s.items()}
+    guarded_us = medians_us.get(GUARDED)
+    if guarded_us is None:
+        raise SystemExit(f"guarded benchmark {GUARDED!r} missing from run")
+
+    mc_seq = medians_s.get("test_mc_yield_workers[1]")
+    mc_par = medians_s.get("test_mc_yield_workers[4]")
+    doc = {
+        "generated_by": "tools/bench_guard.py",
+        "guarded": GUARDED,
+        "tolerance": args.tolerance,
+        "cpus": cpu_count(),
+        "seed_medians_us": seed_block,
+        "medians_us": {k: round(v, 3) for k, v in medians_us.items()},
+        "speedup_vs_seed": {
+            name: round(seed_block[name] / medians_us[name], 3)
+            for name in seed_block
+            if name in medians_us and medians_us[name] > 0
+        },
+        "mc_yield_200_seeds_s": {
+            "workers1": round(mc_seq, 4) if mc_seq else None,
+            "workers4": round(mc_par, 4) if mc_par else None,
+            "parallel_speedup": (
+                round(mc_seq / mc_par, 3) if mc_seq and mc_par else None
+            ),
+        },
+    }
+
+    failed = False
+    if baseline is not None:
+        limit = baseline * (1 + args.tolerance)
+        print(
+            f"{GUARDED}: {guarded_us:.1f} us "
+            f"(baseline {baseline:.1f} us, limit {limit:.1f} us)"
+        )
+        if guarded_us > limit:
+            print(
+                f"REGRESSION: median exceeds baseline by "
+                f"{guarded_us / baseline - 1:.1%} (> {args.tolerance:.0%})",
+                file=sys.stderr,
+            )
+            failed = True
+    else:
+        print(f"{GUARDED}: {guarded_us:.1f} us (no committed baseline yet)")
+
+    if not failed or args.update:
+        BENCH_FILE.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {BENCH_FILE}")
+
+    return 1 if failed and not args.update else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
