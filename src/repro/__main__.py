@@ -8,10 +8,12 @@ Usage::
     python -m repro simulate Min-Max          # simulate a registry design
     python -m repro simulate Min-Max --vcd out.vcd
     python -m repro yield Min-Max --sigma 1.0 --workers 4   # Monte-Carlo yield
+    python -m repro yield Min-Max --stats --stats-json m.json  # + per-cell metrics
     python -m repro verify JTL                # model-check a design
     python -m repro energy Min-Max            # switching-energy estimate
     python -m repro lint "Adder (Sync)"       # static design-rule report
     python -m repro trace Min-Max             # dispatch-level trace + slack
+    python -m repro trace Min-Max --stats --provenance max   # + metrics + chain
     python -m repro export Min-Max            # structural JSON
 
 (The table/figure experiments live under ``python -m repro.exp``.)
@@ -37,6 +39,7 @@ from .exp.registry import (
     registry,
 )
 from .mc.check import verify_design
+from .obs import Observer
 from .sfq import BASIC_CELLS, EXTENSION_CELLS
 from .sfq.datasheet import datasheet, machine_to_dot
 
@@ -104,6 +107,7 @@ def cmd_yield(args) -> int:
     factory = RegistryFactory(entry.name)
     baseline = Simulation(factory()).simulate()
     predicate = PulseCountPredicate(baseline)
+    collect_stats = args.stats or args.stats_json
     try:
         result = measure_yield(
             factory,
@@ -111,6 +115,7 @@ def cmd_yield(args) -> int:
             sigma=args.sigma,
             seeds=range(args.seeds),
             workers=args.workers,
+            collect_stats=collect_stats,
         )
     except PylseError as err:
         print(str(err), file=sys.stderr)
@@ -127,6 +132,14 @@ def cmd_yield(args) -> int:
         )
         more = "..." if len(result.failures) > 8 else ""
         print(f"  failing seeds: {preview}{more}")
+    if result.stats is not None:
+        if args.stats:
+            print()
+            print(result.stats.render())
+        if args.stats_json:
+            with open(args.stats_json, "w", encoding="utf-8") as f:
+                f.write(result.stats.to_json() + "\n")
+            print(f"wrote {args.stats_json}")
     return 0
 
 
@@ -196,10 +209,34 @@ def cmd_trace(args) -> int:
         return 2
     circuit = build_in_fresh_circuit(entry)
     sim = Simulation(circuit)
-    sim.simulate(record=True)
-    print(sim.render_trace())
+    observe = args.stats or args.stats_json or args.provenance is not None
+    observer = Observer() if observe else None
+    try:
+        sim.simulate(record=True, observer=observer)
+    except PylseError as err:
+        # With an observer attached the message already carries the
+        # causal chain of the offending pulse group.
+        print(str(err), file=sys.stderr)
+        return 1
+    print(sim.render_trace(provenance=args.provenance == "trace"))
     print()
     print(slack_report(sim))
+    if args.provenance not in (None, "trace"):
+        try:
+            chain = sim.render_chain(args.provenance)
+        except PylseError as err:
+            print(str(err), file=sys.stderr)
+            return 1
+        print()
+        print(f"causal chain of last pulse on {args.provenance!r}:")
+        print(chain)
+    if observer is not None and args.stats:
+        print()
+        print(observer.metrics.render())
+    if observer is not None and args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as f:
+            f.write(observer.metrics.to_json() + "\n")
+        print(f"wrote {args.stats_json}")
     return 0
 
 
@@ -244,6 +281,10 @@ def main(argv=None) -> int:
                    help="number of Monte-Carlo trials (default 50)")
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool workers; 0 = one per CPU (default 1)")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-cell metrics aggregated over all seeds")
+    p.add_argument("--stats-json", metavar="FILE",
+                   help="write the aggregated metrics as JSON to FILE")
     p = sub.add_parser("verify", help="model-check a registry design")
     p.add_argument("name")
     p.add_argument("--max-states", type=int, default=200_000)
@@ -256,6 +297,14 @@ def main(argv=None) -> int:
                    help="skew below this (ps) is not reported")
     p = sub.add_parser("trace", help="dispatch trace + timing slack")
     p.add_argument("name")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-cell metrics for the run")
+    p.add_argument("--stats-json", metavar="FILE",
+                   help="write the run's metrics as JSON to FILE")
+    p.add_argument("--provenance", metavar="WIRE",
+                   help="print the causal chain of the last pulse on WIRE; "
+                        "the literal name 'trace' instead annotates every "
+                        "trace line with its fired pulses' chains")
     p = sub.add_parser("export", help="structural JSON for a design")
     p.add_argument("name")
     p.add_argument("-o", "--output", help="write to a file instead of stdout")

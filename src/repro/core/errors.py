@@ -35,7 +35,18 @@ class WireError(PylseError):
 
 
 class SimulationError(PylseError):
-    """Generic runtime failure inside the discrete-event simulator."""
+    """Generic runtime failure inside the discrete-event simulator.
+
+    When a simulation runs with an observer attached
+    (:mod:`repro.obs`), dispatch failures carry the causal chain of the
+    offending pulse group — every ancestor pulse back to the circuit
+    inputs — in :attr:`provenance` (and appended to the message), turning
+    the paper's Figure 13 "what violated" report into a "why" report.
+    """
+
+    #: Rendered causal chain of the pulse group that triggered the error,
+    #: or None when no observer was attached.
+    provenance = None
 
 
 class TransitionTimeViolation(SimulationError):

@@ -42,12 +42,17 @@ class PulseHeap:
     remaining ties so behaviour is reproducible.
     """
 
-    __slots__ = ("_heap", "_seq")
+    __slots__ = ("_heap", "_seq", "max_depth")
 
     def __init__(self) -> None:
         #: flat entries: (time, key, seq, payload, port)
         self._heap: List[Tuple[float, int, int, Any, str]] = []
         self._seq = 0
+        #: High-water mark of pending pulses, reported by the observability
+        #: layer as ``max_heap_depth``. Maintained by the simulator's drain
+        #: loops when an observer is attached (a per-push check here would
+        #: tax the no-observer hot path); 0 otherwise.
+        self.max_depth = 0
 
     def push(self, pulse: Pulse) -> None:
         """Push a :class:`Pulse`; the payload returned on pop is its node."""

@@ -61,6 +61,16 @@ class Transition:
     def is_self_loop(self) -> bool:
         return self.source == self.dest
 
+    @property
+    def label(self) -> str:
+        """Canonical transition name, e.g. ``idle--clk->a_and_b``.
+
+        ``delta`` is a function, so ``(source, trigger)`` — and therefore the
+        label — is unique within a machine. The observability layer
+        (:mod:`repro.obs`) keys per-cell transition counters by this name.
+        """
+        return f"{self.source}--{self.trigger}->{self.dest}"
+
     def __str__(self) -> str:
         fire = ",".join(self.firing) or "{}"
         return (
@@ -115,12 +125,13 @@ class PylseMachine:
         self._validate()
         # Precomputed per-edge dispatch entries for the simulator hot loop:
         # (dest, transition_time, firing items, expanded past constraints,
-        # transition). Wildcard constraints are expanded here, once, instead
-        # of per step.
+        # transition, transition label). Wildcard constraints are expanded
+        # here, once, instead of per step; the label rides along so the
+        # observability layer never recomputes names in the inner loop.
         self._fast: Dict[
             Tuple[str, str],
             Tuple[str, float, Tuple[Tuple[str, DelayLike], ...],
-                  Tuple[Tuple[str, float], ...], Transition],
+                  Tuple[Tuple[str, float], ...], Transition, str],
         ] = {
             key: (
                 t.dest,
@@ -128,6 +139,7 @@ class PylseMachine:
                 tuple(t.firing.items()),
                 tuple(self._constraint_items(t)),
                 t,
+                t.label,
             )
             for key, t in self._delta.items()
         }

@@ -11,7 +11,7 @@ giving a single robustness figure of merit per design.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from .circuit import Circuit
 from .errors import PylseError
@@ -20,10 +20,16 @@ from .parallel import (
     OK,
     VIOLATION,
     classify_seed,
+    merge_stats,
     resolve_workers,
+    run_chunk_stats,
     run_seeds_parallel,
+    run_seeds_parallel_stats,
 )
 from .simulation import Events
+
+if TYPE_CHECKING:  # layering: core never imports repro.obs at runtime
+    from ..obs.metrics import SimMetrics
 
 #: A correctness predicate over simulation events.
 Predicate = Callable[[Events], bool]
@@ -43,6 +49,9 @@ class YieldResult:
     violations: int
     #: seed -> failure kind, for reproducing individual failures
     failures: Dict[int, str] = field(default_factory=dict)
+    #: aggregated per-cell metrics over every seed, when the measurement
+    #: ran with ``collect_stats=True`` (None otherwise).
+    stats: Optional["SimMetrics"] = None
 
     @property
     def yield_fraction(self) -> float:
@@ -55,6 +64,7 @@ def measure_yield(
     sigma: float,
     seeds: Sequence[int] = tuple(range(50)),
     workers: int = 1,
+    collect_stats: bool = False,
 ) -> YieldResult:
     """Run the design once per seed at the given noise level.
 
@@ -69,15 +79,31 @@ def measure_yield(
     are bit-identical to sequential ones for the same seed list, but
     require ``factory`` and ``predicate`` to be picklable (module-level
     callables).
+
+    ``collect_stats=True`` attaches a metrics-only observer
+    (:mod:`repro.obs`) to every run and puts the seed-order aggregate on
+    ``YieldResult.stats`` — per-cell dispatch counts, transition tallies,
+    violation counts, and firing-delay histograms across the whole sweep.
+    The aggregate is bit-identical whether the sweep ran sequentially or
+    parallel.
     """
     seeds = list(seeds)
     if not seeds:
         raise PylseError("measure_yield needs at least one seed")
     workers = resolve_workers(workers)
+    stats: Optional["SimMetrics"] = None
     if workers > 1 and len(seeds) > 1:
-        outcomes = run_seeds_parallel(
-            factory, predicate, sigma, seeds, workers
-        )
+        if collect_stats:
+            outcomes, stats = run_seeds_parallel_stats(
+                factory, predicate, sigma, seeds, workers
+            )
+        else:
+            outcomes = run_seeds_parallel(
+                factory, predicate, sigma, seeds, workers
+            )
+    elif collect_stats:
+        outcomes, per_seed = run_chunk_stats(factory, predicate, sigma, seeds)
+        stats = merge_stats(per_seed)
     else:
         outcomes = [
             classify_seed(factory, predicate, sigma, seed) for seed in seeds
@@ -100,6 +126,7 @@ def measure_yield(
         mis_behaved=mis,
         violations=viol,
         failures=failures,
+        stats=stats,
     )
 
 

@@ -26,10 +26,13 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from .errors import PylseError, SimulationError
 from .simulation import Events, Simulation
+
+if TYPE_CHECKING:  # layering: core never imports repro.obs at runtime
+    from ..obs.metrics import SimMetrics
 
 #: Outcome tokens, one per seed. ``OK`` counts toward yield; the other two
 #: are recorded in ``YieldResult.failures``.
@@ -67,6 +70,72 @@ def run_chunk(
 ) -> List[str]:
     """Classify a contiguous chunk of seeds (the per-worker task)."""
     return [classify_seed(factory, predicate, sigma, seed) for seed in seeds]
+
+
+def classify_seed_stats(
+    factory: Callable[[], object],
+    predicate: Callable[[Events], bool],
+    sigma: float,
+    seed: int,
+) -> Tuple[str, "SimMetrics"]:
+    """:func:`classify_seed` plus this run's per-cell metrics.
+
+    A fresh metrics-only observer (provenance would grow a graph per run
+    for nothing) rides along on the simulation; its ``SimMetrics`` is
+    returned even when the run ends in a timing violation, so violation
+    counts and the partial activity leading up to the failure are kept.
+    """
+    from ..obs import Observer
+
+    observer = Observer(provenance=False, metrics=True)
+    circuit = factory()
+    try:
+        events = Simulation(circuit).simulate(
+            variability={"stddev": sigma}, seed=seed, observer=observer
+        )
+    except SimulationError:
+        return VIOLATION, observer.metrics
+    outcome = OK if predicate(events) else MIS_BEHAVED
+    return outcome, observer.metrics
+
+
+def run_chunk_stats(
+    factory: Callable[[], object],
+    predicate: Callable[[Events], bool],
+    sigma: float,
+    seeds: Sequence[int],
+) -> Tuple[List[str], List["SimMetrics"]]:
+    """Stats-collecting per-worker task: outcomes plus *per-seed* metrics.
+
+    Metrics are deliberately not pre-merged inside the chunk: histogram
+    totals are float sums, so the merge association order matters for
+    bit-determinism. Shipping one ``SimMetrics`` per seed lets the parent
+    fold them in seed order — the same association the sequential backend
+    uses (see :func:`merge_stats`).
+    """
+    outcomes: List[str] = []
+    stats: List["SimMetrics"] = []
+    for seed in seeds:
+        outcome, metrics = classify_seed_stats(factory, predicate, sigma, seed)
+        outcomes.append(outcome)
+        stats.append(metrics)
+    return outcomes, stats
+
+
+def merge_stats(stats: Sequence["SimMetrics"]) -> Optional["SimMetrics"]:
+    """Fold per-run metrics left-to-right into the first one (or None).
+
+    Both Monte-Carlo backends aggregate through this helper, in seed
+    order, which is what makes parallel stats bit-identical to sequential
+    ones.
+    """
+    merged: Optional["SimMetrics"] = None
+    for metrics in stats:
+        if merged is None:
+            merged = metrics
+        else:
+            merged.merge(metrics)
+    return merged
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -146,3 +215,37 @@ def run_seeds_parallel(
         for future in futures:  # submission order == seed order
             outcomes.extend(future.result())
     return outcomes
+
+
+def run_seeds_parallel_stats(
+    factory: Callable[[], object],
+    predicate: Callable[[Events], bool],
+    sigma: float,
+    seeds: Sequence[int],
+    workers: int,
+    chunks_per_worker: int = 1,
+) -> Tuple[List[str], Optional["SimMetrics"]]:
+    """:func:`run_seeds_parallel` that also aggregates per-cell metrics.
+
+    Workers return one ``SimMetrics`` per seed; the parent folds them in
+    seed order via :func:`merge_stats`, so the aggregate is bit-identical
+    to ``workers=1`` for the same seed list. Returns ``(outcomes,
+    merged_stats)``; stats is None for an empty seed list.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        return [], None
+    _require_picklable(factory, predicate)
+    chunks = chunk_seeds(seeds, workers * max(1, chunks_per_worker))
+    outcomes: List[str] = []
+    per_seed: List["SimMetrics"] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(run_chunk_stats, factory, predicate, sigma, chunk)
+            for chunk in chunks
+        ]
+        for future in futures:  # submission order == seed order
+            chunk_outcomes, chunk_stats = future.result()
+            outcomes.extend(chunk_outcomes)
+            per_seed.extend(chunk_stats)
+    return outcomes, merge_stats(per_seed)

@@ -25,10 +25,19 @@ the bitonic scaling study, the Section 5.2 Monte-Carlo sweeps), so
   general loop — the common ``simulate()`` call with no noise and no trace
   pays for none of it. Both loops produce bit-identical events for the same
   inputs (the fast path is the reference semantics, minus the bookkeeping).
+
+Observability (:mod:`repro.obs`) is threaded through *both* loops: pass
+``observer=Observer()`` to record pulse provenance (every pulse's causal
+parents, back to the circuit inputs) and per-cell metrics. The hook
+protocol — which observer methods are called, in what order, with what
+arguments — is identical in the two loops, so fast and general drains
+build identical provenance graphs. With no observer the loops skip all of
+it behind a single local flag check.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -63,6 +72,9 @@ class TraceEntry:
     state_before: Optional[str]
     state_after: Optional[str]
     fired: Tuple[Tuple[str, float], ...]   # (output port, absolute time)
+    #: Provenance ids of the fired pulses, filled when an observer with
+    #: provenance enabled accompanies ``record=True``; empty otherwise.
+    fired_pids: Tuple[int, ...] = ()
 
     def __str__(self) -> str:
         ports = "+".join(self.ports)
@@ -97,6 +109,8 @@ class Simulation:
         self.activity: Dict[str, List[int]] = {}
         #: dispatch-level trace, filled when simulate(record=True).
         self.trace: List[TraceEntry] = []
+        #: the observer of the last simulate(observer=...) call, if any.
+        self.observer = None
 
     # ------------------------------------------------------------------
     def simulate(
@@ -106,6 +120,7 @@ class Simulation:
         seed: Optional[int] = None,
         record: bool = False,
         max_pulses: Optional[int] = 1_000_000,
+        observer=None,
     ) -> Events:
         """Run the circuit until the heap drains or ``until`` is reached.
 
@@ -119,7 +134,10 @@ class Simulation:
         states before/after) — the debugging view of the Network Relation.
         ``max_pulses`` (default one million) guards against unbounded
         feedback loops simulated without an ``until`` horizon; pass None to
-        disable.
+        disable. ``observer`` attaches a :class:`repro.obs.Observer` that
+        collects pulse provenance and per-cell metrics from either drain
+        loop; timing-violation errors then carry the causal chain of the
+        offending pulse group.
         """
         circuit = self.circuit
         circuit.validate()
@@ -127,9 +145,6 @@ class Simulation:
         spec = VariabilitySpec.normalize(variability, seed)
         rng = random.Random(seed)
         tie_rng = random.Random(rng.random()) if seed is not None else None
-        for node in circuit.cells():
-            if isinstance(node.element, Transitional):
-                node.element.set_dispatch_rng(tie_rng)
 
         # ---- precompute the dispatch plan -----------------------------
         # Wires sharing an observation label share one series list, exactly
@@ -147,26 +162,31 @@ class Simulation:
         activity: Dict[str, List[int]] = {}
         for node in circuit.cells():
             element = node.element
-            if isinstance(element, (Transitional, Functional)):
+            is_transitional = isinstance(element, Transitional)
+            if is_transitional:
+                element.set_dispatch_rng(tie_rng)
+                # Attach (or clear, so no stale list keeps growing) the
+                # taken-transition log the observer drains per group.
+                element.set_transition_log([] if observer is not None else None)
+            if is_transitional or isinstance(element, Functional):
                 deliver = element.raw_firings
             else:
                 deliver = element.handle_inputs
             counts = [0, 0]
             activity[node.name] = counts
-            records[node] = [
-                node, deliver, counts, {}, isinstance(element, Transitional)
-            ]
+            records[node] = [node, deliver, counts, {}, is_transitional]
         dest_of = circuit.dest_of
         for node, rec in records.items():
             outs = rec[_REC_OUTS]
             for port, wire in node.output_wires.items():
                 dest = dest_of.get(wire)
                 if dest is None:
-                    outs[port] = (series_of[wire], -1, None, "")
+                    outs[port] = (series_of[wire], -1, None, "", wire.observed_as)
                 else:
                     dnode, dport = dest
                     outs[port] = (
-                        series_of[wire], dnode.node_id, records[dnode], dport
+                        series_of[wire], dnode.node_id, records[dnode], dport,
+                        wire.observed_as,
                     )
 
         heap = PulseHeap()
@@ -175,24 +195,39 @@ class Simulation:
         self.until = until
         self.activity = activity
         self.trace = []
+        self.observer = observer
+        if observer is not None:
+            observer.begin(circuit)
 
         for node in circuit.input_nodes():
             out_wire = node.output_wires["out"]
             series = series_of[out_wire]
+            label = out_wire.observed_as
             dest = dest_of.get(out_wire)
             if dest is None:
                 series.extend(node.element.times)  # type: ignore[attr-defined]
+                if observer is not None:
+                    for t in node.element.times:  # type: ignore[attr-defined]
+                        observer.on_input(node.name, label, t, -1, "")
                 continue
             dnode, dport = dest
             dkey, drec = dnode.node_id, records[dnode]
             for t in node.element.times:  # type: ignore[attr-defined]
                 series.append(t)
                 push(t, dkey, drec, dport)
+                if observer is not None:
+                    observer.on_input(node.name, label, t, dkey, dport)
 
-        if spec.enabled or record:
-            self._drain_general(heap, spec, rng, until, record, max_pulses)
-        else:
-            self._drain_fast(heap, rng, until, max_pulses)
+        try:
+            if spec.enabled or record:
+                self._drain_general(
+                    heap, spec, rng, until, record, max_pulses, observer
+                )
+            else:
+                self._drain_fast(heap, rng, until, max_pulses, observer)
+        finally:
+            if observer is not None:
+                observer.end(heap.max_depth, self.pulses_processed)
 
         for series in events.values():
             series.sort()
@@ -206,46 +241,106 @@ class Simulation:
         rng: random.Random,
         until: Optional[float],
         max_pulses: Optional[int],
+        observer=None,
     ) -> None:
         """Drain the heap with no variability and no trace recording.
 
         This is the hot path: no per-group objects, no spec/trace checks,
         scalar delays added directly (they were validated non-negative when
         the machine / hole was built). Distribution-valued delays are still
-        sampled from ``rng``, matching the general path.
+        sampled from ``rng``, matching the general path. An attached
+        observer costs one local flag check per group and per firing when
+        present, and nothing measurable when absent (``until`` and
+        ``max_pulses`` are normalized to infinities so the common case
+        drops two per-iteration None-checks in exchange).
         """
         pending = heap._heap
         pop = heap.pop_simultaneous
         push = heap.push_raw
+        stop = math.inf if until is None else until
+        limit = math.inf if max_pulses is None else max_pulses
+        observe = observer is not None
         processed = self.pulses_processed
+        # Heap high-water mark, sampled at the top of each iteration (i.e.
+        # after the previous group's pushes) so the disabled path pays
+        # nothing per push; identical checkpoints in both drain loops.
+        max_depth = len(pending) if observe else 0
         while pending:
+            if observe:
+                depth = len(pending)
+                if depth > max_depth:
+                    max_depth = depth
             rec, ports, time = pop()
-            if until is not None and time > until:
+            if time > stop:
                 break
-            if max_pulses is not None and processed >= max_pulses:
+            if processed >= limit:
                 self._overflow(max_pulses, time)
             processed += len(ports)
-            try:
-                firings = rec[_REC_DELIVER](ports, time)
-            except SimulationError as err:
-                self.pulses_processed = processed
-                self._dispatch_error(rec[_REC_NODE], ports, err)
+            if observe:
+                node = rec[_REC_NODE]
+                parents = observer.group_parents(node.node_id, ports, time)
+                try:
+                    firings = rec[_REC_DELIVER](ports, time)
+                except SimulationError as err:
+                    self.pulses_processed = processed
+                    heap.max_depth = max_depth
+                    chain = observer.on_violation(
+                        node.name, node.element.name, ports, time, parents, err
+                    )
+                    self._dispatch_error(node, ports, err, chain)
+            else:
+                try:
+                    firings = rec[_REC_DELIVER](ports, time)
+                except SimulationError as err:
+                    self.pulses_processed = processed
+                    self._dispatch_error(rec[_REC_NODE], ports, err)
             counts = rec[_REC_COUNTS]
             counts[0] += len(ports)
             counts[1] += len(firings)
             outs = rec[_REC_OUTS]
-            for out_port, delay in firings:
-                if isinstance(delay, Distribution):
-                    delay = delay.sample(rng)
-                    if delay < 0:
-                        raise PylseError(
-                            f"Resolved firing delay is negative: {delay}"
-                        )
-                t = time + delay
-                series, dkey, drec, dport = outs[out_port]
-                series.append(t)
-                if drec is not None:
-                    push(t, dkey, drec, dport)
+            if observe:
+                emitted = []
+                for out_port, delay in firings:
+                    if isinstance(delay, Distribution):
+                        delay = delay.sample(rng)
+                        if delay < 0:
+                            raise PylseError(
+                                f"Resolved firing delay is negative: {delay}"
+                            )
+                    t = time + delay
+                    series, dkey, drec, dport, label = outs[out_port]
+                    series.append(t)
+                    pushed = drec is not None
+                    if pushed:
+                        push(t, dkey, drec, dport)
+                    emitted.append(
+                        (out_port, label, t, delay, dkey, dport, pushed)
+                    )
+                element = node.element
+                if rec[_REC_TRANSITIONAL]:
+                    log = element._transition_log
+                    tlabels = tuple(log)
+                    log.clear()
+                else:
+                    tlabels = ()
+                observer.record_group(
+                    node.name, element.name, ports, time, tlabels, emitted,
+                    parents,
+                )
+            else:
+                for out_port, delay in firings:
+                    if isinstance(delay, Distribution):
+                        delay = delay.sample(rng)
+                        if delay < 0:
+                            raise PylseError(
+                                f"Resolved firing delay is negative: {delay}"
+                            )
+                    t = time + delay
+                    series, dkey, drec, dport, _label = outs[out_port]
+                    series.append(t)
+                    if drec is not None:
+                        push(t, dkey, drec, dport)
+        heap.max_depth = max_depth
         self.pulses_processed = processed
 
     def _drain_general(
@@ -256,38 +351,84 @@ class Simulation:
         until: Optional[float],
         record: bool,
         max_pulses: Optional[int],
+        observer=None,
     ) -> None:
-        """Drain the heap with variability and/or trace bookkeeping on."""
+        """Drain the heap with variability and/or trace bookkeeping on.
+
+        Observer hooks fire at the same points, in the same order, with
+        the same arguments as in :meth:`_drain_fast`, so both loops build
+        identical provenance graphs and metrics for the same stimulus.
+        """
         pending = heap._heap
         pop = heap.pop_simultaneous
         push = heap.push_raw
+        stop = math.inf if until is None else until
+        limit = math.inf if max_pulses is None else max_pulses
+        observe = observer is not None
+        max_depth = len(pending) if observe else 0
         while pending:
+            if observe:
+                depth = len(pending)
+                if depth > max_depth:
+                    max_depth = depth
             rec, ports, time = pop()
-            if until is not None and time > until:
+            if time > stop:
                 break
-            if max_pulses is not None and self.pulses_processed >= max_pulses:
+            if self.pulses_processed >= limit:
                 self._overflow(max_pulses, time)
             self.pulses_processed += len(ports)
             node = rec[_REC_NODE]
             is_transitional = rec[_REC_TRANSITIONAL]
             state_before = node.element.state if record and is_transitional else None
+            parents = (
+                observer.group_parents(node.node_id, ports, time)
+                if observe else ()
+            )
             try:
                 firings = rec[_REC_DELIVER](ports, time)
             except SimulationError as err:
-                self._dispatch_error(node, ports, err)
+                heap.max_depth = max_depth
+                chain = (
+                    observer.on_violation(
+                        node.name, node.element.name, ports, time, parents, err
+                    )
+                    if observe else None
+                )
+                self._dispatch_error(node, ports, err, chain)
             counts = rec[_REC_COUNTS]
             counts[0] += len(ports)
             counts[1] += len(firings)
             outs = rec[_REC_OUTS]
             emitted: List[Tuple[str, float]] = []
+            obs_emitted = [] if observe else None
             for out_port, delay in firings:
                 resolved = self._resolve_delay(delay, node, spec, rng)
                 t = time + resolved
                 emitted.append((out_port, t))
-                series, dkey, drec, dport = outs[out_port]
+                series, dkey, drec, dport, label = outs[out_port]
                 series.append(t)
-                if drec is not None:
+                pushed = drec is not None
+                if pushed:
                     push(t, dkey, drec, dport)
+                if observe:
+                    obs_emitted.append(
+                        (out_port, label, t, resolved, dkey, dport, pushed)
+                    )
+            fired_pids: Tuple[int, ...] = ()
+            if observe:
+                element = node.element
+                if is_transitional:
+                    log = element._transition_log
+                    tlabels = tuple(log)
+                    log.clear()
+                else:
+                    tlabels = ()
+                pids = observer.record_group(
+                    node.name, element.name, ports, time, tlabels,
+                    obs_emitted, parents,
+                )
+                if pids:
+                    fired_pids = tuple(pids)
             if record:
                 self.trace.append(
                     TraceEntry(
@@ -300,8 +441,10 @@ class Simulation:
                             node.element.state if is_transitional else None
                         ),
                         fired=tuple(emitted),
+                        fired_pids=fired_pids,
                     )
                 )
+        heap.max_depth = max_depth
 
     # ------------------------------------------------------------------
     def _overflow(self, max_pulses: int, time: float) -> None:
@@ -312,16 +455,30 @@ class Simulation:
         )
 
     def _dispatch_error(
-        self, node: Node, ports: Sequence[str], err: SimulationError
+        self,
+        node: Node,
+        ports: Sequence[str],
+        err: SimulationError,
+        chain: Optional[str] = None,
     ) -> None:
-        """Re-raise a dispatch failure with node/port context attached."""
+        """Re-raise a dispatch failure with node/port context attached.
+
+        When an observer recorded provenance, ``chain`` is the causal
+        chain of the offending pulse group; it is appended to the message
+        and kept on the raised error's ``provenance`` attribute.
+        """
         first_out = next(iter(node.output_wires.values()), None)
         where = f"'{first_out.name}'" if first_out is not None else "(no output)"
         inputs = ", ".join(f"'{p}'" for p in ports)
-        raise type(err)(
+        message = (
             f"Error while sending input(s) {inputs} to the node with output "
             f"wire {where}:\n{err}"
-        ) from None
+        )
+        if chain is not None:
+            message += f"\nCausal chain:\n{chain}"
+        wrapped = type(err)(message)
+        wrapped.provenance = chain
+        raise wrapped from None
 
     def _deliver(self, node: Node, ports: Sequence[str], time: float):
         """Send a simultaneous pulse group to a node, with error context.
@@ -359,13 +516,46 @@ class Simulation:
         return wire.observed_as
 
     # ------------------------------------------------------------------
-    def render_trace(self) -> str:
-        """The recorded dispatch trace as text (one line per group)."""
+    def render_trace(self, provenance: bool = False) -> str:
+        """The recorded dispatch trace as text (one line per group).
+
+        With ``provenance=True`` (requires ``simulate(record=True,
+        observer=Observer())``), each fired pulse is followed by its full
+        causal chain back to the circuit inputs.
+        """
         if not self.trace:
             raise PylseError(
                 "No trace recorded: run simulate(record=True) first"
             )
-        return "\n".join(str(entry) for entry in self.trace)
+        if not provenance:
+            return "\n".join(str(entry) for entry in self.trace)
+        graph = self.observer.graph if self.observer is not None else None
+        if graph is None:
+            raise PylseError(
+                "render_trace(provenance=True) needs simulate(record=True, "
+                "observer=Observer()) with provenance enabled"
+            )
+        from ..obs.provenance import format_chain
+
+        lines = []
+        for entry in self.trace:
+            lines.append(str(entry))
+            for pid in entry.fired_pids:
+                lines.append(format_chain(graph, pid, indent="    "))
+        return "\n".join(lines)
+
+    def render_chain(self, label: str, occurrence: int = -1) -> str:
+        """Causal chain of the n-th pulse on a wire (default: the last).
+
+        Requires the previous ``simulate()`` call to have run with an
+        observer collecting provenance.
+        """
+        if self.observer is None or self.observer.graph is None:
+            raise PylseError(
+                "No provenance recorded: run simulate(observer=Observer()) "
+                "first"
+            )
+        return self.observer.chain(label, occurrence)
 
     def plot(self, width: int = 72, file=None) -> str:
         """Render the last simulation's pulses as an ASCII waveform.

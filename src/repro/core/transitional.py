@@ -275,6 +275,11 @@ class Transitional(Element):
         else:
             self.machine = self._class_machine()
         self._rng: Optional[random.Random] = None
+        #: When not None, ``_step_fast`` appends the label of every taken
+        #: transition here; the simulator drains it per dispatch group when
+        #: an observer (:mod:`repro.obs`) is attached. ``None`` (the default)
+        #: keeps the hot path at a single local None-check per step.
+        self._transition_log: Optional[List[str]] = None
         # Mutable configuration mirror (state, tau_done, theta): the formal
         # semantics is immutable Configurations (machine.step), but a placed
         # element steps many thousands of times per simulation, so the
@@ -357,6 +362,10 @@ class Transitional(Element):
         """Install a random source for nondeterministic priority ties."""
         self._rng = rng
 
+    def set_transition_log(self, log: Optional[List[str]]) -> None:
+        """Attach (or detach, with ``None``) a taken-transition label log."""
+        self._transition_log = log
+
     def handle_inputs(self, active: Sequence[str], time: float) -> List[Firing]:
         """Dispatch a simultaneous input set, mutating the configuration.
 
@@ -378,13 +387,16 @@ class Transitional(Element):
         entry = self.machine._fast.get((self._state, symbol))
         if entry is None:
             self.machine.delta(self._state, symbol)  # raises PylseError
-        dest, transition_time, firing, constraints, _transition = entry
+        dest, transition_time, firing, constraints, _transition, label = entry
         theta = self._theta
         if time < self._tau_done:
             self.machine.step(self.configuration, symbol, time)
         for constrained, tau_dist in constraints:
             if time < theta[constrained] + tau_dist:
                 self.machine.step(self.configuration, symbol, time)
+        log = self._transition_log
+        if log is not None:
+            log.append(label)
         theta[symbol] = time
         self._state = dest
         self._tau_done = transition_time + time

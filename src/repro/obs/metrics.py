@@ -1,0 +1,265 @@
+"""Per-cell simulation metrics with deterministic merge semantics.
+
+A :class:`SimMetrics` instance accumulates, per placed cell instance:
+
+* dispatch groups processed, input pulses consumed, output pulses fired;
+* transitions taken, counted by canonical name
+  (:attr:`repro.core.machine.Transition.label`);
+* timing violations raised during dispatch;
+* a histogram of resolved firing delays (:class:`DelayHistogram`).
+
+plus run-global counters (pulses processed, groups, circuit-input pulses,
+max pending-heap depth).
+
+Counters are plain integer addition (and ``max`` for heap depth); delay
+histogram totals are float sums, whose value depends on association order.
+The parallel Monte-Carlo backend therefore ships *per-seed* metrics back
+from the workers and folds them in seed order at the parent — the exact
+association the sequential backend uses — so parallel and sequential
+sweeps over the same seed list produce bit-identical metrics. The JSON
+form (:meth:`SimMetrics.to_jsonable`) sorts histogram bins and
+cell/transition keys, so equal metrics always serialize to equal text.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Default width (ps) of firing-delay histogram bins.
+DEFAULT_BIN_WIDTH = 0.5
+
+
+class DelayHistogram:
+    """Fixed-width binned histogram of firing delays."""
+
+    __slots__ = ("bin_width", "bins", "count", "total", "min", "max")
+
+    def __init__(self, bin_width: float = DEFAULT_BIN_WIDTH):
+        if not bin_width > 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
+        self.bin_width = bin_width
+        self.bins: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, delay: float) -> None:
+        index = math.floor(delay / self.bin_width)
+        self.bins[index] = self.bins.get(index, 0) + 1
+        self.count += 1
+        self.total += delay
+        if self.min is None or delay < self.min:
+            self.min = delay
+        if self.max is None or delay > self.max:
+            self.max = delay
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def merge(self, other: "DelayHistogram") -> None:
+        if other.bin_width != self.bin_width:
+            raise ValueError(
+                f"cannot merge histograms with bin widths {self.bin_width} "
+                f"and {other.bin_width}"
+            )
+        for index, n in other.bins.items():
+            self.bins[index] = self.bins.get(index, 0) + n
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.min, other.max):
+            if bound is None:
+                continue
+            if self.min is None or bound < self.min:
+                self.min = bound
+            if self.max is None or bound > self.max:
+                self.max = bound
+
+    def to_jsonable(self) -> dict:
+        return {
+            "bin_width": self.bin_width,
+            "bins": {str(k): self.bins[k] for k in sorted(self.bins)},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "DelayHistogram":
+        hist = cls(bin_width=payload["bin_width"])
+        hist.bins = {int(k): v for k, v in payload["bins"].items()}
+        hist.count = payload["count"]
+        hist.total = payload["total"]
+        hist.min = payload["min"]
+        hist.max = payload["max"]
+        return hist
+
+
+@dataclass
+class CellMetrics:
+    """Counters for one placed cell instance (one node)."""
+
+    cell: str
+    groups: int = 0
+    pulses_in: int = 0
+    pulses_out: int = 0
+    violations: int = 0
+    transitions: Dict[str, int] = field(default_factory=dict)
+    delays: DelayHistogram = field(default_factory=DelayHistogram)
+
+    def merge(self, other: "CellMetrics") -> None:
+        self.groups += other.groups
+        self.pulses_in += other.pulses_in
+        self.pulses_out += other.pulses_out
+        self.violations += other.violations
+        for name, n in other.transitions.items():
+            self.transitions[name] = self.transitions.get(name, 0) + n
+        self.delays.merge(other.delays)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "cell": self.cell,
+            "groups": self.groups,
+            "pulses_in": self.pulses_in,
+            "pulses_out": self.pulses_out,
+            "violations": self.violations,
+            "transitions": {
+                k: self.transitions[k] for k in sorted(self.transitions)
+            },
+            "delay_histogram": self.delays.to_jsonable(),
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "CellMetrics":
+        return cls(
+            cell=payload["cell"],
+            groups=payload["groups"],
+            pulses_in=payload["pulses_in"],
+            pulses_out=payload["pulses_out"],
+            violations=payload["violations"],
+            transitions=dict(payload["transitions"]),
+            delays=DelayHistogram.from_jsonable(payload["delay_histogram"]),
+        )
+
+
+class SimMetrics:
+    """Whole-simulation metrics: global counters + per-cell breakdown."""
+
+    def __init__(self, delay_bin_width: float = DEFAULT_BIN_WIDTH):
+        self.delay_bin_width = delay_bin_width
+        self.cells: Dict[str, CellMetrics] = {}
+        self.pulses_processed = 0
+        self.groups = 0
+        self.input_pulses = 0
+        self.max_heap_depth = 0
+        self.runs = 1
+
+    # ------------------------------------------------------------------
+    def cell(self, node_name: str, cell_name: str) -> CellMetrics:
+        entry = self.cells.get(node_name)
+        if entry is None:
+            entry = self.cells[node_name] = CellMetrics(
+                cell=cell_name,
+                delays=DelayHistogram(self.delay_bin_width),
+            )
+        return entry
+
+    def merge(self, other: "SimMetrics") -> None:
+        """Fold another run's metrics into this one (sums; max for depth)."""
+        for name, theirs in other.cells.items():
+            mine = self.cells.get(name)
+            if mine is None:
+                self.cells[name] = mine = CellMetrics(
+                    cell=theirs.cell,
+                    delays=DelayHistogram(theirs.delays.bin_width),
+                )
+            mine.merge(theirs)
+        self.pulses_processed += other.pulses_processed
+        self.groups += other.groups
+        self.input_pulses += other.input_pulses
+        self.max_heap_depth = max(self.max_heap_depth, other.max_heap_depth)
+        self.runs += other.runs
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        """Schema ``repro-obs-metrics-v1`` (see docs/observability.md)."""
+        return {
+            "format": "repro-obs-metrics-v1",
+            "runs": self.runs,
+            "global": {
+                "pulses_processed": self.pulses_processed,
+                "groups": self.groups,
+                "input_pulses": self.input_pulses,
+                "max_heap_depth": self.max_heap_depth,
+            },
+            "cells": {
+                name: self.cells[name].to_jsonable()
+                for name in sorted(self.cells)
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_jsonable(), indent=indent)
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "SimMetrics":
+        if payload.get("format") != "repro-obs-metrics-v1":
+            raise ValueError(
+                f"not a repro-obs-metrics-v1 payload: {payload.get('format')!r}"
+            )
+        metrics = cls()
+        metrics.runs = payload["runs"]
+        g = payload["global"]
+        metrics.pulses_processed = g["pulses_processed"]
+        metrics.groups = g["groups"]
+        metrics.input_pulses = g["input_pulses"]
+        metrics.max_heap_depth = g["max_heap_depth"]
+        for name, cell in payload["cells"].items():
+            metrics.cells[name] = CellMetrics.from_jsonable(cell)
+        return metrics
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimMetrics":
+        return cls.from_jsonable(json.loads(text))
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable table for the ``--stats`` CLI flags."""
+        lines = [
+            "simulation metrics "
+            f"({self.runs} run{'s' if self.runs != 1 else ''}):",
+            f"  pulses processed: {self.pulses_processed}, "
+            f"dispatch groups: {self.groups}, "
+            f"input pulses: {self.input_pulses}, "
+            f"max heap depth: {self.max_heap_depth}",
+        ]
+        if not self.cells:
+            lines.append("  (no cells dispatched)")
+            return "\n".join(lines)
+        name_w = max(len(n) for n in self.cells)
+        cell_w = max(len(c.cell) for c in self.cells.values())
+        header = (
+            f"  {'node':<{name_w}}  {'cell':<{cell_w}}  "
+            f"{'groups':>6}  {'in':>5}  {'out':>5}  {'viol':>4}  "
+            f"{'mean delay':>10}  transitions"
+        )
+        lines.append(header)
+        for name in sorted(self.cells):
+            c = self.cells[name]
+            mean = c.delays.mean
+            mean_s = f"{mean:.2f}" if mean is not None else "-"
+            trans = ", ".join(
+                f"{label} x{c.transitions[label]}"
+                for label in sorted(c.transitions)
+            ) or "-"
+            lines.append(
+                f"  {name:<{name_w}}  {c.cell:<{cell_w}}  "
+                f"{c.groups:>6}  {c.pulses_in:>5}  {c.pulses_out:>5}  "
+                f"{c.violations:>4}  {mean_s:>10}  {trans}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,224 @@
+"""Pulse provenance: the causal graph behind every simulated pulse.
+
+The paper's headline debugging story (Figure 13) reports *which* pulse
+violated a timing constraint; this module records *why it arrived when it
+did*. Every pulse that appears during a simulation — circuit-input pulses
+seeded from ``InGen`` elements and pulses fired by cells — becomes a
+:class:`PulseRecord` holding:
+
+* the wire it appeared on (by observation label) and its absolute time;
+* the node/cell that produced it and the output port it left through;
+* the ids of its *causal parents*: the simultaneous pulse group whose
+  dispatch fired it;
+* the labels of the machine transitions taken during that dispatch
+  (:attr:`repro.core.machine.Transition.label`).
+
+Walking parent ids back from any pulse reaches circuit inputs (records
+with no parents), giving the full causal chain that
+:func:`format_chain` renders and that timing-violation errors embed.
+
+Pulses in flight are matched to their records by ``(destination node id,
+destination port, time)`` — exactly the grouping key
+:meth:`repro.core.events.PulseHeap.pop_simultaneous` uses, so duplicate
+pulses that the heap collapses (same port, same instant) collapse here
+too, merging their parent sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import PylseError
+
+#: Cell-type name of circuit-input generator records.
+INPUT_CELL = "InGen"
+
+
+@dataclass
+class PulseRecord:
+    """One pulse that appeared on a wire during simulation."""
+
+    pid: int
+    label: str                          # observation label of the wire
+    time: float
+    node: str                           # producing node name
+    cell: str                           # producing cell type
+    port: str                           # output port it left through
+    parents: Tuple[int, ...] = ()
+    transitions: Tuple[str, ...] = ()
+
+    @property
+    def is_input(self) -> bool:
+        """True for pulses seeded directly from a circuit input generator."""
+        return not self.parents and self.cell == INPUT_CELL
+
+    def describe(self) -> str:
+        """One-line rendering used by :func:`format_chain`."""
+        head = f"{self.label}@{self.time:g}"
+        if self.is_input:
+            return f"{head} (circuit input {self.label!r})"
+        via = f" via {', '.join(self.transitions)}" if self.transitions else ""
+        return f"{head} <- {self.node}({self.cell}){via}"
+
+
+@dataclass
+class ProvenanceGraph:
+    """Append-only DAG of :class:`PulseRecord` entries (pid = list index)."""
+
+    records: List[PulseRecord] = field(default_factory=list)
+    #: label -> pids of pulses observed on that wire, in creation order.
+    by_label: Dict[str, List[int]] = field(default_factory=dict)
+    #: (dest node id, dest port, time) -> pid of the in-flight pulse.
+    _pending: Dict[Tuple[int, str, float], int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording (called by the simulation loops through the observer)
+    # ------------------------------------------------------------------
+    def new_pulse(
+        self,
+        label: str,
+        time: float,
+        node: str,
+        cell: str,
+        port: str,
+        parents: Tuple[int, ...] = (),
+        transitions: Tuple[str, ...] = (),
+    ) -> int:
+        pid = len(self.records)
+        self.records.append(
+            PulseRecord(pid, label, time, node, cell, port, parents, transitions)
+        )
+        self.by_label.setdefault(label, []).append(pid)
+        return pid
+
+    def register_pending(self, key: int, port: str, time: float, pid: int) -> int:
+        """Associate an in-flight pulse with its future dispatch group.
+
+        Two pulses on the same port at the same instant collapse in the
+        heap (a port either pulses at an instant or it does not); here the
+        later record is dropped and its parents merge into the earlier
+        one, so the graph mirrors what the simulator actually delivers.
+        Returns the pid that ended up representing the pulse.
+        """
+        slot = (key, port, time)
+        existing = self._pending.get(slot)
+        if existing is None:
+            self._pending[slot] = pid
+            return pid
+        record = self.records[existing]
+        dup = self.records[pid]
+        merged = record.parents + tuple(
+            p for p in dup.parents if p not in record.parents
+        )
+        record.parents = merged
+        # Drop the duplicate record: it never reaches a destination. It is
+        # always the most recent record (created by the emit that is being
+        # collapsed), so pid == index stays an invariant for survivors.
+        if pid == len(self.records) - 1:
+            del self.records[pid]
+            self.by_label[dup.label].remove(pid)
+        return existing
+
+    def take_parents(
+        self, key: int, ports: Tuple[str, ...] | List[str], time: float
+    ) -> Tuple[int, ...]:
+        """Resolve a popped pulse group to the pids being consumed."""
+        pending = self._pending
+        return tuple(pending.pop((key, port, time)) for port in ports)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record(self, pid: int) -> PulseRecord:
+        return self.records[pid]
+
+    def pulses_on(self, label: str) -> List[int]:
+        """Pids of every pulse observed on the given wire label."""
+        return list(self.by_label.get(label, ()))
+
+    def pulse_at(self, label: str, occurrence: int = -1) -> int:
+        """Pid of the n-th pulse on a wire (default: the last one)."""
+        pids = self.by_label.get(label)
+        if not pids:
+            raise PylseError(
+                f"No pulse recorded on wire {label!r}; known wires with "
+                f"pulses: {sorted(self.by_label)}"
+            )
+        try:
+            return pids[occurrence]
+        except IndexError:
+            raise PylseError(
+                f"Wire {label!r} saw {len(pids)} pulse(s); occurrence "
+                f"{occurrence} is out of range"
+            ) from None
+
+    def to_jsonable(self) -> dict:
+        """Schema ``repro-obs-provenance-v1`` (see docs/observability.md)."""
+        return {
+            "format": "repro-obs-provenance-v1",
+            "pulses": [
+                {
+                    "pid": r.pid,
+                    "wire": r.label,
+                    "time": r.time,
+                    "node": r.node,
+                    "cell": r.cell,
+                    "port": r.port,
+                    "parents": list(r.parents),
+                    "transitions": list(r.transitions),
+                }
+                for r in self.records
+            ],
+        }
+
+
+def format_chain(graph: ProvenanceGraph, pid: int, indent: str = "") -> str:
+    """Render the full causal chain of a pulse back to circuit inputs.
+
+    One line per ancestor pulse, children above parents, two-space
+    indentation per causal hop. A pulse already printed earlier in the
+    chain is referenced as ``(see above)`` instead of being expanded
+    again, which both deduplicates reconvergent fan-in and bounds the
+    output on feedback loops.
+    """
+    lines: List[str] = []
+    seen: set = set()
+    # Explicit stack: ancestry depth equals causal-chain length, which can
+    # exceed the interpreter recursion limit on long feedback loops.
+    stack: List[Tuple[int, str]] = [(pid, indent)]
+    while stack:
+        current, pad = stack.pop()
+        record = graph.record(current)
+        if current in seen:
+            lines.append(f"{pad}{record.label}@{record.time:g} (see above)")
+            continue
+        seen.add(current)
+        lines.append(pad + record.describe())
+        # Reversed so parents render in their original (port) order.
+        for parent in reversed(record.parents):
+            stack.append((parent, pad + "  "))
+    return "\n".join(lines)
+
+
+def format_group_chain(
+    graph: ProvenanceGraph,
+    node: str,
+    cell: str,
+    ports: Tuple[str, ...] | List[str],
+    time: float,
+    parents: Tuple[int, ...],
+) -> str:
+    """Render the causal chain of a delivered pulse group.
+
+    This is the form embedded in timing-violation errors: a header naming
+    the group and destination, then one chain per consumed pulse.
+    """
+    inputs = "+".join(ports)
+    lines = [f"{inputs}@{time:g} -> {node}({cell})"]
+    for pid in parents:
+        lines.append(format_chain(graph, pid, indent="  "))
+    return "\n".join(lines)

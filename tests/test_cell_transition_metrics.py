@@ -1,0 +1,103 @@
+"""Every shipped SFQ cell's transition names flow into collected metrics.
+
+Two drift guards, cell by cell over ``BASIC_CELLS + EXTENSION_CELLS``:
+
+* a generic exercising stimulus (one pulse per input, 50 ps apart, in
+  declared port order) is simulated with a metrics observer, and the
+  transition labels tallied for the cell must equal a reference replay of
+  the machine's ``delta`` over the same trigger sequence — so the labels
+  the hot-loop dispatch table carries can never drift from the machine
+  definition (the failure mode a dispatch-table refactor would hit);
+* the precomputed ``_fast`` entries themselves must carry exactly
+  ``Transition.label`` in canonical ``source--trigger->dest`` form.
+"""
+
+import pytest
+
+from repro.core.circuit import fresh_circuit, working_circuit
+from repro.core.helpers import inp_at
+from repro.core.simulation import Simulation
+from repro.core.wire import Wire
+from repro.obs import Observer
+from repro.sfq import BASIC_CELLS, EXTENSION_CELLS
+
+ALL_CELLS = BASIC_CELLS + EXTENSION_CELLS
+
+#: Comfortable spacing: larger than any cell's transition time or
+#: past-constraint window, so the canonical stimulus never violates.
+SPACING = 50.0
+
+
+def exercise_cell(cls):
+    """Simulate one pulse per input (declared order) through a lone cell."""
+    with fresh_circuit() as circuit:
+        ins = [
+            inp_at(SPACING * (i + 1), name=f"in_{port}")
+            for i, port in enumerate(cls.inputs)
+        ]
+        element = cls()
+        outs = [Wire(f"out_{port}") for port in cls.outputs]
+        working_circuit().add_node(element, ins, outs)
+    observer = Observer(provenance=False, metrics=True)
+    Simulation(circuit).simulate(observer=observer)
+    return element, observer.metrics
+
+
+def replay_expected_labels(cls):
+    """Reference: walk delta over the same trigger sequence."""
+    machine = cls._class_machine()
+    state = machine.initial
+    labels = []
+    for port in cls.inputs:
+        transition = machine._delta[(state, port)]
+        labels.append(transition.label)
+        state = transition.dest
+    return labels
+
+
+@pytest.mark.parametrize("cls", ALL_CELLS, ids=lambda c: c.name)
+def test_collected_transitions_match_reference_replay(cls):
+    element, metrics = exercise_cell(cls)
+    [(node_name, cell_metrics)] = [
+        (name, cm) for name, cm in metrics.cells.items()
+        if cm.cell == cls.name
+    ]
+    expected = replay_expected_labels(cls)
+    # One pulse per input: every replayed transition tallied exactly once.
+    assert cell_metrics.transitions == {
+        label: expected.count(label) for label in expected
+    }
+    assert cell_metrics.pulses_in == len(cls.inputs)
+    assert cell_metrics.violations == 0
+
+
+@pytest.mark.parametrize("cls", ALL_CELLS, ids=lambda c: c.name)
+def test_collected_labels_exist_in_machine(cls):
+    """Every tallied name is a real transition of the cell's machine."""
+    _, metrics = exercise_cell(cls)
+    machine = cls._class_machine()
+    valid = {t.label for t in machine.transitions}
+    [cell_metrics] = [
+        cm for cm in metrics.cells.values() if cm.cell == cls.name
+    ]
+    assert set(cell_metrics.transitions) <= valid
+
+
+@pytest.mark.parametrize("cls", ALL_CELLS, ids=lambda c: c.name)
+def test_fast_table_carries_canonical_labels(cls):
+    """The hot-loop dispatch entries end with Transition.label verbatim."""
+    machine = cls._class_machine()
+    assert machine._fast, f"{cls.name}: empty dispatch table"
+    for key, entry in machine._fast.items():
+        transition = machine._delta[key]
+        assert entry[5] == transition.label
+        source, trigger = key
+        assert entry[5] == f"{source}--{trigger}->{transition.dest}"
+
+
+def test_labels_unique_per_machine():
+    """Labels are usable as counters: no two transitions share one."""
+    for cls in ALL_CELLS:
+        machine = cls._class_machine()
+        labels = [t.label for t in machine.transitions]
+        assert len(labels) == len(set(labels)), cls.name

@@ -50,8 +50,45 @@ class TestCli:
         out = capsys.readouterr().out
         assert "workers: 2" in out
 
+    def test_yield_stats(self, capsys):
+        assert main(["yield", "Min-Max", "--sigma", "0.1", "--seeds", "3",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "yield:" in out
+        assert "simulation metrics (3 runs)" in out
+
+    def test_yield_stats_json(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "sweep.json"
+        assert main(["yield", "Min-Max", "--sigma", "0.1", "--seeds", "3",
+                     "--stats-json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["format"] == "repro-obs-metrics-v1"
+        assert payload["runs"] == 3
+
     def test_yield_unknown_design(self, capsys):
         assert main(["yield", "NOPE"]) == 2
+
+    def test_yield_negative_workers_exits_1(self, capsys):
+        assert main(["yield", "Min-Max", "--seeds", "2",
+                     "--workers", "-1"]) == 1
+        err = capsys.readouterr().err
+        assert "workers must be a non-negative integer" in err
+
+    def test_yield_unpicklable_predicate_exits_1(self, capsys, monkeypatch):
+        # A closure predicate cannot be shipped to pool workers; the CLI
+        # must surface the PylseError as a clean nonzero exit, not a
+        # mid-pool traceback.
+        import repro.__main__ as cli
+
+        monkeypatch.setattr(
+            cli, "PulseCountPredicate", lambda baseline: (lambda events: True)
+        )
+        assert main(["yield", "Min-Max", "--seeds", "4",
+                     "--workers", "2"]) == 1
+        err = capsys.readouterr().err
+        assert "picklable" in err
 
     def test_verify_satisfied(self, capsys):
         assert main(["verify", "JTL"]) == 0
@@ -98,6 +135,37 @@ class TestCliExtensions:
         out = capsys.readouterr().out
         assert "jtl0(JTL)" in out
         assert "timing slack report" in out
+
+    def test_trace_stats(self, capsys):
+        assert main(["trace", "Min-Max", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "simulation metrics" in out
+        assert "max heap depth" in out
+        assert "idle--a->idle" in out  # transition tallies by label
+
+    def test_trace_stats_json(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "metrics.json"
+        assert main(["trace", "Min-Max", "--stats-json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["format"] == "repro-obs-metrics-v1"
+        assert "jtl0" in payload["cells"]
+
+    def test_trace_provenance_wire(self, capsys):
+        assert main(["trace", "Min-Max", "--provenance", "high"]) == 0
+        out = capsys.readouterr().out
+        assert "causal chain of last pulse on 'high':" in out
+        assert "(circuit input" in out
+
+    def test_trace_provenance_trace_mode(self, capsys):
+        assert main(["trace", "JTL", "--provenance", "trace"]) == 0
+        out = capsys.readouterr().out
+        assert "(circuit input" in out
+
+    def test_trace_provenance_unknown_wire_exits_1(self, capsys):
+        assert main(["trace", "Min-Max", "--provenance", "nope"]) == 1
+        assert "No pulse recorded" in capsys.readouterr().err
 
     def test_export_stdout(self, capsys):
         assert main(["export", "JTL"]) == 0

@@ -53,6 +53,49 @@ class TestPulseHeap:
         assert ports == ["a"]
         assert not heap
 
+    def test_three_equal_time_pulses_same_port_collapse(self):
+        # Regression: the duplicate check must hold past the second pulse
+        # (the seen-set, not a pairwise comparison, shadows the port list).
+        node = make_node()
+        heap = PulseHeap()
+        for _ in range(3):
+            heap.push(Pulse(10.0, node, "a"))
+        _, ports, time = heap.pop_simultaneous()
+        assert ports == ["a"]
+        assert time == 10.0
+        assert not heap
+
+    def test_four_equal_time_pulses_same_port_collapse(self):
+        node = make_node()
+        heap = PulseHeap()
+        for _ in range(4):
+            heap.push(Pulse(10.0, node, "a"))
+        _, ports, _ = heap.pop_simultaneous()
+        assert ports == ["a"]
+        assert not heap
+
+    def test_equal_time_mixed_ports_collapse_per_port(self):
+        node = make_node()
+        heap = PulseHeap()
+        for port in ("a", "b", "a", "b", "a"):
+            heap.push(Pulse(10.0, node, port))
+        _, ports, _ = heap.pop_simultaneous()
+        # First occurrence order preserved, duplicates dropped per port.
+        assert ports == ["a", "b"]
+        assert not heap
+
+    def test_equal_time_duplicates_do_not_swallow_later_times(self):
+        node = make_node()
+        heap = PulseHeap()
+        for _ in range(3):
+            heap.push(Pulse(10.0, node, "a"))
+        heap.push(Pulse(20.0, node, "a"))
+        _, ports, time = heap.pop_simultaneous()
+        assert (ports, time) == (["a"], 10.0)
+        _, ports, time = heap.pop_simultaneous()
+        assert (ports, time) == (["a"], 20.0)
+        assert not heap
+
     def test_pop_empty_raises(self):
         heap = PulseHeap()
         try:

@@ -11,6 +11,12 @@ Usage, from the repository root::
     PYTHONPATH=src python tools/bench_guard.py            # run + guard
     PYTHONPATH=src python tools/bench_guard.py --update   # accept new baseline
     PYTHONPATH=src python tools/bench_guard.py --tolerance 0.1
+    PYTHONPATH=src python tools/bench_guard.py --smoke    # CI: run, don't time
+
+``--smoke`` executes every benchmark body once with timing collection
+disabled (``--benchmark-disable``) and touches neither the guard nor
+``BENCH_sim.json`` — shared CI runners are far too noisy for median
+comparisons, but the benchmarks still exercise the hot paths end to end.
 
 The ``seed`` block in BENCH_sim.json records the pre-optimization medians
 and is carried forward verbatim so speedup-vs-seed stays visible across
@@ -51,16 +57,18 @@ BENCH_GROUPS = [
 ]
 
 
-def run_benchmarks(json_path: pathlib.Path, targets) -> None:
+def run_benchmarks(json_path: pathlib.Path | None, targets) -> None:
     env = dict(os.environ)
     src = str(ROOT / "src")
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    cmd = [
-        sys.executable, "-m", "pytest", "-q", *targets,
-        f"--benchmark-json={json_path}",
-    ]
+    extra = (
+        [f"--benchmark-json={json_path}"]
+        if json_path is not None
+        else ["--benchmark-disable"]
+    )
+    cmd = [sys.executable, "-m", "pytest", "-q", *targets, *extra]
     result = subprocess.run(cmd, cwd=ROOT, env=env)
     if result.returncode != 0:
         raise SystemExit(f"benchmark run failed (exit {result.returncode})")
@@ -92,7 +100,18 @@ def main(argv=None) -> int:
         "--update", action="store_true",
         help="write the new numbers even if the guard fails",
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run every benchmark once without timing (for CI); "
+             "no guard, no BENCH_sim.json write",
+    )
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        for targets in BENCH_GROUPS:
+            run_benchmarks(None, targets)
+        print("smoke run complete (timing disabled, baseline untouched)")
+        return 0
 
     baseline = None
     seed_block = dict(SEED_MEDIANS_US)
