@@ -22,9 +22,9 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from .core.analysis import balance_report, clock_skew, total_jjs
 from .core.energy import energy_report
 from .core.errors import PylseError
 from .core.montecarlo import measure_yield
@@ -38,6 +38,8 @@ from .exp.registry import (
     build_in_fresh_circuit,
     registry,
 )
+from .lint import Severity, json_payload, lint_circuit, render_text, sarif_payload
+from .lint import max_severity as lint_max_severity
 from .mc.check import verify_design
 from .obs import Observer
 from .sfq import BASIC_CELLS, EXTENSION_CELLS
@@ -172,35 +174,44 @@ def cmd_energy(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    entry = _require(_designs(), args.name, "design")
-    if entry is None:
-        return 2
-    circuit = build_in_fresh_circuit(entry)
-    print(f"lint report for {entry.name}:")
-    print(f"  cells: {len(circuit.cells())}, JJs: {total_jjs(circuit)}")
-    try:
-        findings = balance_report(circuit, tolerance=args.tolerance)
-    except PylseError as err:
-        print(f"  balance: skipped ({err})")
-        findings = []
-    if findings:
-        print(f"  path-balance findings ({len(findings)}):")
-        for finding in findings[:10]:
-            print(f"    {finding}")
+    designs = _designs()
+    if args.all:
+        names = list(designs)
+    elif args.names:
+        names = args.names
     else:
-        print("  path balance: clean")
-    clock_names = [
-        node.output_wires["out"].observed_as
-        for node in circuit.input_nodes()
-        if node.output_wires["out"].observed_as.lower().startswith("clk")
-    ]
-    for clock in clock_names:
-        try:
-            lo, hi = clock_skew(clock, circuit)
-            print(f"  clock {clock!r} skew: [{lo:g}, {hi:g}] ps")
-        except PylseError:
-            pass
-    return 1 if findings else 0
+        print("specify design name(s) or --all; try `python -m repro list`.",
+              file=sys.stderr)
+        return 2
+    reports = []
+    for name in names:
+        entry = _require(designs, name, "design")
+        if entry is None:
+            return 2
+        circuit = build_in_fresh_circuit(entry)
+        reports.append(lint_circuit(
+            circuit,
+            select=args.select,
+            ignore=args.ignore,
+            tolerance=args.tolerance,
+            design=entry.name,
+        ))
+    if args.format == "text":
+        text = render_text(reports)
+    elif args.format == "json":
+        text = json.dumps(json_payload(reports), indent=2)
+    else:
+        text = json.dumps(sarif_payload(reports), indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    if args.fail_on == "never":
+        return 0
+    worst = lint_max_severity(reports)
+    return 1 if worst is not None and worst >= Severity.from_name(args.fail_on) else 0
 
 
 def cmd_trace(args) -> int:
@@ -291,10 +302,30 @@ def main(argv=None) -> int:
     p.add_argument("--time-limit", type=float, default=120.0)
     p = sub.add_parser("energy", help="switching-energy estimate for a design")
     p.add_argument("name")
-    p = sub.add_parser("lint", help="static design-rule report for a design")
-    p.add_argument("name")
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: machine, structural, and timing rules",
+    )
+    p.add_argument("names", nargs="*", metavar="name",
+                   help="registry design(s) to lint")
+    p.add_argument("--all", action="store_true",
+                   help="lint every registry design")
+    p.add_argument("--select", metavar="RULES",
+                   help="comma-separated rule IDs/prefixes to enable "
+                        "(e.g. PL3 or PL101,PL205); default: all")
+    p.add_argument("--ignore", metavar="RULES",
+                   help="comma-separated rule IDs/prefixes to disable")
+    p.add_argument("--fail-on", choices=["error", "warning", "info", "never"],
+                   default="error",
+                   help="exit 1 when a finding of at least this severity "
+                        "exists (default: error)")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text", help="report format (default: text)")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the report to FILE instead of stdout")
     p.add_argument("--tolerance", type=float, default=0.0,
-                   help="skew below this (ps) is not reported")
+                   help="allowed path-balance skew and minimum acceptable "
+                        "timing margin in ps (default 0)")
     p = sub.add_parser("trace", help="dispatch trace + timing slack")
     p.add_argument("name")
     p.add_argument("--stats", action="store_true",

@@ -36,8 +36,13 @@ from .transitional import Transitional
 from .wire import Wire
 
 
-def _output_delay(node: Node, port: str) -> float:
-    """Worst-case nominal firing delay of ``port`` on ``node``'s element."""
+def _output_delay_window(node: Node, port: str) -> Tuple[float, float]:
+    """(min, max) nominal firing delay of ``port`` on ``node``'s element.
+
+    A Transitional output can be fired by several transitions with different
+    delays; the window brackets them. Functional holes have a single delay
+    per output, so the window collapses to a point.
+    """
     element = node.element
     if isinstance(element, Transitional):
         delays = [
@@ -50,10 +55,16 @@ def _output_delay(node: Node, port: str) -> float:
             raise PylseError(
                 f"{node.name}: output {port!r} is never fired by any transition"
             )
-        return max(delays)
+        return min(delays), max(delays)
     if isinstance(element, Functional):
-        return nominal_delay(element.delays[port])
+        d = nominal_delay(element.delays[port])
+        return d, d
     raise PylseError(f"{node.name}: cannot compute delays for {element!r}")
+
+
+def _output_delay(node: Node, port: str) -> float:
+    """Worst-case nominal firing delay of ``port`` on ``node``'s element."""
+    return _output_delay_window(node, port)[1]
 
 
 def circuit_graph(circuit: Optional[Circuit] = None) -> nx.DiGraph:
@@ -75,18 +86,19 @@ def circuit_graph(circuit: Optional[Circuit] = None) -> nx.DiGraph:
                            cell=node.element.name)
     for wire, (src_node, src_port) in circuit.source_of.items():
         if isinstance(src_node.element, InGen):
-            u, delay = f"in:{wire.observed_as}", 0.0
+            u, delay_min, delay = f"in:{wire.observed_as}", 0.0, 0.0
         else:
             u = src_node.name
-            delay = _output_delay(src_node, src_port)
+            delay_min, delay = _output_delay_window(src_node, src_port)
         dest = circuit.dest_of.get(wire)
         if dest is None:
             v = f"out:{wire.observed_as}"
             graph.add_node(v, kind="output")
-            graph.add_edge(u, v, delay=delay, wire=wire.observed_as, port=None)
+            graph.add_edge(u, v, delay=delay, delay_min=delay_min,
+                           wire=wire.observed_as, port=None)
         else:
             dst_node, dst_port = dest
-            graph.add_edge(u, dst_node.name, delay=delay,
+            graph.add_edge(u, dst_node.name, delay=delay, delay_min=delay_min,
                            wire=wire.observed_as, port=dst_port)
     return graph
 
@@ -231,6 +243,38 @@ def clock_skew(clock_name: str, circuit: Optional[Circuit] = None) -> Tuple[floa
     if not arrivals:
         raise PylseError(f"Clock {clock_name!r} reaches no clocked cell")
     return min(arrivals), max(arrivals)
+
+
+def clock_wires(circuit: Optional[Circuit] = None) -> Dict[str, List[str]]:
+    """Structurally identify the circuit's clock inputs.
+
+    Returns ``{input label: [clocked cell node names]}`` for every circuit
+    input whose pulses reach at least one cell input port named ``clk``
+    (through splitters, JTLs, or any other fabric). This replaces
+    name-prefix heuristics: a clock called ``c0`` or ``clock`` is found just
+    as well as one called ``clk``.
+    """
+    circuit = circuit if circuit is not None else working_circuit()
+    graph = circuit_graph(circuit)
+    #: graph nodes that consume a clk port, keyed by their predecessor edge
+    clk_sinks: Dict[str, List[str]] = {}
+    for u, v, data in graph.edges(data=True):
+        if data.get("port") == "clk":
+            clk_sinks.setdefault(u, []).append(v)
+    result: Dict[str, List[str]] = {}
+    for n, d in graph.nodes(data=True):
+        if d.get("kind") != "input":
+            continue
+        reached = {n} | nx.descendants(graph, n)
+        clocked = sorted({
+            sink
+            for pred, sinks in clk_sinks.items()
+            if pred in reached
+            for sink in sinks
+        })
+        if clocked:
+            result[n[3:]] = clocked
+    return result
 
 
 def total_jjs(circuit: Optional[Circuit] = None) -> int:

@@ -37,6 +37,9 @@ class Circuit:
         #: wire -> (node, input port) consuming pulses from it
         self.dest_of: Dict[Wire, Tuple[Node, str]] = {}
         self._wires: List[Wire] = []
+        #: name/alias -> wire index for O(1) find_wire; first registration of
+        #: a non-user name wins, matching the old linear-scan semantics.
+        self._wire_index: Dict[str, Wire] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -73,6 +76,8 @@ class Circuit:
                     "a splitter (see split())"
                 )
             self.dest_of[wire] = (node, port)
+            if wire._circuit is None:
+                wire._circuit = self
 
         for port, wire in node.output_wires.items():
             if wire in self.source_of:
@@ -83,6 +88,8 @@ class Circuit:
                 )
             self.source_of[wire] = (node, port)
             self._wires.append(wire)
+            wire._circuit = self
+            self._index_wire(wire)
 
         self.nodes.append(node)
         return node
@@ -117,12 +124,50 @@ class Circuit:
         """Nodes that are actual cells (not input generators)."""
         return [n for n in self.nodes if not isinstance(n.element, InGen)]
 
+    def _index_wire(self, wire: Wire) -> None:
+        """Register a driven wire's name and alias in the lookup index.
+
+        User-visible name collisions are rejected here (loudly, at
+        construction time) rather than at :meth:`validate`; auto-generated
+        names keep first-registration-wins lookup, matching the semantics of
+        the old linear scan.
+        """
+        for label in {wire.name, wire.observed_as}:
+            existing = self._wire_index.get(label)
+            if existing is None:
+                self._wire_index[label] = wire
+            elif (existing is not wire and wire.is_user_named
+                  and existing.is_user_named):
+                raise WireError(
+                    f"Two wires observed under the same name {label!r}; names must "
+                    "be unique for simulation events to be unambiguous"
+                )
+
+    def _rename_wire(self, wire: Wire, name: str) -> None:
+        """Re-alias an indexed wire, rejecting duplicate user-visible names.
+
+        Called by :meth:`Wire.observe` before the alias changes.
+        """
+        existing = self._wire_index.get(name)
+        if existing is not None and existing is not wire and existing.is_user_named:
+            raise WireError(
+                f"Two wires observed under the same name {name!r}; names must "
+                "be unique for simulation events to be unambiguous"
+            )
+        if wire not in self.source_of:
+            # Consumed-but-undriven (feedback) wire: indexed when driven.
+            return
+        old_alias = wire.observed_as
+        if old_alias != wire.name and self._wire_index.get(old_alias) is wire:
+            del self._wire_index[old_alias]
+        self._wire_index[name] = wire
+
     def find_wire(self, name: str) -> Wire:
-        """Look up a wire by its name or observation alias."""
-        for wire in self._wires:
-            if wire.name == name or wire.observed_as == name:
-                return wire
-        raise WireError(f"No wire named {name!r} in this circuit")
+        """Look up a wire by its name or observation alias (O(1))."""
+        wire = self._wire_index.get(name)
+        if wire is None:
+            raise WireError(f"No wire named {name!r} in this circuit")
+        return wire
 
     def validate(self) -> None:
         """Run whole-circuit structural checks.

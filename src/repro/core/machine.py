@@ -39,6 +39,26 @@ from .timing import DelayLike, nominal_delay
 WILDCARD = "*"
 
 
+def expand_constraints(
+    transition: "Transition", inputs: Sequence[str]
+) -> Iterable[Tuple[str, float]]:
+    """Expand a transition's past constraints over the wildcard.
+
+    An explicit per-input constraint overrides the wildcard for that input.
+    Shared by the simulator (:meth:`PylseMachine.step`) and the static
+    analyzer (:mod:`repro.lint`), which also works on transition lists that
+    never passed machine validation.
+    """
+    constraints = transition.past_constraints
+    if WILDCARD in constraints:
+        star = constraints[WILDCARD]
+        for sym in inputs:
+            yield sym, constraints.get(sym, star)
+    else:
+        for sym, dist in constraints.items():
+            yield sym, dist
+
+
 @dataclass(frozen=True)
 class Transition:
     """A fully normalized PyLSE Machine edge (Figure 4).
@@ -295,19 +315,8 @@ class PylseMachine:
     def _constraint_items(
         self, transition: Transition
     ) -> Iterable[Tuple[str, float]]:
-        """Expand a transition's past constraints over the wildcard.
-
-        An explicit per-input constraint overrides the wildcard for that
-        input.
-        """
-        constraints = transition.past_constraints
-        if WILDCARD in constraints:
-            star = constraints[WILDCARD]
-            for sym in self.inputs:
-                yield sym, constraints.get(sym, star)
-        else:
-            for sym, dist in constraints.items():
-                yield sym, dist
+        """Expand a transition's past constraints over the wildcard."""
+        return expand_constraints(transition, self.inputs)
 
     def choose(
         self,
@@ -394,6 +403,24 @@ class PylseMachine:
     # ------------------------------------------------------------------
     def transitions_from(self, state: str) -> List[Transition]:
         return [t for t in self.transitions if t.source == state]
+
+    def reachable_states(self) -> FrozenSet[str]:
+        """States reachable from the initial state via any input sequence.
+
+        A fully-specified machine may still contain unreachable states (no
+        path of transitions leads there from ``q_init``); the static
+        analyzer (:mod:`repro.lint`, rule PL101) reports them.
+        """
+        seen = {self.initial}
+        stack = [self.initial]
+        while stack:
+            state = stack.pop()
+            for sym in self.inputs:
+                dest = self._delta[(state, sym)].dest
+                if dest not in seen:
+                    seen.add(dest)
+                    stack.append(dest)
+        return frozenset(seen)
 
     def __repr__(self) -> str:
         return (

@@ -25,7 +25,7 @@ class Wire:
 
     _name_counter = itertools.count()
 
-    __slots__ = ("name", "observed_as", "_user_named")
+    __slots__ = ("name", "observed_as", "_user_named", "_circuit")
 
     def __init__(self, name: Optional[str] = None):
         if name is not None and not isinstance(name, str):
@@ -36,6 +36,9 @@ class Wire:
         self.name = name if name is not None else f"_{next(Wire._name_counter)}"
         #: Alias set via inspect(); falls back to the wire's own name.
         self.observed_as: str = self.name
+        #: The circuit this wire is registered with (set by Circuit.add_node)
+        #: so observe() can reject duplicate user-visible names immediately.
+        self._circuit = None
 
     @property
     def is_user_named(self) -> bool:
@@ -43,9 +46,17 @@ class Wire:
         return self._user_named
 
     def observe(self, name: str) -> "Wire":
-        """Attach a user-visible name for observation during simulation."""
+        """Attach a user-visible name for observation during simulation.
+
+        If the wire already belongs to a circuit and ``name`` collides with
+        another wire's user-visible name there, this raises
+        :class:`~repro.core.errors.WireError` at the call site instead of
+        deferring the ambiguity to :meth:`Circuit.validate`.
+        """
         if not name or not isinstance(name, str):
             raise WireError(f"Observation name must be a non-empty string, got {name!r}")
+        if self._circuit is not None:
+            self._circuit._rename_wire(self, name)
         self.observed_as = name
         self._user_named = True
         return self

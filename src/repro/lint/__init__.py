@@ -1,0 +1,60 @@
+"""Static analysis for PyLSE circuits and machines (the ``repro lint`` core).
+
+The package statically answers, before any pulse is simulated, the
+questions Sections 3 and 4.2 of the paper raise dynamically:
+
+* is every machine well-formed *and* live (PL1xx)?
+* is the circuit structurally sound — single drivers, no dangling wires,
+  no stateless feedback loops, reachable clocks, balanced convergent paths
+  (PL2xx)?
+* can any concrete schedule trip a Figure 6 timing-error rule (PL3xx),
+  proved by interval abstract interpretation of pulse-arrival windows?
+
+Public API::
+
+    from repro.lint import lint_circuit, lint_machine
+
+    report = lint_circuit()     # the working circuit
+    report = lint_machine(AND)  # one cell class
+
+plus the emitters (``render_text``, ``json_payload``, ``sarif_payload``)
+and the rule registry (``all_rules``, ``rule``).
+"""
+
+from .circuit_rules import lint_circuit, lint_machine
+from .findings import Finding, Location, Severity
+from .intervals import ArrivalAnalysis, Interval, TimingCheck, propagate
+from .machine_rules import MachineSpec, machine_findings, machine_spec
+from .report import (
+    LintReport,
+    json_payload,
+    max_severity,
+    render_text,
+    sarif_payload,
+)
+from .rules import Rule, all_rules, is_selected, rule, sarif_rule_index
+
+__all__ = [
+    "ArrivalAnalysis",
+    "Finding",
+    "Interval",
+    "LintReport",
+    "Location",
+    "MachineSpec",
+    "Rule",
+    "Severity",
+    "TimingCheck",
+    "all_rules",
+    "is_selected",
+    "json_payload",
+    "lint_circuit",
+    "lint_machine",
+    "machine_findings",
+    "machine_spec",
+    "max_severity",
+    "propagate",
+    "render_text",
+    "rule",
+    "sarif_payload",
+    "sarif_rule_index",
+]

@@ -1,0 +1,149 @@
+"""Finding records for the static analyzer.
+
+A :class:`Finding` is one diagnostic produced by a lint rule: the rule ID,
+its severity, a human-readable message, and a structured
+:class:`Location` naming exactly which machine / node / port / wire the
+diagnostic is about. Structured locations are what let the SARIF emitter
+produce navigable logical locations and what per-node suppression keys on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons mean "at least as bad"."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"Unknown severity {name!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+    @property
+    def label(self) -> str:
+        """Lowercase name used in reports (``error``/``warning``/``info``)."""
+        return self.name.lower()
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 ``level`` for this severity."""
+        return {"error": "error", "warning": "warning", "info": "note"}[self.label]
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding points, in increasing specificity.
+
+    ``design`` is the registry design name (when linting through the CLI),
+    ``machine`` the cell type, ``node`` the placed instance, and the
+    remaining fields narrow down to a state, transition, port, or wire.
+    Unused fields stay ``None``.
+    """
+
+    design: Optional[str] = None
+    machine: Optional[str] = None
+    node: Optional[str] = None
+    state: Optional[str] = None
+    transition_id: Optional[int] = None
+    port: Optional[str] = None
+    wire: Optional[str] = None
+
+    def qualified_name(self) -> str:
+        """A stable dotted path, e.g. ``node:xor0.clk`` or ``machine:AND/state:a_arr``."""
+        parts = []
+        if self.machine and not self.node:
+            parts.append(f"machine:{self.machine}")
+        if self.node:
+            parts.append(f"node:{self.node}")
+        if self.state:
+            parts.append(f"state:{self.state}")
+        if self.transition_id is not None:
+            parts.append(f"transition:{self.transition_id}")
+        if self.port:
+            parts.append(f"port:{self.port}")
+        if self.wire:
+            parts.append(f"wire:{self.wire}")
+        if not parts:
+            parts.append("circuit")
+        return "/".join(parts)
+
+    @property
+    def kind(self) -> str:
+        """The most specific element kind this location names."""
+        for attr, kind in (
+            ("wire", "wire"),
+            ("port", "port"),
+            ("transition_id", "transition"),
+            ("state", "state"),
+            ("node", "node"),
+            ("machine", "machine"),
+        ):
+            if getattr(self, attr) is not None:
+                return kind
+        return "circuit"
+
+    def to_jsonable(self) -> dict:
+        return {
+            k: v
+            for k, v in (
+                ("design", self.design),
+                ("machine", self.machine),
+                ("node", self.node),
+                ("state", self.state),
+                ("transition", self.transition_id),
+                ("port", self.port),
+                ("wire", self.wire),
+            )
+            if v is not None
+        }
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: rule, severity, message, structured location.
+
+    ``path`` carries the offending pulse path(s) for the timing rules
+    (PL3xx) — pre-rendered lines like
+    ``in:clk@50 -> jtl0 +[3, 3] -> xor0.clk in [53, 53]`` mirroring what
+    ``SimulationError.provenance`` reports dynamically.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+    path: Tuple[str, ...] = ()
+    data: Optional[Mapping[str, object]] = None
+
+    def render(self) -> str:
+        lines = [
+            f"{self.rule} {self.severity.label} {self.location.qualified_name()}: "
+            f"{self.message}"
+        ]
+        lines.extend(f"    {hop}" for hop in self.path)
+        return "\n".join(lines)
+
+    def to_jsonable(self) -> dict:
+        payload: dict = {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+            "location": self.location.to_jsonable(),
+        }
+        if self.path:
+            payload["path"] = list(self.path)
+        if self.data:
+            payload["data"] = {k: v for k, v in self.data.items()}
+        return payload

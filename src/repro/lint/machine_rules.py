@@ -1,0 +1,248 @@
+"""Machine-level lint: static checks over a single PyLSE Machine.
+
+Works on a :class:`MachineSpec` — a normalized view of (name, inputs,
+outputs, transitions, initial) that can be built from a validated
+:class:`~repro.core.machine.PylseMachine`, from a
+:class:`~repro.core.transitional.Transitional` class or instance, or from a
+raw transition list that would *fail* machine validation. The latter is the
+point: ``PylseMachine._validate`` hard-rejects incomplete or
+nondeterministic machines with one exception, while the linter reports
+every problem at once, as findings (PL104/PL105/PL108), alongside the
+diagnostics validation silently ignores (PL101-PL103, PL106, PL107).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..core.machine import PylseMachine, Transition
+from ..core.timing import nominal_delay
+from ..core.transitional import Transitional, parse_transitions
+from .findings import Finding, Location
+from .rules import is_selected, rule
+
+MachineLike = Union[PylseMachine, Transitional, type]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Normalized machine description the rules run against."""
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    transitions: Tuple[Transition, ...]
+    initial: str
+
+    def states(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for t in self.transitions:
+            for state in (t.source, t.dest):
+                if state not in seen:
+                    seen.append(state)
+        return tuple(seen)
+
+
+def machine_spec(obj: MachineLike) -> MachineSpec:
+    """Build a :class:`MachineSpec` from any machine-shaped object."""
+    if isinstance(obj, PylseMachine):
+        return MachineSpec(
+            name=obj.name,
+            inputs=tuple(obj.inputs),
+            outputs=tuple(obj.outputs),
+            transitions=tuple(obj.transitions),
+            initial=obj.initial,
+        )
+    if isinstance(obj, Transitional):
+        return machine_spec(obj.machine)
+    if isinstance(obj, type) and issubclass(obj, Transitional):
+        parsed = parse_transitions(
+            obj.__name__, tuple(obj.outputs), obj.transitions,
+            getattr(obj, "firing_delay", None),
+        )
+        return MachineSpec(
+            name=obj.name,
+            inputs=tuple(obj.inputs),
+            outputs=tuple(obj.outputs),
+            transitions=tuple(parsed),
+            initial="idle",
+        )
+    raise TypeError(
+        f"lint_machine expects a PylseMachine, a Transitional class, or a "
+        f"Transitional instance, got {obj!r}"
+    )
+
+
+def _delta_map(spec: MachineSpec) -> Dict[Tuple[str, str], List[Transition]]:
+    """(state, trigger) -> transitions; >1 entry means delta is not a function."""
+    delta: Dict[Tuple[str, str], List[Transition]] = {}
+    for t in spec.transitions:
+        delta.setdefault((t.source, t.trigger), []).append(t)
+    return delta
+
+
+def reachable_states(spec: MachineSpec) -> FrozenSet[str]:
+    """States reachable from the initial state via the available transitions."""
+    delta = _delta_map(spec)
+    seen = {spec.initial}
+    stack = [spec.initial]
+    while stack:
+        state = stack.pop()
+        for (source, _), transitions in delta.items():
+            if source != state:
+                continue
+            for t in transitions:
+                if t.dest not in seen:
+                    seen.add(t.dest)
+                    stack.append(t.dest)
+    return frozenset(seen)
+
+
+def _outcome(
+    delta: Dict[Tuple[str, str], List[Transition]], state: str,
+    first: str, second: str,
+) -> Optional[Tuple[str, Tuple[Tuple[str, int], ...]]]:
+    """Final state + fired-output multiset of dispatching ``first`` then
+    ``second`` from ``state`` (timing ignored); None if a step is missing."""
+    fired: Counter = Counter()
+    for sym in (first, second):
+        candidates = delta.get((state, sym))
+        if not candidates or len(candidates) > 1:
+            return None
+        transition = candidates[0]
+        fired.update(transition.firing.keys())
+        state = transition.dest
+    return state, tuple(sorted(fired.items()))
+
+
+def machine_findings(
+    spec: MachineSpec,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    design: Optional[str] = None,
+    nodes: Sequence[str] = (),
+) -> List[Finding]:
+    """Run every machine rule against one spec.
+
+    ``nodes`` lists the placed instances sharing this machine (attached to
+    the findings' ``data`` so circuit reports can say *where*).
+    """
+    findings: List[Finding] = []
+    data = {"nodes": list(nodes)} if nodes else None
+
+    def emit(rule_id: str, message: str, **location_fields) -> None:
+        if not is_selected(rule_id, select, ignore):
+            return
+        findings.append(Finding(
+            rule=rule_id,
+            severity=rule(rule_id).severity,
+            message=message,
+            location=Location(design=design, machine=spec.name,
+                              **location_fields),
+            data=data,
+        ))
+
+    delta = _delta_map(spec)
+    states = spec.states()
+    input_set = set(spec.inputs)
+    reachable = reachable_states(spec)
+
+    # PL108: delta is not a function.
+    for (state, trigger), transitions in delta.items():
+        if len(transitions) > 1:
+            ids = ", ".join(str(t.id) for t in transitions)
+            emit("PL108",
+                 f"transitions {ids} all leave state {state!r} on input "
+                 f"{trigger!r}; delta must be a function",
+                 state=state)
+
+    # PL104: incomplete input alphabet.
+    for state in states:
+        missing = [sym for sym in spec.inputs if (state, sym) not in delta]
+        if missing:
+            emit("PL104",
+                 f"state {state!r} has no transition for input(s) "
+                 f"{missing}; delta must be total over the alphabet",
+                 state=state)
+
+    # PL105: past constraints naming unknown symbols.
+    for t in spec.transitions:
+        unknown = sorted(
+            sym for sym in t.past_constraints
+            if sym != "*" and sym not in input_set
+        )
+        if unknown:
+            emit("PL105",
+                 f"transition {t.id} ({t.label}) constrains unknown "
+                 f"input(s) {unknown}; use declared inputs or '*'",
+                 state=t.source, transition_id=t.id)
+
+    # PL101: unreachable states.
+    for state in states:
+        if state not in reachable:
+            emit("PL101",
+                 f"state {state!r} is unreachable from the initial state "
+                 f"{spec.initial!r}",
+                 state=state)
+
+    # PL102: dead transitions (leaving unreachable states).
+    for t in spec.transitions:
+        if t.source not in reachable:
+            emit("PL102",
+                 f"transition {t.id} ({t.label}) can never be taken: its "
+                 f"source state is unreachable",
+                 state=t.source, transition_id=t.id)
+
+    # PL103: declared outputs never fired from any reachable state.
+    fired_outputs = {
+        out
+        for t in spec.transitions
+        if t.source in reachable
+        for out in t.firing
+    }
+    for out in spec.outputs:
+        if out not in fired_outputs:
+            emit("PL103",
+                 f"output {out!r} is never fired by any reachable "
+                 f"transition; downstream consumers will wait forever",
+                 port=out)
+
+    # PL106: transition time exceeding the minimum firing delay it gates.
+    for t in spec.transitions:
+        if t.source not in reachable or not t.firing or t.transition_time <= 0:
+            continue
+        min_fire = min(nominal_delay(d) for d in t.firing.values())
+        if t.transition_time > min_fire:
+            emit("PL106",
+                 f"transition {t.id} ({t.label}) fires after "
+                 f"{min_fire:g} ps but keeps the cell unstable for "
+                 f"{t.transition_time:g} ps: the output pulse leaves while "
+                 f"the producer cannot yet legally accept input",
+                 state=t.source, transition_id=t.id)
+
+    # PL107: equal-priority triggers whose dispatch order matters.
+    for state in sorted(reachable):
+        outgoing = [
+            ts[0] for (src, _), ts in delta.items()
+            if src == state and len(ts) == 1
+        ]
+        by_priority: Dict[int, List[Transition]] = {}
+        for t in outgoing:
+            by_priority.setdefault(t.priority, []).append(t)
+        for priority, group in sorted(by_priority.items()):
+            group = sorted(group, key=lambda t: t.trigger)
+            for i, first in enumerate(group):
+                for second in group[i + 1:]:
+                    a = _outcome(delta, state, first.trigger, second.trigger)
+                    b = _outcome(delta, state, second.trigger, first.trigger)
+                    if a is not None and b is not None and a != b:
+                        emit("PL107",
+                             f"simultaneous {first.trigger!r}/"
+                             f"{second.trigger!r} in state {state!r} share "
+                             f"priority {priority} but dispatch order "
+                             f"changes the outcome ({a[0]!r} vs {b[0]!r}); "
+                             f"the tie is resolved nondeterministically",
+                             state=state)
+    return findings

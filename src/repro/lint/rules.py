@@ -1,0 +1,210 @@
+"""The lint rule registry: IDs, severities, rationales, and selection.
+
+Every diagnostic the analyzer can emit is declared here once, with a paper
+citation explaining why it matters. The registry drives three things: the
+``--select``/``--ignore`` CLI filters (prefix matching, so ``PL1`` selects
+the whole machine-lint family), the SARIF ``rules`` array, and the
+``docs/lint.md`` catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .findings import Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered diagnostic kind."""
+
+    id: str
+    severity: Severity
+    title: str
+    #: Why the rule exists, citing the paper section it operationalizes.
+    rationale: str
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    if rule.id in _REGISTRY:
+        raise ValueError(f"Duplicate lint rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a rule by exact ID."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"Unknown lint rule {rule_id!r}; known rules: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in ID order (stable for SARIF rule indices)."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def matches(rule_id: str, patterns: Iterable[str]) -> bool:
+    """Prefix matching: ``PL1`` matches ``PL101``; ``PL301`` matches itself."""
+    return any(rule_id.startswith(p) for p in patterns)
+
+
+def is_selected(
+    rule_id: str,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> bool:
+    """Apply ``--select`` / ``--ignore`` semantics to one rule ID.
+
+    ``select=None`` means "all rules"; ``ignore`` always wins over
+    ``select``.
+    """
+    select = tuple(select) if select is not None else None
+    ignore = tuple(ignore) if ignore is not None else ()
+    if matches(rule_id, ignore):
+        return False
+    if select is not None and not matches(rule_id, select):
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Machine lint (PL1xx) — Section 3 / Section 4.2 well-formedness beyond
+# what PylseMachine._validate hard-rejects.
+# ----------------------------------------------------------------------
+PL101 = register(Rule(
+    "PL101", Severity.WARNING, "unreachable state",
+    "A state that no input sequence can reach from q_init is dead weight in "
+    "the Definition 3.1 tuple and usually indicates a mis-wired transition "
+    "(Section 4.2 only checks that delta is total, not that it is live).",
+))
+PL102 = register(Rule(
+    "PL102", Severity.WARNING, "dead transition",
+    "A transition leaving an unreachable state can never be taken, so its "
+    "firing outputs and constraints are untestable (Figure 4 anatomy with "
+    "no dynamic counterpart).",
+))
+PL103 = register(Rule(
+    "PL103", Severity.WARNING, "output never fired",
+    "An output in Lambda that no reachable transition fires will never "
+    "pulse; downstream consumers wait forever (Section 3.1 requires at "
+    "least one firing transition, but not per output).",
+))
+PL104 = register(Rule(
+    "PL104", Severity.ERROR, "incomplete input alphabet",
+    "delta must be a total function (Definition 3.1): a state missing an "
+    "edge for some input makes behavior undefined exactly when an SFQ pulse "
+    "can still physically arrive. PylseMachine rejects this at build time; "
+    "the rule reports it statically for raw cell definitions.",
+))
+PL105 = register(Rule(
+    "PL105", Severity.ERROR, "past constraint on unknown input",
+    "A tau_dist constraint (Figure 4) naming a symbol outside Sigma can "
+    "never be checked by the Error-kappa-Cons rule of Figure 6 and hides a "
+    "typo in the cell definition.",
+))
+PL106 = register(Rule(
+    "PL106", Severity.WARNING, "transition time exceeds gated firing delay",
+    "A transition whose tau_tran is longer than the smallest tau_fire it "
+    "gates emits its pulse while the cell is still unstable: downstream "
+    "sees the output before the producer could legally accept another "
+    "input, which inverts the Figure 6 hold-window intuition.",
+))
+PL107 = register(Rule(
+    "PL107", Severity.INFO, "ambiguous simultaneous dispatch",
+    "Two triggers with equal priority from the same state whose dispatch "
+    "orders produce different configurations or outputs: the Dispatch "
+    "Relation (Section 3.2) resolves the tie nondeterministically, so "
+    "simultaneous arrival makes the cell's behavior schedule-dependent.",
+))
+PL108 = register(Rule(
+    "PL108", Severity.ERROR, "nondeterministic delta",
+    "Two transitions leave the same state on the same trigger: delta "
+    "(Definition 3.1) must be a function. PylseMachine rejects this at "
+    "build time; the rule reports it statically for raw cell definitions.",
+))
+
+# ----------------------------------------------------------------------
+# Circuit structural lint (PL2xx) — Section 4.2 circuit-level checks.
+# ----------------------------------------------------------------------
+PL201 = register(Rule(
+    "PL201", Severity.ERROR, "combinational feedback loop",
+    "A cycle through cells that are all single-state (stateless pulse "
+    "fabric: JTL, splitter, merger) re-circulates every pulse forever — "
+    "the simulation of Section 4.3 never drains its event heap. A legal "
+    "loop must contain a state-holding cell (DRO, C, ...).",
+))
+PL202 = register(Rule(
+    "PL202", Severity.WARNING, "dangling wire",
+    "A driven wire that is neither consumed by a cell nor observed under a "
+    "user name: its pulses are computed and then dropped. Often a spare "
+    "splitter leaf (harmless) or a forgotten connection (not).",
+))
+PL203 = register(Rule(
+    "PL203", Severity.WARNING, "unreachable clock sink",
+    "A cell's clk port that no circuit input can reach: the gate will "
+    "never read out (RSFQ gates are clocked pulse consumers, Section 2). "
+    "Clock reachability is structural, replacing name-prefix heuristics.",
+))
+PL204 = register(Rule(
+    "PL204", Severity.ERROR, "undriven input wire",
+    "A wire consumed by an element input with no driver: the Section 4.2 "
+    "single-driver invariant is violated and simulation would reject the "
+    "circuit at validate() time.",
+))
+PL205 = register(Rule(
+    "PL205", Severity.WARNING, "imbalanced convergent arrivals",
+    "Data inputs of a convergence cell whose accumulated path delays "
+    "differ (Figure 11's manual arithmetic, automated): the first-arriving "
+    "pulse waits in cell state, so large skew erodes timing margin and "
+    "can reorder logically simultaneous pulses.",
+))
+
+# ----------------------------------------------------------------------
+# Timing lint via arrival-window abstract interpretation (PL3xx) —
+# Figure 6 error rules, checked before any pulse is dispatched.
+# ----------------------------------------------------------------------
+PL301 = register(Rule(
+    "PL301", Severity.ERROR, "statically violated timing constraint",
+    "Interval propagation of pulse-arrival windows proves that every "
+    "possible schedule violates a hold window (Error-kappa-Tran) or past "
+    "constraint (Error-kappa-Cons) of Figure 6: the simulator is "
+    "guaranteed to raise the Figure 13 error. The finding names the "
+    "offending input-to-cell paths, like SimulationError.provenance does "
+    "dynamically.",
+))
+PL302 = register(Rule(
+    "PL302", Severity.WARNING, "possible timing violation",
+    "The arrival windows overlap a forbidden region but do not prove a "
+    "violation: whether the Figure 13 error fires depends on the concrete "
+    "schedule or on delay variability. The margin says how close.",
+))
+PL303 = register(Rule(
+    "PL303", Severity.INFO, "statically safe timing",
+    "All (cell, constraint) pairs are provably satisfied by the arrival "
+    "windows; the worst margin quantifies the slack available before any "
+    "Figure 6 error rule could fire (compare Section 4.4 variability).",
+))
+
+
+def sarif_rule_index() -> Tuple[List[dict], Dict[str, int]]:
+    """The SARIF ``rules`` array plus ``rule id -> index`` mapping."""
+    rules = all_rules()
+    payload = [
+        {
+            "id": r.id,
+            "name": r.title.title().replace(" ", ""),
+            "shortDescription": {"text": r.title},
+            "fullDescription": {"text": r.rationale},
+            "defaultConfiguration": {"level": r.severity.sarif_level},
+        }
+        for r in rules
+    ]
+    return payload, {r.id: i for i, r in enumerate(rules)}

@@ -8,7 +8,7 @@ its implementing classes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..core.errors import WellFormednessError
 from ..core.transitional import FiringDelaySpec, Transitional
@@ -20,9 +20,17 @@ class SFQ(Transitional):
     Subclasses must define ``jjs`` (int > 0) and ``firing_delay`` (a number,
     distribution, or per-output dict) in addition to the usual
     ``Transitional`` attributes. Both can be overridden per instance.
+
+    ``lint_suppress`` lists static-analysis rule IDs (or ID prefixes, e.g.
+    ``"PL1"``) that :mod:`repro.lint` must not report against this cell or
+    any node instantiating it — the per-cell suppression channel of the rule
+    framework.
     """
 
     jjs: int
+
+    #: Rule IDs / prefixes the static analyzer skips for this cell.
+    lint_suppress: Sequence[str] = ()
 
     def __init__(self, jjs: Optional[int] = None, **kwargs):
         cls = type(self)
@@ -43,6 +51,18 @@ class SFQ(Transitional):
                 )
             self.jjs = jjs
             self.overrides["jjs"] = jjs
+
+    @classmethod
+    def lint(cls, **options):
+        """Statically analyze this cell's PyLSE Machine.
+
+        Convenience wrapper over :func:`repro.lint.lint_machine`; accepts
+        the same keyword options (``select=``, ``ignore=``) and returns a
+        :class:`repro.lint.LintReport`.
+        """
+        from ..lint import lint_machine
+
+        return lint_machine(cls, **options)
 
     @classmethod
     def dsl_size(cls) -> int:

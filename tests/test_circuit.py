@@ -113,12 +113,30 @@ class TestCircuit:
         with pytest.raises(PylseError, match="empty"):
             Circuit().validate()
 
-    def test_validate_duplicate_observed_names(self):
+    def test_observe_duplicate_name_collides_loudly(self):
+        # The alias collision is rejected at the observe() call site, not
+        # deferred to validate().
         inp_at(5.0, name="X")
         other = inp_at(6.0)
-        inspect(other, "X")
         with pytest.raises(WireError, match="same name"):
-            working_circuit().validate()
+            inspect(other, "X")
+
+    def test_duplicate_creation_names_collide_at_add(self):
+        inp_at(5.0, name="X")
+        with pytest.raises(WireError, match="same name"):
+            inp_at(6.0, name="X")
+
+    def test_observe_unregistered_wire_collides_when_driven(self):
+        # A floating wire has no circuit yet, so observe() cannot check it;
+        # the collision surfaces when its driver is finally placed.
+        from repro.sfq import JTL
+
+        inp_at(5.0, name="X")
+        floating = Wire()
+        floating.observe("X")  # no error: not registered anywhere yet
+        a = inp_at(1.0, name="A")
+        with pytest.raises(WireError, match="same name"):
+            working_circuit().add_node(JTL(), [a], [floating])
 
     def test_find_wire_by_name_and_alias(self):
         a = inp_at(5.0, name="A")
@@ -129,6 +147,24 @@ class TestCircuit:
         assert circuit.find_wire("Q") is q
         with pytest.raises(WireError):
             circuit.find_wire("nope")
+
+    def test_find_wire_tracks_re_observation(self):
+        a = inp_at(5.0, name="A")
+        q = jtl(a)
+        inspect(q, "Q1")
+        inspect(q, "Q2")
+        circuit = working_circuit()
+        assert circuit.find_wire("Q2") is q
+        with pytest.raises(WireError):
+            circuit.find_wire("Q1")  # the old alias is gone
+
+    def test_find_wire_scales_without_linear_scan(self):
+        # The index makes repeated lookups O(1); just check correctness
+        # over a larger batch of named wires.
+        wires = [inp_at(float(i), name=f"w{i}") for i in range(200)]
+        circuit = working_circuit()
+        for i, w in enumerate(wires):
+            assert circuit.find_wire(f"w{i}") is w
 
     def test_fresh_circuit_isolates(self):
         inp_at(5.0, name="A")

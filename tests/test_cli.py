@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -117,18 +119,58 @@ class TestCliExtensions:
     def test_lint_clean_design(self, capsys):
         assert main(["lint", "Min-Max"]) == 0
         out = capsys.readouterr().out
-        assert "path balance: clean" in out
+        assert "== Min-Max ==" in out
+        assert "0 error(s)" in out
 
     def test_lint_reports_imbalance(self, capsys):
-        # The race tree's leaf C elements see deliberately skewed inputs.
-        assert main(["lint", "Race Tree"]) == 1
-        out = capsys.readouterr().out
-        assert "path-balance findings" in out
+        # The race tree's leaf C elements see deliberately skewed inputs:
+        # warnings, so the default --fail-on error still exits 0.
+        assert main(["lint", "Race Tree"]) == 0
+        assert "PL205 warning" in capsys.readouterr().out
+        assert main(["lint", "Race Tree", "--fail-on", "warning"]) == 1
 
-    def test_lint_reports_clock_skew(self, capsys):
+    def test_lint_reports_clock_structurally(self, capsys):
         main(["lint", "Adder (Sync)"])
         out = capsys.readouterr().out
-        assert "clock 'clk' skew" in out
+        assert "clock 'clk': reaches 7 clocked cell(s)" in out
+
+    def test_lint_multiple_designs(self, capsys):
+        assert main(["lint", "Min-Max", "Race Tree"]) == 0
+        out = capsys.readouterr().out
+        assert "== Min-Max ==" in out and "== Race Tree ==" in out
+
+    def test_lint_all_registry_designs_error_free(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("== ") >= 16
+
+    def test_lint_select_and_ignore(self, capsys):
+        assert main(["lint", "Race Tree", "--select", "PL3"]) == 0
+        assert "PL205" not in capsys.readouterr().out
+        assert main(["lint", "Race Tree", "--ignore", "PL205",
+                     "--fail-on", "warning"]) == 0
+
+    def test_lint_sarif_format(self, capsys):
+        assert main(["lint", "Adder (Sync)", "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        for result in doc["runs"][0]["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_lint_json_format_to_file(self, capsys, tmp_path):
+        out_file = tmp_path / "lint.json"
+        assert main(["lint", "Min-Max", "--format", "json",
+                     "-o", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["format"] == "repro-lint-v1"
+        assert doc["reports"][0]["design"] == "Min-Max"
+
+    def test_lint_requires_names_or_all(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_lint_unknown_design(self, capsys):
+        assert main(["lint", "NOPE"]) == 2
 
     def test_trace(self, capsys):
         assert main(["trace", "JTL"]) == 0

@@ -1,0 +1,190 @@
+"""Circuit-level lint: structural rules (PL2xx) and the interval-based
+timing rules (PL3xx), including the Figure-11 balanced/unbalanced pair."""
+
+import pytest
+
+from repro.core.circuit import working_circuit
+from repro.core.helpers import inp_at, inspect
+from repro.core.wire import Wire
+from repro.lint import Severity, lint_circuit
+from repro.sfq import JTL, and_s, c, dro, jtl, m, s
+
+
+def rules_of(report):
+    return {f.rule for f in report.findings}
+
+
+def by_rule(report, rule_id):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+class TestStructuralRules:
+    def test_pl204_undriven_input(self):
+        jtl(Wire("floating"), name="Q")
+        report = lint_circuit()
+        (finding,) = by_rule(report, "PL204")
+        assert finding.severity is Severity.ERROR
+        assert finding.location.wire == "floating"
+        assert finding.location.port == "a"
+
+    def test_pl202_dangling_wire(self):
+        a = inp_at(5.0, name="A")
+        jtl(a)  # output is neither consumed nor observed
+        report = lint_circuit()
+        (finding,) = by_rule(report, "PL202")
+        assert finding.location.node == "jtl0"
+
+    def test_pl202_silent_when_observed(self):
+        a = inp_at(5.0, name="A")
+        q = jtl(a)
+        inspect(q, "Q")
+        assert not by_rule(lint_circuit(), "PL202")
+
+    def test_pl201_stateless_feedback_loop(self):
+        a = inp_at(5.0, name="A")
+        fb = Wire("fb")
+        x = m(a, fb)
+        working_circuit().add_node(JTL(), [x], [fb])
+        report = lint_circuit()
+        (finding,) = by_rule(report, "PL201")
+        assert finding.severity is Severity.ERROR
+        assert set(finding.data["nodes"]) == {"m0", "jtl0"}
+        assert report.timing_skipped
+
+    def test_pl201_silent_with_state_holding_cell(self):
+        # The same loop through a DRO can absorb the pulse: legal feedback.
+        a = inp_at(5.0, name="A")
+        clk = inp_at(50.0, name="B")
+        fb = Wire("fb")
+        x = m(a, fb)
+        q = dro(x, clk)
+        working_circuit().add_node(JTL(), [q], [fb])
+        report = lint_circuit()
+        assert not by_rule(report, "PL201")
+        assert report.timing_skipped  # cycles still preclude interval analysis
+
+    def test_pl203_unreachable_clock_sink(self):
+        a = inp_at(10.0, name="a")
+        b = inp_at(10.0, name="b")
+        fb = Wire("fb")
+        leaf, clk_wire = s(fb)
+        working_circuit().add_node(JTL(), [leaf], [fb])
+        and_s(a, b, clk_wire, name="q")
+        report = lint_circuit()
+        (finding,) = by_rule(report, "PL203")
+        assert finding.location.node == "and0"
+        assert finding.location.port == "clk"
+
+    def test_pl205_figure11_imbalance_and_jtl_fix(self):
+        # Figure 11's idiom: convergent paths into a C element. Without the
+        # balancing JTL one input arrives a JTL-delay early.
+        a = inp_at(0.0, name="a")
+        b = inp_at(0.0, name="b")
+        low = c(jtl(a), b, name="low")
+        report = lint_circuit()
+        (finding,) = by_rule(report, "PL205")
+        assert finding.location.node == "c0"
+        assert finding.data["skew"] == pytest.approx(5.0)
+
+    def test_pl205_silent_when_balanced(self):
+        a = inp_at(0.0, name="a")
+        b = inp_at(0.0, name="b")
+        c(jtl(a), jtl(b), name="low")
+        assert not by_rule(lint_circuit(), "PL205")
+
+
+def _figure11_sync(clk_at: float) -> None:
+    """A clocked convergence in the Figure-11 style: both data paths JTL-
+    balanced; the clock's arrival time decides static safety."""
+    a = inp_at(10.0, name="a")
+    b = inp_at(10.0, name="b")
+    clk = inp_at(clk_at, name="clk")
+    and_s(jtl(a), jtl(b), jtl(clk), name="q")
+
+
+class TestTimingRules:
+    def test_balanced_variant_statically_safe_with_margin(self):
+        # Data reaches the gate at 15; clock at 35 — 20 ps separation
+        # against AND's 2.8 ps setup.
+        _figure11_sync(clk_at=30.0)
+        report = lint_circuit()
+        assert not by_rule(report, "PL301")
+        assert not by_rule(report, "PL302")
+        (safe,) = by_rule(report, "PL303")
+        assert safe.severity is Severity.INFO
+        assert report.timing["safe_margin"] == pytest.approx(20.0 - 2.8)
+
+    def test_unbalanced_variant_guaranteed_violation_with_path(self):
+        # Clock reaches the gate at 17, data at 15: 2 ps < 2.8 ps setup on
+        # every schedule — the simulator is guaranteed to raise Figure 13's
+        # error, and the finding names the offending input-to-cell paths.
+        _figure11_sync(clk_at=12.0)
+        report = lint_circuit()
+        violations = by_rule(report, "PL301")
+        assert violations, "expected a guaranteed setup violation"
+        assert {v.location.node for v in violations} == {"and0"}
+        finding = violations[0]
+        assert finding.severity is Severity.ERROR
+        assert finding.data["kind"] == "setup"
+        assert finding.data["margin"] == pytest.approx(2.0 - 2.8)
+        path_text = "\n".join(finding.path)
+        assert "in:clk@12" in path_text
+        assert "and0.clk in [17, 17]" in path_text
+        assert not by_rule(report, "PL303")
+
+    def test_simultaneous_arrival_is_possible_not_guaranteed(self):
+        # Clock and data both reach the gate at 15: the separation interval
+        # includes both legal and illegal schedules.
+        _figure11_sync(clk_at=10.0)
+        report = lint_circuit()
+        assert not by_rule(report, "PL301")
+        assert by_rule(report, "PL302")
+
+    def test_tolerance_demotes_thin_margins(self):
+        _figure11_sync(clk_at=30.0)
+        report = lint_circuit(tolerance=50.0)
+        findings = by_rule(report, "PL302")
+        assert findings
+        assert "below the required tolerance" in findings[0].message
+        assert not by_rule(report, "PL303")
+
+    def test_clock_summary_is_structural(self):
+        # The clock is found by reachability, not by its name.
+        a = inp_at(10.0, name="a")
+        b = inp_at(10.0, name="b")
+        tick = inp_at(40.0, name="launch")
+        and_s(a, b, jtl(tick), name="q")
+        report = lint_circuit()
+        assert "launch" in report.clocks
+        assert report.clocks["launch"]["sinks"] == 1
+        lo, hi = report.clocks["launch"]["skew"]
+        assert lo == hi == pytest.approx(5.0)
+
+
+class TestSuppression:
+    def test_per_node_suppression(self):
+        _figure11_sync(clk_at=12.0)
+        report = lint_circuit(suppressions={"and0": ["PL301"]})
+        assert not by_rule(report, "PL301")
+
+    def test_global_suppression(self):
+        a = inp_at(5.0, name="A")
+        jtl(a)
+        report = lint_circuit(suppressions={"*": ["PL2"]})
+        assert not by_rule(report, "PL202")
+
+    def test_cell_level_lint_suppress(self):
+        class QuietJTL(JTL):
+            lint_suppress = ("PL202",)
+
+        a = inp_at(5.0, name="A")
+        working_circuit().add_node(QuietJTL(), [a], [Wire()])
+        assert not by_rule(lint_circuit(), "PL202")
+
+    def test_select_and_ignore_filters(self):
+        a = inp_at(5.0, name="A")
+        jtl(a)  # dangles: PL202
+        report = lint_circuit(select="PL3")
+        assert not report.findings or rules_of(report) <= {"PL301", "PL302", "PL303"}
+        report = lint_circuit(ignore="PL202")
+        assert not by_rule(report, "PL202")

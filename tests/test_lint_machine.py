@@ -1,0 +1,205 @@
+"""Machine-level lint rules (PL1xx): one intentionally broken machine per rule."""
+
+import pytest
+
+from repro.core.machine import Transition
+from repro.core.transitional import Transitional
+from repro.lint import Severity, lint_machine, machine_findings, machine_spec
+from repro.lint.machine_rules import MachineSpec
+from repro.sfq import AND, JTL
+
+
+def T(tid, src, trig, dst, priority=0, tt=0.0, firing=None, past=None):
+    return Transition(
+        id=tid, source=src, trigger=trig, dest=dst, priority=priority,
+        transition_time=tt, firing=firing or {}, past_constraints=past or {},
+    )
+
+
+def spec(transitions, inputs, outputs=("q",), name="M"):
+    return MachineSpec(
+        name=name, inputs=tuple(inputs), outputs=tuple(outputs),
+        transitions=tuple(transitions), initial="idle",
+    )
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class TestMachineRules:
+    def test_pl101_pl102_unreachable_state_and_dead_transition(self):
+        s = spec(
+            [
+                T(0, "idle", "a", "idle", firing={"q": 5.0}),
+                T(1, "orphan", "a", "idle"),
+            ],
+            inputs=("a",),
+        )
+        findings = machine_findings(s)
+        assert rules_of(findings) == {"PL101", "PL102"}
+        pl101 = next(f for f in findings if f.rule == "PL101")
+        assert pl101.location.state == "orphan"
+        pl102 = next(f for f in findings if f.rule == "PL102")
+        assert pl102.location.transition_id == 1
+
+    def test_pl103_output_never_fired(self):
+        s = spec(
+            [T(0, "idle", "a", "idle", firing={"q": 5.0})],
+            inputs=("a",), outputs=("q", "r"),
+        )
+        findings = machine_findings(s)
+        assert rules_of(findings) == {"PL103"}
+        assert findings[0].location.port == "r"
+
+    def test_pl104_incomplete_alphabet(self):
+        s = spec(
+            [T(0, "idle", "a", "idle", firing={"q": 5.0})],
+            inputs=("a", "b"),
+        )
+        findings = machine_findings(s)
+        assert rules_of(findings) == {"PL104"}
+        assert findings[0].severity is Severity.ERROR
+        assert "'b'" in findings[0].message
+
+    def test_pl105_constraint_on_unknown_input(self):
+        s = spec(
+            [T(0, "idle", "a", "idle", firing={"q": 5.0}, past={"zz": 4.0})],
+            inputs=("a",),
+        )
+        findings = machine_findings(s)
+        assert rules_of(findings) == {"PL105"}
+        assert "zz" in findings[0].message
+
+    def test_pl106_transition_time_exceeds_firing_delay(self):
+        s = spec(
+            [T(0, "idle", "a", "idle", tt=10.0, firing={"q": 3.0})],
+            inputs=("a",),
+        )
+        findings = machine_findings(s)
+        assert rules_of(findings) == {"PL106"}
+        assert findings[0].severity is Severity.WARNING
+
+    def test_pl107_order_dependent_equal_priorities(self):
+        s = spec(
+            [
+                T(0, "idle", "a", "sa", priority=1),
+                T(1, "idle", "b", "sb", priority=1),
+                T(2, "sa", "a", "sa", priority=1),
+                T(3, "sa", "b", "sa", priority=1, firing={"q": 5.0}),
+                T(4, "sb", "a", "sb", priority=1),
+                T(5, "sb", "b", "sb", priority=1),
+            ],
+            inputs=("a", "b"),
+        )
+        findings = machine_findings(s)
+        assert rules_of(findings) == {"PL107"}
+        assert findings[0].severity is Severity.INFO
+        assert findings[0].location.state == "idle"
+
+    def test_pl107_silent_when_orders_agree(self):
+        # AND-style commuting data triggers must not be flagged.
+        assert not lint_machine(AND).findings
+
+    def test_pl108_nondeterministic_delta(self):
+        s = spec(
+            [
+                T(0, "idle", "a", "idle", firing={"q": 5.0}),
+                T(1, "idle", "a", "other"),
+                T(2, "other", "a", "idle"),
+            ],
+            inputs=("a",),
+        )
+        findings = machine_findings(s)
+        assert "PL108" in rules_of(findings)
+        pl108 = next(f for f in findings if f.rule == "PL108")
+        assert pl108.severity is Severity.ERROR
+
+
+class TestMachineSpecNormalization:
+    def test_from_transitional_class_without_validation(self):
+        # A raw cell definition that PylseMachine would reject outright
+        # still gets a full lint report.
+        class Broken(Transitional):
+            name = "BROKEN"
+            inputs = ["a", "b"]
+            outputs = ["q"]
+            transitions = [
+                {"src": "idle", "trigger": "a", "dst": "idle", "firing": "q"},
+            ]
+            firing_delay = 5.0
+
+        report = lint_machine(Broken)
+        assert rules_of(report.findings) == {"PL104"}
+        assert report.errors
+
+    def test_from_instance(self):
+        report = lint_machine(JTL())
+        assert not report.findings
+
+    def test_from_machine(self):
+        report = lint_machine(JTL()._class_machine())
+        assert not report.findings
+
+    def test_rejects_other_objects(self):
+        with pytest.raises(TypeError):
+            machine_spec("JTL")  # type: ignore[arg-type]
+
+    def test_spec_fields(self):
+        s = machine_spec(AND)
+        assert s.name == "AND"
+        assert s.inputs == ("a", "b", "clk")
+        assert "ab_arr" in s.states()
+
+
+class TestSelectionAndSuppression:
+    def _two_issue_spec(self):
+        return spec(
+            [
+                T(0, "idle", "a", "idle", firing={"q": 5.0}),
+                T(1, "orphan", "a", "idle"),
+            ],
+            inputs=("a",),
+        )
+
+    def test_select_narrows(self):
+        findings = machine_findings(self._two_issue_spec(), select=("PL101",))
+        assert rules_of(findings) == {"PL101"}
+
+    def test_ignore_prefix(self):
+        findings = machine_findings(self._two_issue_spec(), ignore=("PL1",))
+        assert findings == []
+
+    def test_ignore_beats_select(self):
+        findings = machine_findings(
+            self._two_issue_spec(), select=("PL101",), ignore=("PL101",)
+        )
+        assert findings == []
+
+    def test_comma_strings_via_lint_machine(self):
+        class Sloppy(Transitional):
+            name = "SLOPPY"
+            inputs = ["a"]
+            outputs = ["q"]
+            transitions = [
+                {"src": "idle", "trigger": "a", "dst": "idle", "firing": "q"},
+                {"src": "orphan", "trigger": "a", "dst": "idle"},
+            ]
+            firing_delay = 5.0
+
+        report = lint_machine(Sloppy, select="PL101,PL103")
+        assert rules_of(report.findings) == {"PL101"}
+
+    def test_cell_level_lint_suppress(self):
+        class Waived(Transitional):
+            name = "WAIVED"
+            inputs = ["a"]
+            outputs = ["q"]
+            transitions = [
+                {"src": "idle", "trigger": "a", "dst": "idle", "firing": "q"},
+                {"src": "orphan", "trigger": "a", "dst": "idle"},
+            ]
+            firing_delay = 5.0
+            lint_suppress = ("PL10",)
+
+        assert not lint_machine(Waived).findings

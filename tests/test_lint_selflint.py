@@ -1,0 +1,48 @@
+"""Self-lint: every shipped cell and registry design must be error-free.
+
+This is the CI gate: a cell or design change that introduces an
+error-severity finding (broken machine, structural defect, or a provable
+timing violation in its registry stimulus) fails here before any
+simulation runs.
+"""
+
+import pytest
+
+from repro.exp.registry import build_in_fresh_circuit, registry
+from repro.lint import Severity, lint_circuit, lint_machine
+from repro.sfq import BASIC_CELLS, EXTENSION_CELLS
+
+ALL_CELLS = BASIC_CELLS + EXTENSION_CELLS
+
+#: Cells with order-dependent equal-priority triggers: a genuine property
+#: (simultaneous set/reset is resolved nondeterministically) reported at
+#: info severity.
+RACY_CELLS = {"DRO_SR", "NDRO"}
+
+
+@pytest.mark.parametrize("cell", ALL_CELLS, ids=lambda c: c.name)
+def test_cell_machines_lint_clean(cell):
+    report = lint_machine(cell)
+    assert not report.errors, [f.render() for f in report.errors]
+    non_info = [f for f in report.findings if f.severity > Severity.INFO]
+    assert not non_info, [f.render() for f in non_info]
+    if cell.name in RACY_CELLS:
+        assert {f.rule for f in report.findings} == {"PL107"}
+    else:
+        assert not report.findings, [f.render() for f in report.findings]
+
+
+@pytest.mark.parametrize("entry", registry(), ids=lambda e: e.name)
+def test_registry_designs_lint_error_free(entry):
+    circuit = build_in_fresh_circuit(entry)
+    report = lint_circuit(circuit, design=entry.name)
+    assert not report.errors, [f.render() for f in report.errors]
+
+
+def test_registry_designs_have_no_guaranteed_timing_violations():
+    for entry in registry():
+        circuit = build_in_fresh_circuit(entry)
+        report = lint_circuit(circuit, design=entry.name)
+        assert not [f for f in report.findings if f.rule == "PL301"], entry.name
+        if report.timing and report.timing.get("safe_margin") is not None:
+            assert report.timing["safe_margin"] > 0, entry.name

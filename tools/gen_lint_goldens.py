@@ -1,0 +1,44 @@
+"""Regenerate tests/goldens_lint/ — golden lint report formats.
+
+The reference circuit lives in tests/test_lint_emitters.py
+(``build_reference_circuit``); this script re-renders its JSON and SARIF
+reports. Run from the repository root after an intentional format change:
+
+    PYTHONPATH=src:tests python tools/gen_lint_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "tests"))
+
+from repro.core.circuit import reset_working_circuit  # noqa: E402
+from repro.lint import json_payload, sarif_payload  # noqa: E402
+
+from test_lint_emitters import build_reference_circuit  # noqa: E402
+
+GOLDEN_DIR = ROOT / "tests" / "goldens_lint"
+
+
+def dump(payload) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    reset_working_circuit()
+    report = build_reference_circuit()
+    (GOLDEN_DIR / "reference.json").write_text(dump(json_payload([report])))
+    reset_working_circuit()
+    report = build_reference_circuit()
+    (GOLDEN_DIR / "reference.sarif").write_text(dump(sarif_payload([report])))
+    print(f"wrote {GOLDEN_DIR}/reference.json and reference.sarif")
+
+
+if __name__ == "__main__":
+    main()
