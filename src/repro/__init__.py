@@ -37,6 +37,7 @@ from .core import (
     measure_yield,
     yield_curve,
     critical_sigma,
+    YieldEngine,
     YieldResult,
     save_html,
     circuit_to_json,
@@ -126,7 +127,8 @@ __all__ = [
     "Circuit", "SkewFinding", "balance_report", "circuit_graph",
     "clock_skew", "critical_sigma", "events_to_html", "events_to_vcd",
     "measure_yield", "path_delays", "save_html", "save_vcd", "total_jjs",
-    "yield_curve", "YieldResult", "circuit_to_json", "circuit_from_json",
+    "yield_curve", "YieldEngine", "YieldResult", "circuit_to_json",
+    "circuit_from_json",
     "slack_report", "timing_margins", "worst_slacks", "critical_path",
     "TraceEntry", "MarginRecord", "Configuration", "Events", "FanoutError", "Functional",
     "HoleError", "Normal", "PriorInputViolation", "PylseError",

@@ -118,13 +118,15 @@ def cmd_yield(args) -> int:
             seeds=range(args.seeds),
             workers=args.workers,
             collect_stats=collect_stats,
+            engine=args.engine,
+            min_seeds_parallel=args.min_seeds_parallel,
         )
     except PylseError as err:
         print(str(err), file=sys.stderr)
         return 1
     print(f"Monte-Carlo yield for {entry.name}:")
-    print(f"  sigma: {result.sigma:g} ps, runs: {result.runs}, "
-          f"workers: {args.workers}")
+    print(f"  sigma: {result.sigma:g} ps, runs: {result.runs}")
+    print(f"  workers: {args.workers}, engine: {args.engine}")
     print(f"  passed: {result.passed}  mis-behaved: {result.mis_behaved}  "
           f"violations: {result.violations}")
     print(f"  yield: {result.yield_fraction:.1%}")
@@ -292,6 +294,17 @@ def main(argv=None) -> int:
                    help="number of Monte-Carlo trials (default 50)")
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool workers; 0 = one per CPU (default 1)")
+    p.add_argument("--engine", choices=["auto", "pool", "serial"],
+                   default="auto",
+                   help="execution backend: 'auto' (persistent pool with "
+                        "adaptive serial fallback when the sweep is too "
+                        "small to amortize pool overhead), 'pool' (force "
+                        "the process pool), 'serial' (force the in-process "
+                        "reference path); default auto")
+    p.add_argument("--min-seeds-parallel", type=int, default=None,
+                   metavar="N",
+                   help="never use the pool for sweeps with fewer than N "
+                        "seeds (default: 2 x workers, adaptive)")
     p.add_argument("--stats", action="store_true",
                    help="print per-cell metrics aggregated over all seeds")
     p.add_argument("--stats-json", metavar="FILE",

@@ -26,7 +26,13 @@ from .helpers import inp, inp_at, inspect
 from .htmlwave import events_to_html, save_html
 from .machine import Configuration, PylseMachine, Transition, WILDCARD
 from .montecarlo import YieldResult, critical_sigma, measure_yield, yield_curve
-from .parallel import resolve_workers, run_seeds_parallel
+from .parallel import (
+    YieldEngine,
+    default_engine,
+    resolve_workers,
+    run_seeds_parallel,
+    shutdown_default_engines,
+)
 from .serialize import circuit_from_json, circuit_to_json
 from .simulation import Events, Simulation, TraceEntry, render_waveforms
 from .statictiming import (
@@ -61,11 +67,14 @@ __all__ = [
     "worst_slacks",
     "save_vcd",
     "total_jjs",
+    "YieldEngine",
     "YieldResult",
     "critical_sigma",
+    "default_engine",
     "measure_yield",
     "resolve_workers",
     "run_seeds_parallel",
+    "shutdown_default_engines",
     "yield_curve",
     "Configuration",
     "Element",

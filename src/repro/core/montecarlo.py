@@ -10,8 +10,9 @@ giving a single robustness figure of merit per design.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 from .circuit import Circuit
 from .errors import PylseError
@@ -19,12 +20,12 @@ from .parallel import (
     MIS_BEHAVED,
     OK,
     VIOLATION,
+    YieldEngine,
     classify_seed,
+    default_engine,
     merge_stats,
     resolve_workers,
     run_chunk_stats,
-    run_seeds_parallel,
-    run_seeds_parallel_stats,
 )
 from .simulation import Events
 
@@ -58,6 +59,13 @@ class YieldResult:
         return self.passed / self.runs if self.runs else 0.0
 
 
+#: How to execute a sweep: an explicit :class:`YieldEngine`, a policy
+#: string (``"auto"`` — adaptive engine when ``workers > 1``; ``"pool"``
+#: — force the process pool; ``"serial"`` — force the in-process
+#: reference path), or ``None`` (same as ``"auto"``).
+EngineSpec = Union[YieldEngine, str, None]
+
+
 def measure_yield(
     factory: CircuitFactory,
     predicate: Predicate,
@@ -65,6 +73,8 @@ def measure_yield(
     seeds: Sequence[int] = tuple(range(50)),
     workers: int = 1,
     collect_stats: bool = False,
+    engine: EngineSpec = None,
+    min_seeds_parallel: Optional[int] = None,
 ) -> YieldResult:
     """Run the design once per seed at the given noise level.
 
@@ -73,34 +83,72 @@ def measure_yield(
     completed run. Timing violations count as failures of kind
     "violation"; predicate failures as "mis-behaved".
 
-    ``workers`` shards the seed list across a process pool
-    (:mod:`repro.core.parallel`): ``1`` (the default) is the in-process
-    reference path, ``None``/``0`` means one worker per CPU. Parallel runs
-    are bit-identical to sequential ones for the same seed list, but
+    ``seeds`` must be unique: outcomes and the ``failures`` dict are keyed
+    by seed, so a duplicate would silently overwrite an earlier outcome —
+    duplicates are rejected up front instead.
+
+    ``workers`` shards the seed list across a persistent process pool
+    (:class:`repro.core.parallel.YieldEngine`): ``1`` (the default) is the
+    in-process reference path, ``None``/``0`` means one worker per CPU.
+    Repeated calls with the same worker count reuse one cached engine —
+    and therefore one warm pool — so sweeps like :func:`yield_curve` and
+    :func:`critical_sigma` amortize pool startup across calls. Parallel
+    runs are bit-identical to sequential ones for the same seed list, but
     require ``factory`` and ``predicate`` to be picklable (module-level
     callables).
+
+    ``engine`` selects the backend: a :class:`YieldEngine` instance (its
+    pool is reused across calls; the ``workers`` argument is then
+    ignored), ``"auto"``/``None`` (cached default engine, adaptive serial
+    fallback for sweeps too small to amortize pool overhead), ``"pool"``
+    (force the process pool), or ``"serial"`` (force the sequential
+    reference path). ``min_seeds_parallel`` overrides the adaptive
+    engine's floor: seed lists shorter than it never use the pool.
 
     ``collect_stats=True`` attaches a metrics-only observer
     (:mod:`repro.obs`) to every run and puts the seed-order aggregate on
     ``YieldResult.stats`` — per-cell dispatch counts, transition tallies,
     violation counts, and firing-delay histograms across the whole sweep.
-    The aggregate is bit-identical whether the sweep ran sequentially or
-    parallel.
+    The aggregate is bit-identical whichever backend ran the sweep.
     """
     seeds = list(seeds)
     if not seeds:
         raise PylseError("measure_yield needs at least one seed")
+    duplicates = sorted(s for s, n in Counter(seeds).items() if n > 1)
+    if duplicates:
+        shown = ", ".join(map(repr, duplicates[:8]))
+        more = ", ..." if len(duplicates) > 8 else ""
+        raise PylseError(
+            f"measure_yield got duplicate seed(s) {shown}{more}: outcomes "
+            "and YieldResult.failures are keyed by seed, so each seed must "
+            "appear at most once (a duplicate would silently overwrite an "
+            "earlier outcome)"
+        )
     workers = resolve_workers(workers)
+    policy: Optional[str] = None
+    resolved_engine: Optional[YieldEngine] = None
+    if isinstance(engine, YieldEngine):
+        resolved_engine = engine
+    elif engine in (None, "auto", "pool"):
+        policy = None if engine in (None, "auto") else "pool"
+        if workers > 1 and len(seeds) > 1:
+            resolved_engine = default_engine(workers)
+    elif engine != "serial":
+        raise PylseError(
+            f"unknown engine {engine!r}: expected a YieldEngine instance, "
+            "'auto', 'pool', 'serial', or None"
+        )
     stats: Optional["SimMetrics"] = None
-    if workers > 1 and len(seeds) > 1:
-        if collect_stats:
-            outcomes, stats = run_seeds_parallel_stats(
-                factory, predicate, sigma, seeds, workers
-            )
-        else:
-            outcomes = run_seeds_parallel(
-                factory, predicate, sigma, seeds, workers
-            )
+    if resolved_engine is not None:
+        outcomes, stats = resolved_engine.run(
+            factory,
+            predicate,
+            sigma,
+            seeds,
+            collect_stats=collect_stats,
+            policy=policy,
+            min_seeds_parallel=min_seeds_parallel,
+        )
     elif collect_stats:
         outcomes, per_seed = run_chunk_stats(factory, predicate, sigma, seeds)
         stats = merge_stats(per_seed)
@@ -108,6 +156,14 @@ def measure_yield(
         outcomes = [
             classify_seed(factory, predicate, sigma, seed) for seed in seeds
         ]
+    if len(outcomes) != len(seeds):
+        # zip() would silently truncate and shift outcomes onto the wrong
+        # seeds; the per-chunk guard in repro.core.parallel names the
+        # offending chunk, this is the backstop for any backend.
+        raise PylseError(
+            f"Monte-Carlo backend returned {len(outcomes)} outcomes for "
+            f"{len(seeds)} seeds; refusing to tally a truncated sweep"
+        )
     passed = mis = viol = 0
     failures: Dict[int, str] = {}
     for seed, outcome in zip(seeds, outcomes):
@@ -136,10 +192,17 @@ def yield_curve(
     sigmas: Sequence[float],
     seeds: Sequence[int] = tuple(range(25)),
     workers: int = 1,
+    engine: EngineSpec = None,
 ) -> List[YieldResult]:
-    """Yield at each noise level, for plotting or tabulation."""
+    """Yield at each noise level, for plotting or tabulation.
+
+    With ``workers > 1`` every sigma level reuses the same warm worker
+    pool (one engine, one pool, many calls); pass an explicit ``engine``
+    to control its lifetime.
+    """
     return [
-        measure_yield(factory, predicate, s, seeds, workers=workers)
+        measure_yield(factory, predicate, s, seeds, workers=workers,
+                      engine=engine)
         for s in sigmas
     ]
 
@@ -152,20 +215,24 @@ def critical_sigma(
     seeds: Sequence[int] = tuple(range(20)),
     iterations: int = 6,
     workers: int = 1,
+    engine: EngineSpec = None,
 ) -> Optional[float]:
     """Bisect for the smallest sigma at which yield drops below target.
 
     Returns None if the design already fails at sigma = 0 (a functional
     bug, not a robustness limit); returns ``sigma_hi`` if the design still
     meets the target there (more robust than the search range).
-    ``workers`` is forwarded to every underlying :func:`measure_yield`.
+    ``workers`` and ``engine`` are forwarded to every underlying
+    :func:`measure_yield`; with ``workers > 1`` all bisection iterations
+    share one warm worker pool (exactly one pool is created for the whole
+    search).
     """
     if not 0 < target_yield <= 1:
         raise PylseError(f"target_yield must be in (0, 1], got {target_yield}")
 
     def sample(sigma: float) -> float:
         return measure_yield(
-            factory, predicate, sigma, seeds, workers=workers
+            factory, predicate, sigma, seeds, workers=workers, engine=engine
         ).yield_fraction
 
     if sample(0.0) < target_yield:

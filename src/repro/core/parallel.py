@@ -1,19 +1,44 @@
-"""Parallel Monte-Carlo execution: a seed-sharded process-pool backend.
+"""Parallel Monte-Carlo execution: a persistent seed-sharded worker pool.
 
 Section 5.2's yield sweeps re-run the same design once per seed; every run
 is independent, so the sweep shards its seed list into contiguous chunks
-and farms them out to a ``concurrent.futures`` process pool. Each worker
-elaborates a *fresh* circuit per seed via the caller's ``CircuitFactory``
-(element state and instance naming are per-circuit, so nothing is shared),
-classifies the run, and sends back one outcome token per seed.
+and farms them out to a ``concurrent.futures`` process pool.
+
+The pool lives inside a :class:`YieldEngine`, which is built to be
+*reused*: one ``ProcessPoolExecutor`` is created lazily on the first
+parallel run and kept warm across every subsequent ``measure_yield`` /
+``yield_curve`` / ``critical_sigma`` call that uses the same engine (the
+module-level :func:`default_engine` cache, keyed by worker count, makes
+this automatic). Re-creating a pool per call — the pre-engine design —
+made 200-seed sweeps *slower* than sequential on multi-core hosts because
+interpreter spawn plus per-chunk pickling of the circuit factory swamped
+the simulation work.
+
+Three further costs are amortized away:
+
+* ``factory`` and ``predicate`` are shipped to each worker **once**, via
+  the pool ``initializer``, instead of being pickled into every chunk;
+* each worker elaborates the circuit **once** and re-simulates it per
+  seed through the :meth:`~repro.core.simulation.Simulation.reset` hook
+  (element state is per-run, so a reset run is bit-identical to a fresh
+  elaboration — ``tests/test_determinism.py`` locks this);
+* an adaptive serial fallback runs small sweeps in-process when the
+  estimated work (seeds x a per-task calibrated per-seed cost) cannot
+  amortize pool overhead, so parallel mode is never a pessimization.
+
+Robustness: a worker crash (``BrokenProcessPool``) triggers a loud
+warning, one retry on a fresh pool, and — if that also fails — graceful
+degradation to the sequential reference path for the remaining chunks
+(and for subsequent calls on the same engine).
 
 Determinism contract: chunks are contiguous slices of the caller's seed
 list and results are merged back in chunk order, so the outcome sequence —
 and therefore every :class:`~repro.core.montecarlo.YieldResult` field,
 including the insertion order of the ``failures`` dict — is bit-identical
-to running the same seed list sequentially. The sequential path in
-:mod:`repro.core.montecarlo` stays the reference implementation
-(``workers=1``).
+to running the same seed list sequentially, on every backend path
+(warm pool, cold pool, calibration prefix, serial fallback, crash
+degradation). The sequential path in :mod:`repro.core.montecarlo` stays
+the reference implementation (``workers=1``).
 
 Process pools pickle their tasks, so ``factory`` and ``predicate`` must be
 module-level callables (or otherwise picklable objects); lambdas and
@@ -23,10 +48,23 @@ traceback.
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from .errors import PylseError, SimulationError
 from .simulation import Events, Simulation
@@ -68,7 +106,7 @@ def run_chunk(
     sigma: float,
     seeds: Sequence[int],
 ) -> List[str]:
-    """Classify a contiguous chunk of seeds (the per-worker task)."""
+    """Classify a contiguous chunk of seeds (the reference per-chunk task)."""
     return [classify_seed(factory, predicate, sigma, seed) for seed in seeds]
 
 
@@ -105,7 +143,7 @@ def run_chunk_stats(
     sigma: float,
     seeds: Sequence[int],
 ) -> Tuple[List[str], List["SimMetrics"]]:
-    """Stats-collecting per-worker task: outcomes plus *per-seed* metrics.
+    """Stats-collecting reference chunk task: outcomes plus *per-seed* metrics.
 
     Metrics are deliberately not pre-merged inside the chunk: histogram
     totals are float sums, so the merge association order matters for
@@ -123,37 +161,50 @@ def run_chunk_stats(
 
 
 def merge_stats(stats: Sequence["SimMetrics"]) -> Optional["SimMetrics"]:
-    """Fold per-run metrics left-to-right into the first one (or None).
+    """Fold per-run metrics left-to-right into a fresh aggregate (or None).
 
     Both Monte-Carlo backends aggregate through this helper, in seed
     order, which is what makes parallel stats bit-identical to sequential
-    ones.
+    ones. The fold starts from a zeroed accumulator
+    (:meth:`repro.obs.metrics.SimMetrics.fold`) so the caller's per-seed
+    metrics objects are never mutated — important now that engine workers
+    may be asked to re-ship metrics on a chunk retry.
     """
-    merged: Optional["SimMetrics"] = None
-    for metrics in stats:
-        if merged is None:
-            merged = metrics
-        else:
-            merged.merge(metrics)
-    return merged
+    items = list(stats)
+    if not items:
+        return None
+    # Dispatch through the instance's class: core stays free of runtime
+    # imports of repro.obs (layering), yet the fold lives with SimMetrics.
+    return type(items[0]).fold(items)
 
 
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalize a ``workers=`` argument to a concrete positive count.
 
-    ``None`` or ``0`` means "one per available CPU"; negative counts are
-    rejected.
+    ``None`` or ``0`` means "one per available CPU"; negative counts and
+    booleans are rejected (``True`` would otherwise pass the ``int`` check
+    and ``False`` would silently mean "one per CPU").
     """
+    if isinstance(workers, bool):
+        raise PylseError(
+            f"workers must be a non-negative integer or None, got {workers!r} "
+            "(a bool); use workers=0 or workers=None for one per CPU"
+        )
     if workers is None or workers == 0:
-        try:
-            return max(1, len(os.sched_getaffinity(0)))
-        except AttributeError:  # platforms without affinity support
-            return max(1, os.cpu_count() or 1)
+        return available_cpus()
     if not isinstance(workers, int) or workers < 0:
         raise PylseError(
             f"workers must be a non-negative integer or None, got {workers!r}"
         )
     return workers
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without affinity support
+        return max(1, os.cpu_count() or 1)
 
 
 def chunk_seeds(seeds: Sequence[int], chunks: int) -> List[Sequence[int]]:
@@ -187,6 +238,28 @@ def _require_picklable(factory, predicate) -> None:
         ) from None
 
 
+def _check_chunk(
+    index: int,
+    seeds_chunk: Sequence[int],
+    got: int,
+    what: str = "outcomes",
+) -> None:
+    """Refuse short (or long) chunk results instead of mis-attributing them.
+
+    ``zip(seeds, outcomes)`` would silently drop the tail of whichever
+    side is shorter, shifting every later outcome onto the wrong seed;
+    this names the offending chunk so the failure is diagnosable.
+    """
+    expected = len(seeds_chunk)
+    if got != expected:
+        raise PylseError(
+            f"parallel Monte-Carlo chunk {index} (seeds "
+            f"{seeds_chunk[0]}..{seeds_chunk[-1]}, {expected} seeds) "
+            f"returned {got} {what}; refusing to mis-attribute results "
+            "to seeds — this indicates a worker bug or truncated result"
+        )
+
+
 def run_seeds_parallel(
     factory: Callable[[], object],
     predicate: Callable[[Events], bool],
@@ -195,11 +268,12 @@ def run_seeds_parallel(
     workers: int,
     chunks_per_worker: int = 1,
 ) -> List[str]:
-    """Classify every seed using a process pool; outcomes in seed order.
+    """Classify every seed using a throwaway process pool; seed order kept.
 
-    ``chunks_per_worker > 1`` trades merge determinism for nothing (order
-    is preserved either way) but improves load balance when per-seed cost
-    varies, e.g. when some seeds hit early timing violations.
+    This is the original one-shot backend, kept as the simple reference
+    for the pooled path: :class:`YieldEngine` is the production backend
+    (persistent pool, initializer-shipped task, adaptive fallback) and is
+    what ``measure_yield(..., workers=N)`` uses.
     """
     seeds = list(seeds)
     if not seeds:
@@ -212,8 +286,10 @@ def run_seeds_parallel(
             pool.submit(run_chunk, factory, predicate, sigma, chunk)
             for chunk in chunks
         ]
-        for future in futures:  # submission order == seed order
-            outcomes.extend(future.result())
+        for index, future in enumerate(futures):  # submission order == seed order
+            chunk_outcomes = future.result()
+            _check_chunk(index, chunks[index], len(chunk_outcomes))
+            outcomes.extend(chunk_outcomes)
     return outcomes
 
 
@@ -244,8 +320,476 @@ def run_seeds_parallel_stats(
             pool.submit(run_chunk_stats, factory, predicate, sigma, chunk)
             for chunk in chunks
         ]
-        for future in futures:  # submission order == seed order
+        for index, future in enumerate(futures):  # submission order == seed order
             chunk_outcomes, chunk_stats = future.result()
+            _check_chunk(index, chunks[index], len(chunk_outcomes))
+            _check_chunk(
+                index, chunks[index], len(chunk_stats), what="metrics"
+            )
             outcomes.extend(chunk_outcomes)
             per_seed.extend(chunk_stats)
     return outcomes, merge_stats(per_seed)
+
+
+# ----------------------------------------------------------------------
+# The persistent YieldEngine
+# ----------------------------------------------------------------------
+
+#: Estimated pool startup cost per worker process (interpreter fork/spawn
+#: plus one circuit elaboration in the initializer). Deliberately
+#: conservative: over-estimating keeps small sweeps on the serial path,
+#: which is the "never slower than sequential" invariant.
+POOL_STARTUP_PER_WORKER_S = 0.030
+
+#: Estimated per-call dispatch overhead when the pool is already warm
+#: (future plumbing + chunk/result pickling of outcome tokens).
+WARM_DISPATCH_OVERHEAD_S = 0.005
+
+#: Required predicted advantage before the pool is chosen: estimated pool
+#: time must be below this fraction of the estimated serial time.
+PARALLEL_MARGIN = 0.9
+
+#: Weight of the newest per-seed cost sample in the per-task EWMA.
+COST_EWMA_WEIGHT = 0.5
+
+
+class _WorkerContext:
+    """Per-worker-process task state, installed by the pool initializer."""
+
+    __slots__ = ("factory", "predicate", "circuit", "sim")
+
+    def __init__(self, factory, predicate):
+        self.factory = factory
+        self.predicate = predicate
+        self.circuit = factory()  # elaborate once per worker
+        self.sim = Simulation(self.circuit)
+
+
+_WORKER_CTX: Optional[_WorkerContext] = None
+
+
+def _engine_worker_init(task_blob: bytes) -> None:
+    """Pool initializer: unpickle the task once and pre-elaborate.
+
+    Runs once per worker process; afterwards every chunk task is just
+    ``(sigma, seeds)`` — no factory/predicate pickling per chunk.
+    """
+    global _WORKER_CTX
+    factory, predicate = pickle.loads(task_blob)
+    _WORKER_CTX = _WorkerContext(factory, predicate)
+
+
+def _engine_chunk(sigma: float, seeds: Sequence[int]) -> List[str]:
+    """Classify a chunk against the worker's pre-elaborated circuit.
+
+    ``Simulation.reset`` restores the initial element configuration, so
+    each seed sees exactly the state a fresh ``factory()`` circuit would
+    have — the re-simulation stability locked by
+    ``tests/test_determinism.py`` is what makes this bit-identical to
+    :func:`run_chunk`.
+    """
+    ctx = _WORKER_CTX
+    sim = ctx.sim
+    predicate = ctx.predicate
+    outcomes: List[str] = []
+    for seed in seeds:
+        sim.reset()
+        try:
+            events = sim.simulate(variability={"stddev": sigma}, seed=seed)
+        except SimulationError:
+            outcomes.append(VIOLATION)
+            continue
+        outcomes.append(OK if predicate(events) else MIS_BEHAVED)
+    return outcomes
+
+
+def _engine_chunk_stats(
+    sigma: float, seeds: Sequence[int]
+) -> Tuple[List[str], List["SimMetrics"]]:
+    """:func:`_engine_chunk` plus one fresh ``SimMetrics`` per seed."""
+    from ..obs import Observer
+
+    ctx = _WORKER_CTX
+    sim = ctx.sim
+    predicate = ctx.predicate
+    outcomes: List[str] = []
+    stats: List["SimMetrics"] = []
+    for seed in seeds:
+        sim.reset()
+        observer = Observer(provenance=False, metrics=True)
+        try:
+            events = sim.simulate(
+                variability={"stddev": sigma}, seed=seed, observer=observer
+            )
+        except SimulationError:
+            outcomes.append(VIOLATION)
+            stats.append(observer.metrics)
+            continue
+        outcomes.append(OK if predicate(events) else MIS_BEHAVED)
+        stats.append(observer.metrics)
+    return outcomes, stats
+
+
+class YieldEngine:
+    """A persistent, reusable parallel Monte-Carlo backend.
+
+    One process pool, created lazily on the first parallel run and kept
+    warm for every later call with the same ``(factory, predicate)`` task
+    (a different task tears the pool down and builds a fresh one, since
+    the task is shipped through the pool initializer). Use as a context
+    manager, or rely on the module-level :func:`default_engine` cache —
+    ``measure_yield(..., workers=N)`` does the latter automatically::
+
+        with YieldEngine(workers=4) as engine:
+            for sigma in sigmas:
+                measure_yield(factory, ok, sigma, seeds, engine=engine)
+
+    ``adaptive=True`` (default) calibrates the per-seed cost on the first
+    seed of each call (classified in-process, so its outcome is free) and
+    falls back to the sequential reference path whenever the estimated
+    pool time — startup or dispatch overhead plus work divided by worker
+    count — is not comfortably below the estimated serial time. Pass
+    ``adaptive=False`` (or ``policy="pool"`` per call) to force the pool.
+
+    Not thread-safe: drive one engine from one thread.
+
+    Counters for observability and tests: ``pools_created``,
+    ``fallbacks`` (crash degradations), ``last_backend`` (``"serial"`` /
+    ``"pool"`` / ``"degraded"`` for the most recent run).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        chunks_per_worker: int = 4,
+        min_seeds_parallel: Optional[int] = None,
+        adaptive: bool = True,
+    ):
+        self.workers = resolve_workers(workers)
+        if chunks_per_worker < 1:
+            raise PylseError(
+                f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+            )
+        self.chunks_per_worker = chunks_per_worker
+        self.min_seeds_parallel = min_seeds_parallel
+        self.adaptive = adaptive
+        self.pools_created = 0
+        self.fallbacks = 0
+        self.last_backend: Optional[str] = None
+        self.parallel_disabled = False
+        self.closed = False
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._task_key: Optional[bytes] = None
+        self._cost_by_task: Dict[bytes, float] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "YieldEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down and mark the engine unusable."""
+        self._shutdown_pool()
+        self.closed = True
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._task_key = None
+
+    def _ensure_pool(self, task_blob: bytes) -> ProcessPoolExecutor:
+        if self._pool is not None and self._task_key == task_blob:
+            return self._pool
+        self._shutdown_pool()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_engine_worker_init,
+            initargs=(task_blob,),
+        )
+        self._task_key = task_blob
+        self.pools_created += 1
+        return self._pool
+
+    # -- the run entry point -------------------------------------------
+    def run(
+        self,
+        factory: Callable[[], object],
+        predicate: Callable[[Events], bool],
+        sigma: float,
+        seeds: Sequence[int],
+        collect_stats: bool = False,
+        policy: Optional[str] = None,
+        min_seeds_parallel: Optional[int] = None,
+    ) -> Tuple[List[str], Optional["SimMetrics"]]:
+        """Classify every seed; returns ``(outcomes, merged_stats_or_None)``.
+
+        ``policy`` overrides the adaptive choice for this call:
+        ``"pool"`` forces the process pool, ``"serial"`` forces the
+        sequential reference path, ``None`` lets the engine decide.
+        ``min_seeds_parallel`` overrides the engine-level floor below
+        which the pool is never considered.
+        """
+        if self.closed:
+            raise PylseError("YieldEngine is closed; create a new one")
+        if policy not in (None, "pool", "serial"):
+            raise PylseError(
+                f"unknown engine policy {policy!r}: expected 'pool', "
+                "'serial', or None"
+            )
+        seeds = list(seeds)
+        if not seeds:
+            return [], None
+        if (
+            policy == "serial"
+            or self.workers <= 1
+            or len(seeds) < 2
+            or self.parallel_disabled
+        ):
+            return self._run_serial(factory, predicate, sigma, seeds,
+                                    collect_stats)
+        # From here on the pool is a possibility: reject unpicklable
+        # tasks up front, exactly like the one-shot backend does.
+        _require_picklable(factory, predicate)
+        task_blob = pickle.dumps((factory, predicate))
+        if policy == "pool" or not self.adaptive:
+            return self._run_pool(
+                factory, predicate, task_blob, sigma, seeds, collect_stats
+            )
+        return self._run_adaptive(
+            factory, predicate, task_blob, sigma, seeds, collect_stats,
+            min_seeds_parallel,
+        )
+
+    # -- backends ------------------------------------------------------
+    def _serial_chunk(
+        self, factory, predicate, sigma, seeds, collect_stats
+    ) -> Tuple[List[str], List["SimMetrics"]]:
+        """Reference-path classification with timing fed to the cost model."""
+        started = time.perf_counter()
+        if collect_stats:
+            outcomes, per_seed = run_chunk_stats(
+                factory, predicate, sigma, seeds
+            )
+        else:
+            outcomes = run_chunk(factory, predicate, sigma, seeds)
+            per_seed = []
+        if seeds:
+            task_blob = (
+                pickle.dumps((factory, predicate))
+                if _is_picklable(factory, predicate)
+                else None
+            )
+            self._update_cost(
+                task_blob, (time.perf_counter() - started) / len(seeds)
+            )
+        return outcomes, per_seed
+
+    def _run_serial(
+        self, factory, predicate, sigma, seeds, collect_stats
+    ) -> Tuple[List[str], Optional["SimMetrics"]]:
+        self.last_backend = "serial"
+        outcomes, per_seed = self._serial_chunk(
+            factory, predicate, sigma, seeds, collect_stats
+        )
+        return outcomes, merge_stats(per_seed) if collect_stats else None
+
+    def _run_adaptive(
+        self, factory, predicate, task_blob, sigma, seeds, collect_stats,
+        min_seeds_parallel,
+    ) -> Tuple[List[str], Optional["SimMetrics"]]:
+        floor = min_seeds_parallel
+        if floor is None:
+            floor = self.min_seeds_parallel
+        if floor is None:
+            floor = 2 * self.workers
+        if len(seeds) < floor:
+            return self._run_serial(factory, predicate, sigma, seeds,
+                                    collect_stats)
+        # Calibrate on the first seed, in-process. Its outcome (and
+        # metrics) are kept, so calibration costs nothing extra and the
+        # cost estimate tracks the actual design being swept.
+        started = time.perf_counter()
+        if collect_stats:
+            first_outcome, first_metrics = classify_seed_stats(
+                factory, predicate, sigma, seeds[0]
+            )
+            prefix_stats: List["SimMetrics"] = [first_metrics]
+        else:
+            first_outcome = classify_seed(factory, predicate, sigma, seeds[0])
+            prefix_stats = []
+        sample = time.perf_counter() - started
+        cost = self._update_cost(task_blob, sample)
+        rest = seeds[1:]
+        est_serial = cost * len(rest)
+        warm = self._pool is not None and self._task_key == task_blob
+        overhead = (
+            WARM_DISPATCH_OVERHEAD_S
+            if warm
+            else POOL_STARTUP_PER_WORKER_S * self.workers
+        )
+        est_pool = overhead + est_serial / self.workers
+        if est_pool < est_serial * PARALLEL_MARGIN:
+            return self._run_pool(
+                factory, predicate, task_blob, sigma, rest, collect_stats,
+                prefix_outcomes=[first_outcome], prefix_stats=prefix_stats,
+            )
+        self.last_backend = "serial"
+        rest_outcomes, rest_per_seed = self._serial_chunk(
+            factory, predicate, sigma, rest, collect_stats
+        )
+        outcomes = [first_outcome] + rest_outcomes
+        if not collect_stats:
+            return outcomes, None
+        # One fold over the full per-seed list keeps the association
+        # order exactly seed order (prefix aggregate + rest aggregate
+        # would associate the float sums differently).
+        return outcomes, merge_stats(prefix_stats + rest_per_seed)
+
+    def _run_pool(
+        self,
+        factory,
+        predicate,
+        task_blob: bytes,
+        sigma: float,
+        seeds: Sequence[int],
+        collect_stats: bool,
+        prefix_outcomes: Optional[List[str]] = None,
+        prefix_stats: Optional[List["SimMetrics"]] = None,
+    ) -> Tuple[List[str], Optional["SimMetrics"]]:
+        """Pool execution with per-chunk retry-once and crash degradation."""
+        self.last_backend = "pool"
+        outcomes: List[str] = list(prefix_outcomes or [])
+        per_seed: List["SimMetrics"] = list(prefix_stats or [])
+        if not seeds:
+            return outcomes, merge_stats(per_seed) if collect_stats else None
+        chunks = chunk_seeds(seeds, self.workers * self.chunks_per_worker)
+        task = _engine_chunk_stats if collect_stats else _engine_chunk
+        retried = False
+        index = 0
+        futures: List = []
+        need_submit = True  # (re)submit chunks[index:] before reading results
+        while index < len(chunks):
+            chunk = chunks[index]
+            try:
+                # A broken pool surfaces either at submit time (workers
+                # already dead) or at result time, so both live under the
+                # same failure handling.
+                if need_submit:
+                    pool = self._ensure_pool(task_blob)
+                    futures[index:] = [
+                        pool.submit(task, sigma, c) for c in chunks[index:]
+                    ]
+                    need_submit = False
+                result = futures[index].result()
+            except (BrokenProcessPool, OSError, pickle.PicklingError) as err:
+                self._shutdown_pool()
+                if not retried:
+                    retried = True
+                    need_submit = True
+                    warnings.warn(
+                        f"parallel Monte-Carlo worker failure on chunk "
+                        f"{index} (seeds {chunk[0]}..{chunk[-1]}): {err!r}; "
+                        "retrying once on a fresh pool",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    continue
+                # Retry also failed: degrade to the sequential reference
+                # path for this and every remaining chunk, and stop trying
+                # to parallelize on this engine (the task evidently kills
+                # workers; thrashing pools would be worse than serial).
+                warnings.warn(
+                    f"parallel Monte-Carlo worker failure persisted after "
+                    f"retry ({err!r}); degrading to the sequential "
+                    "reference path for the remaining "
+                    f"{len(chunks) - index} chunk(s) and disabling the "
+                    "pool on this engine",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self.fallbacks += 1
+                self.parallel_disabled = True
+                self.last_backend = "degraded"
+                for tail in chunks[index:]:
+                    if collect_stats:
+                        tail_outcomes, tail_stats = run_chunk_stats(
+                            factory, predicate, sigma, tail
+                        )
+                        per_seed.extend(tail_stats)
+                    else:
+                        tail_outcomes = run_chunk(
+                            factory, predicate, sigma, tail
+                        )
+                    outcomes.extend(tail_outcomes)
+                break
+            if collect_stats:
+                chunk_outcomes, chunk_stats = result
+                _check_chunk(index, chunk, len(chunk_outcomes))
+                _check_chunk(index, chunk, len(chunk_stats), what="metrics")
+                per_seed.extend(chunk_stats)
+            else:
+                chunk_outcomes = result
+                _check_chunk(index, chunk, len(chunk_outcomes))
+            outcomes.extend(chunk_outcomes)
+            index += 1
+        return outcomes, merge_stats(per_seed) if collect_stats else None
+
+    # -- cost model ----------------------------------------------------
+    def _update_cost(self, task_blob: Optional[bytes], sample: float) -> float:
+        """Fold a measured per-seed cost into the per-task EWMA."""
+        if task_blob is None:
+            return sample
+        previous = self._cost_by_task.get(task_blob)
+        cost = (
+            sample
+            if previous is None
+            else (1 - COST_EWMA_WEIGHT) * previous + COST_EWMA_WEIGHT * sample
+        )
+        self._cost_by_task[task_blob] = cost
+        return cost
+
+
+def _is_picklable(factory, predicate) -> bool:
+    try:
+        pickle.dumps((factory, predicate))
+    except Exception:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Module-level default engines, keyed by worker count
+# ----------------------------------------------------------------------
+_DEFAULT_ENGINES: Dict[int, YieldEngine] = {}
+
+
+def default_engine(workers: Optional[int] = None) -> YieldEngine:
+    """The shared, cached engine for a worker count (created on demand).
+
+    ``measure_yield(..., workers=N)`` routes through this cache, so
+    repeated calls — a ``yield_curve`` sweep, every ``critical_sigma``
+    bisection iteration — reuse one warm pool instead of spawning a pool
+    per call. Engines are shut down at interpreter exit.
+    """
+    count = resolve_workers(workers)
+    engine = _DEFAULT_ENGINES.get(count)
+    if engine is None or engine.closed:
+        engine = _DEFAULT_ENGINES[count] = YieldEngine(count)
+    return engine
+
+
+def shutdown_default_engines() -> None:
+    """Close every cached default engine (used by tests and atexit)."""
+    for engine in _DEFAULT_ENGINES.values():
+        engine.close()
+    _DEFAULT_ENGINES.clear()
+
+
+atexit.register(shutdown_default_engines)
+
+
+EnginePolicy = Union["YieldEngine", str, None]

@@ -113,6 +113,28 @@ class Simulation:
         self.observer = None
 
     # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return this simulation (and its circuit) to a pre-run state.
+
+        Clears every per-run artifact — events, trace, activity counters,
+        pulse count, the attached observer — and resets all element state
+        via :meth:`Circuit.reset_elements`, so the same ``Simulation``
+        object can be re-simulated as if freshly constructed. This is the
+        reuse hook behind the parallel Monte-Carlo workers
+        (:mod:`repro.core.parallel`): elaborating a circuit once per
+        worker and resetting between seeds is bit-identical to building a
+        fresh circuit per seed, because ``simulate`` derives everything
+        else (dispatch records, RNG, variability spec) per call.
+        """
+        self.circuit.reset_elements()
+        self.events = {}
+        self.until = None
+        self.pulses_processed = 0
+        self.activity = {}
+        self.trace = []
+        self.observer = None
+
+    # ------------------------------------------------------------------
     def simulate(
         self,
         until: Optional[float] = None,

@@ -26,7 +26,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 #: Default width (ps) of firing-delay histogram bins.
 DEFAULT_BIN_WIDTH = 0.5
@@ -168,6 +168,28 @@ class SimMetrics:
                 delays=DelayHistogram(self.delay_bin_width),
             )
         return entry
+
+    @classmethod
+    def fold(cls, items: "Sequence[SimMetrics]") -> Optional["SimMetrics"]:
+        """Left-to-right fold into a fresh accumulator (None if empty).
+
+        The accumulator starts zeroed (``runs = 0``) so the aggregate's
+        run count equals the number of folded metrics, and — unlike
+        merging into ``items[0]`` — none of the inputs is mutated. Since
+        ``0.0 + x == x`` exactly, folding into a zeroed accumulator is
+        bit-identical to the old mutate-the-first-item merge; the fixed
+        left-to-right association is what the Monte-Carlo backends rely
+        on for sequential/parallel stat equality (they always fold in
+        seed order).
+        """
+        items = list(items)
+        if not items:
+            return None
+        acc = cls(delay_bin_width=items[0].delay_bin_width)
+        acc.runs = 0
+        for metrics in items:
+            acc.merge(metrics)
+        return acc
 
     def merge(self, other: "SimMetrics") -> None:
         """Fold another run's metrics into this one (sums; max for depth)."""

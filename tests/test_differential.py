@@ -15,9 +15,11 @@ shows up as a JSON-payload mismatch here.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.montecarlo import measure_yield
 from repro.core.simulation import Simulation
 from repro.obs import Observer
 
+from test_parallel import minmax_factory, minmax_ok
 from test_random_circuits import build_random_circuit
 
 
@@ -104,3 +106,50 @@ class TestDrainLoopsAgree:
             recorded = [graph.record(p).time for p in pids]
             assert sorted(set(recorded)) == sorted(set(times))
             assert len(recorded) <= len(times)
+
+
+class TestEngineMatchesSequential:
+    """The pooled YieldEngine against the sequential reference path.
+
+    ``engine="pool"`` routes through the cached default engine, so every
+    example reuses the same warm pool and worker-resident circuits —
+    precisely the state-carryover surface a per-seed bug would hide in.
+    """
+
+    @given(
+        sigma=st.floats(0.0, 20.0, allow_nan=False, allow_infinity=False),
+        start=st.integers(0, 500),
+        n_seeds=st.integers(2, 16),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_outcomes_identical(self, sigma, start, n_seeds):
+        seeds = range(start, start + n_seeds)
+        sequential = measure_yield(
+            minmax_factory, minmax_ok, sigma=sigma, seeds=seeds, workers=1
+        )
+        pooled = measure_yield(
+            minmax_factory, minmax_ok, sigma=sigma, seeds=seeds,
+            workers=2, engine="pool",
+        )
+        assert pooled == sequential
+        assert list(pooled.failures.items()) == list(
+            sequential.failures.items()
+        )
+
+    @given(
+        sigma=st.floats(0.0, 20.0, allow_nan=False, allow_infinity=False),
+        n_seeds=st.integers(2, 12),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_stats_identical(self, sigma, n_seeds):
+        sequential = measure_yield(
+            minmax_factory, minmax_ok, sigma=sigma, seeds=range(n_seeds),
+            workers=1, collect_stats=True,
+        )
+        pooled = measure_yield(
+            minmax_factory, minmax_ok, sigma=sigma, seeds=range(n_seeds),
+            workers=2, engine="pool", collect_stats=True,
+        )
+        assert (
+            pooled.stats.to_jsonable() == sequential.stats.to_jsonable()
+        )

@@ -67,6 +67,21 @@ class TestResolveWorkers:
         with pytest.raises(PylseError):
             resolve_workers(-2)
 
+    def test_bools_rejected(self):
+        """Regression: ``True`` passed isinstance(int) and leaked through;
+        ``False == 0`` silently meant one-per-CPU."""
+        with pytest.raises(PylseError, match="bool"):
+            resolve_workers(True)
+        with pytest.raises(PylseError, match="bool"):
+            resolve_workers(False)
+
+    def test_bool_rejected_from_measure_yield(self):
+        with pytest.raises(PylseError, match="bool"):
+            measure_yield(
+                minmax_factory, minmax_ok, sigma=0.0, seeds=range(2),
+                workers=True,
+            )
+
 
 class TestBitIdentical:
     def test_minmax_workers4_equals_sequential(self):
@@ -153,3 +168,49 @@ class TestErrors:
             minmax_factory, minmax_ok, sigma=0.0, seeds=[0], workers=8
         )
         assert result.runs == 1 and result.passed == 1
+
+    def test_duplicate_seeds_rejected(self):
+        """Regression: duplicate seeds used to collide silently in the
+        ``failures`` dict (the later outcome overwrote the earlier)."""
+        with pytest.raises(PylseError, match="duplicate seed"):
+            measure_yield(
+                minmax_factory, minmax_ok, sigma=0.0, seeds=[1, 2, 3, 2]
+            )
+
+    def test_duplicate_seeds_named_in_error(self):
+        with pytest.raises(PylseError, match=r"4.*7"):
+            measure_yield(
+                minmax_factory, minmax_ok, sigma=0.0,
+                seeds=[4, 7, 4, 7, 9],
+            )
+
+
+class TestChunkLengthGuard:
+    """Regression: ``zip(seeds, outcomes)`` silently truncated short
+    worker results, shifting outcomes onto the wrong seeds."""
+
+    def test_short_chunk_names_the_chunk(self):
+        from repro.core.parallel import _check_chunk
+
+        with pytest.raises(PylseError, match=r"chunk 3.*30\.\.39.*7"):
+            _check_chunk(3, list(range(30, 40)), 7)
+
+    def test_matching_chunk_passes(self):
+        from repro.core.parallel import _check_chunk
+
+        _check_chunk(0, [1, 2, 3], 3)  # no raise
+
+    def test_measure_yield_backstop(self):
+        """A backend returning the wrong outcome count is refused."""
+        from repro.core.parallel import YieldEngine
+
+        class ShortEngine(YieldEngine):
+            def run(self, *args, **kwargs):
+                return ["ok"], None  # one outcome for many seeds
+
+        with ShortEngine(workers=2) as engine:
+            with pytest.raises(PylseError, match="1 outcomes for 5 seeds"):
+                measure_yield(
+                    minmax_factory, minmax_ok, sigma=0.0, seeds=range(5),
+                    engine=engine,
+                )

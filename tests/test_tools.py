@@ -94,3 +94,42 @@ class TestBenchGuard:
         )
         assert result.returncode == 0
         assert "regression guard" in result.stdout
+
+    def test_mc_comparison_single_cpu_records_skip(self):
+        """Regression: a 1-CPU host used to record pool overhead as a
+        'parallel speedup'; now the skip is explicit."""
+        guard = self._load()
+        block = guard.mc_comparison(
+            {"seq": 0.8}, cpus=1, seq_name="seq", par_name="par"
+        )
+        assert block["parallel_speedup"] == "skipped: 1 CPU"
+        assert block["workers1"] == 0.8
+        assert block["workers4"] is None
+
+    def test_mc_comparison_multi_cpu_ratio(self):
+        guard = self._load()
+        block = guard.mc_comparison(
+            {"seq": 1.2, "par": 0.4}, cpus=4, seq_name="seq", par_name="par"
+        )
+        assert block["parallel_speedup"] == 3.0
+        assert block["workers1"] == 1.2
+        assert block["workers4"] == 0.4
+
+    def test_mc_comparison_missing_parallel_on_multi_cpu(self):
+        guard = self._load()
+        block = guard.mc_comparison(
+            {"seq": 1.2}, cpus=4, seq_name="seq", par_name="par"
+        )
+        assert block["parallel_speedup"] is None
+
+    def test_committed_artifact_mc_block_consistent(self):
+        """The committed artifact's MC blocks honour the cpus field: a
+        numeric speedup may only appear alongside >= 2 recorded CPUs."""
+        payload = json.loads((ROOT / "BENCH_sim.json").read_text())
+        assert payload["cpus"] >= 1
+        for key in ("mc_yield_200_seeds_s", "mc_amortized_800_trials_s"):
+            speedup = payload[key]["parallel_speedup"]
+            if payload["cpus"] < 2:
+                assert speedup == "skipped: 1 CPU"
+            elif isinstance(speedup, (int, float)):
+                assert speedup > 0
