@@ -27,6 +27,9 @@ Subpackages:
 
 from .core import (
     Circuit,
+    CompiledCircuit,
+    compile_circuit,
+    structural_hash,
     SkewFinding,
     balance_report,
     circuit_graph,
@@ -124,7 +127,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     # core
-    "Circuit", "SkewFinding", "balance_report", "circuit_graph",
+    "Circuit", "CompiledCircuit", "compile_circuit", "structural_hash",
+    "SkewFinding", "balance_report", "circuit_graph",
     "clock_skew", "critical_sigma", "events_to_html", "events_to_vcd",
     "measure_yield", "path_delays", "save_html", "save_vcd", "total_jjs",
     "yield_curve", "YieldEngine", "YieldResult", "circuit_to_json",

@@ -23,6 +23,7 @@ from .errors import (
 )
 from .functional import Functional, hole
 from .helpers import inp, inp_at, inspect
+from .ir import CompiledCircuit, compile_circuit, structural_hash
 from .htmlwave import events_to_html, save_html
 from .machine import Configuration, PylseMachine, Transition, WILDCARD
 from .montecarlo import YieldResult, critical_sigma, measure_yield, yield_curve
@@ -49,6 +50,9 @@ from .wire import Wire
 
 __all__ = [
     "Circuit",
+    "CompiledCircuit",
+    "compile_circuit",
+    "structural_hash",
     "SkewFinding",
     "balance_report",
     "circuit_graph",

@@ -27,44 +27,8 @@ from typing import Dict, List, Optional, Tuple
 import networkx as nx
 
 from .circuit import Circuit, working_circuit
-from .element import InGen
 from .errors import PylseError
-from .functional import Functional
-from .node import Node
-from .timing import nominal_delay
-from .transitional import Transitional
-from .wire import Wire
-
-
-def _output_delay_window(node: Node, port: str) -> Tuple[float, float]:
-    """(min, max) nominal firing delay of ``port`` on ``node``'s element.
-
-    A Transitional output can be fired by several transitions with different
-    delays; the window brackets them. Functional holes have a single delay
-    per output, so the window collapses to a point.
-    """
-    element = node.element
-    if isinstance(element, Transitional):
-        delays = [
-            nominal_delay(delay)
-            for t in element.machine.transitions
-            for out, delay in t.firing.items()
-            if out == port
-        ]
-        if not delays:
-            raise PylseError(
-                f"{node.name}: output {port!r} is never fired by any transition"
-            )
-        return min(delays), max(delays)
-    if isinstance(element, Functional):
-        d = nominal_delay(element.delays[port])
-        return d, d
-    raise PylseError(f"{node.name}: cannot compute delays for {element!r}")
-
-
-def _output_delay(node: Node, port: str) -> float:
-    """Worst-case nominal firing delay of ``port`` on ``node``'s element."""
-    return _output_delay_window(node, port)[1]
+from .ir import compile_circuit
 
 
 def circuit_graph(circuit: Optional[Circuit] = None) -> nx.DiGraph:
@@ -74,32 +38,41 @@ def circuit_graph(circuit: Optional[Circuit] = None) -> nx.DiGraph:
     inputs and outputs); an edge ``u -> v`` with weight ``d`` means a pulse
     leaving ``u`` arrives at ``v`` after ``d`` ps (the firing delay of the
     producing output).
+
+    The graph is derived from the compiled IR and cached on it, so every
+    analysis and lint pass over the same circuit revision shares one
+    instance — treat it as read-only (copy before mutating).
     """
     circuit = circuit if circuit is not None else working_circuit()
+    compiled = compile_circuit(circuit, validate=False)
+    graph = compiled._cache.get("nx_graph")
+    if graph is not None:
+        return graph
     graph = nx.DiGraph()
-    for node in circuit.nodes:
-        if isinstance(node.element, InGen):
-            graph.add_node(f"in:{node.output_wires['out'].observed_as}",
+    for nd in compiled.dispatch:
+        if nd.is_input:
+            graph.add_node(f"in:{compiled.labels[nd.outs[0].wire_id]}",
                            kind="input")
         else:
-            graph.add_node(node.name, kind="cell",
-                           cell=node.element.name)
-    for wire, (src_node, src_port) in circuit.source_of.items():
-        if isinstance(src_node.element, InGen):
-            u, delay_min, delay = f"in:{wire.observed_as}", 0.0, 0.0
+            graph.add_node(nd.name, kind="cell", cell=nd.cell)
+    for wid, (src, src_port) in enumerate(compiled.wire_source):
+        label = compiled.labels[wid]
+        if compiled.dispatch[src].is_input:
+            u, delay_min, delay = f"in:{label}", 0.0, 0.0
         else:
-            u = src_node.name
-            delay_min, delay = _output_delay_window(src_node, src_port)
-        dest = circuit.dest_of.get(wire)
+            u = compiled.nodes[src].name
+            delay_min, delay = compiled.delay_window(src, src_port)
+        dest = compiled.wire_dest[wid]
         if dest is None:
-            v = f"out:{wire.observed_as}"
+            v = f"out:{label}"
             graph.add_node(v, kind="output")
             graph.add_edge(u, v, delay=delay, delay_min=delay_min,
-                           wire=wire.observed_as, port=None)
+                           wire=label, port=None)
         else:
-            dst_node, dst_port = dest
-            graph.add_edge(u, dst_node.name, delay=delay, delay_min=delay_min,
-                           wire=wire.observed_as, port=dst_port)
+            dst, dst_port = dest
+            graph.add_edge(u, compiled.nodes[dst].name, delay=delay,
+                           delay_min=delay_min, wire=label, port=dst_port)
+    compiled._cache["nx_graph"] = graph
     return graph
 
 
@@ -255,26 +228,10 @@ def clock_wires(circuit: Optional[Circuit] = None) -> Dict[str, List[str]]:
     as well as one called ``clk``.
     """
     circuit = circuit if circuit is not None else working_circuit()
-    graph = circuit_graph(circuit)
-    #: graph nodes that consume a clk port, keyed by their predecessor edge
-    clk_sinks: Dict[str, List[str]] = {}
-    for u, v, data in graph.edges(data=True):
-        if data.get("port") == "clk":
-            clk_sinks.setdefault(u, []).append(v)
-    result: Dict[str, List[str]] = {}
-    for n, d in graph.nodes(data=True):
-        if d.get("kind") != "input":
-            continue
-        reached = {n} | nx.descendants(graph, n)
-        clocked = sorted({
-            sink
-            for pred, sinks in clk_sinks.items()
-            if pred in reached
-            for sink in sinks
-        })
-        if clocked:
-            result[n[3:]] = clocked
-    return result
+    compiled = compile_circuit(circuit, validate=False)
+    return {
+        label: list(cells) for label, cells in compiled.clock_wires.items()
+    }
 
 
 def total_jjs(circuit: Optional[Circuit] = None) -> int:

@@ -17,6 +17,7 @@ The circuit enforces the Section 4.2 structural checks:
 from __future__ import annotations
 
 import contextlib
+import itertools
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .element import Element, InGen
@@ -40,6 +41,45 @@ class Circuit:
         #: name/alias -> wire index for O(1) find_wire; first registration of
         #: a non-user name wins, matching the old linear-scan semantics.
         self._wire_index: Dict[str, Wire] = {}
+        #: per-circuit counter for anonymous wire names: auto-names are
+        #: assigned when a wire first attaches to this circuit, so ``_0``,
+        #: ``_1``, ... are reproducible per circuit regardless of how many
+        #: wires other circuits in the process created before (the old
+        #: class-global counter leaked across circuits, making serialized
+        #: forms depend on what ran earlier in the process).
+        self._anon_counter = itertools.count()
+        #: mutation counter: bumped by every structural or naming change.
+        #: ``repro.core.ir.compile_circuit`` memoizes its result against
+        #: this, so a compiled view is reused until the circuit changes.
+        self._version = 0
+        #: the memoized :class:`repro.core.ir.CompiledCircuit`, if any.
+        self._compiled_ir = None
+
+    @property
+    def version(self) -> int:
+        """Mutation version; changes whenever the netlist or naming does."""
+        return self._version
+
+    def _mutated(self) -> None:
+        """Record a structural/naming change, invalidating compiled views."""
+        self._version += 1
+        self._compiled_ir = None
+
+    def _adopt_wire(self, wire: Wire) -> None:
+        """Attach a wire to this circuit, assigning its per-circuit auto-name.
+
+        Runs at the wire's *first* attachment (consumed or driven,
+        whichever comes first), so attachment order — not the process-global
+        creation counter — determines anonymous names.
+        """
+        if wire._circuit is not None:
+            return
+        wire._circuit = self
+        if not wire._user_named:
+            fresh = f"_{next(self._anon_counter)}"
+            if wire.observed_as == wire.name:
+                wire.observed_as = fresh
+            wire.name = fresh
 
     # ------------------------------------------------------------------
     # construction
@@ -76,8 +116,7 @@ class Circuit:
                     "a splitter (see split())"
                 )
             self.dest_of[wire] = (node, port)
-            if wire._circuit is None:
-                wire._circuit = self
+            self._adopt_wire(wire)
 
         for port, wire in node.output_wires.items():
             if wire in self.source_of:
@@ -88,10 +127,11 @@ class Circuit:
                 )
             self.source_of[wire] = (node, port)
             self._wires.append(wire)
-            wire._circuit = self
+            self._adopt_wire(wire)
             self._index_wire(wire)
 
         self.nodes.append(node)
+        self._mutated()
         return node
 
     def add_input(self, element: InGen, name: Optional[str] = None) -> Wire:
@@ -146,7 +186,13 @@ class Circuit:
     def _rename_wire(self, wire: Wire, name: str) -> None:
         """Re-alias an indexed wire, rejecting duplicate user-visible names.
 
-        Called by :meth:`Wire.observe` before the alias changes.
+        Called by :meth:`Wire.observe` before the alias changes. The index
+        stays consistent through the rename: the new alias resolves
+        immediately (also for consumed-but-not-yet-driven feedback wires,
+        which used to stay unfindable until driven), the wire's own ``name``
+        keeps resolving, and a superseded alias is dropped rather than left
+        dangling. Colliding with an existing *auto-generated* entry keeps
+        first-registration-wins, matching :meth:`_index_wire`.
         """
         existing = self._wire_index.get(name)
         if existing is not None and existing is not wire and existing.is_user_named:
@@ -154,13 +200,12 @@ class Circuit:
                 f"Two wires observed under the same name {name!r}; names must "
                 "be unique for simulation events to be unambiguous"
             )
-        if wire not in self.source_of:
-            # Consumed-but-undriven (feedback) wire: indexed when driven.
-            return
         old_alias = wire.observed_as
         if old_alias != wire.name and self._wire_index.get(old_alias) is wire:
             del self._wire_index[old_alias]
-        self._wire_index[name] = wire
+        if existing is None or existing is wire:
+            self._wire_index[name] = wire
+        self._mutated()
 
     def find_wire(self, name: str) -> Wire:
         """Look up a wire by its name or observation alias (O(1))."""
@@ -168,6 +213,48 @@ class Circuit:
         if wire is None:
             raise WireError(f"No wire named {name!r} in this circuit")
         return wire
+
+    def index_problems(self) -> List[str]:
+        """Consistency audit of the wire-name index against the wire lists.
+
+        Returns human-readable descriptions of every disagreement between
+        ``_wire_index`` and the circuit's actual wires — an empty list means
+        the index is sound. Exercised by the lint self-check in
+        :func:`repro.lint.circuit_rules.lint_circuit` after rename/feedback
+        patterns, and directly by tests.
+        """
+        problems: List[str] = []
+        attached = set(map(id, self._wires))
+        attached.update(id(w) for w in self.dest_of)
+        for label, wire in self._wire_index.items():
+            if id(wire) not in attached:
+                problems.append(
+                    f"index entry {label!r} points at wire {wire.name!r} "
+                    "which is no longer attached to this circuit"
+                )
+            elif label not in (wire.name, wire.observed_as):
+                problems.append(
+                    f"index entry {label!r} points at wire {wire.name!r} "
+                    f"(observed as {wire.observed_as!r}) which no longer "
+                    "carries that label"
+                )
+        for wire in self._wires:
+            for label in {wire.name, wire.observed_as}:
+                entry = self._wire_index.get(label)
+                if entry is None:
+                    problems.append(
+                        f"driven wire {wire.name!r} (observed as "
+                        f"{wire.observed_as!r}) is missing from the index "
+                        f"under {label!r}"
+                    )
+                elif entry is not wire and label not in (
+                    entry.name, entry.observed_as
+                ):
+                    problems.append(
+                        f"label {label!r} of wire {wire.name!r} resolves to "
+                        f"wire {entry.name!r} which does not carry it"
+                    )
+        return problems
 
     def validate(self) -> None:
         """Run whole-circuit structural checks.

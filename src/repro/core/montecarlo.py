@@ -21,11 +21,11 @@ from .parallel import (
     OK,
     VIOLATION,
     YieldEngine,
-    classify_seed,
     default_engine,
     merge_stats,
     resolve_workers,
-    run_chunk_stats,
+    run_chunk_reused,
+    run_chunk_stats_reused,
 )
 from .simulation import Events
 
@@ -150,12 +150,15 @@ def measure_yield(
             min_seeds_parallel=min_seeds_parallel,
         )
     elif collect_stats:
-        outcomes, per_seed = run_chunk_stats(factory, predicate, sigma, seeds)
+        outcomes, per_seed = run_chunk_stats_reused(
+            factory, predicate, sigma, seeds
+        )
         stats = merge_stats(per_seed)
     else:
-        outcomes = [
-            classify_seed(factory, predicate, sigma, seed) for seed in seeds
-        ]
+        # Elaborate + compile once, reset per seed: bit-identical to a
+        # fresh factory() per seed (tests/test_determinism.py) and the
+        # reason repeat sweeps never pay re-elaboration.
+        outcomes = run_chunk_reused(factory, predicate, sigma, seeds)
     if len(outcomes) != len(seeds):
         # zip() would silently truncate and shift outcomes onto the wrong
         # seeds; the per-chunk guard in repro.core.parallel names the

@@ -67,6 +67,7 @@ from typing import (
 )
 
 from .errors import PylseError, SimulationError
+from .ir import compile_circuit
 from .simulation import Events, Simulation
 
 if TYPE_CHECKING:  # layering: core never imports repro.obs at runtime
@@ -157,6 +158,68 @@ def run_chunk_stats(
         outcome, metrics = classify_seed_stats(factory, predicate, sigma, seed)
         outcomes.append(outcome)
         stats.append(metrics)
+    return outcomes, stats
+
+
+def run_chunk_reused(
+    factory: Callable[[], object],
+    predicate: Callable[[Events], bool],
+    sigma: float,
+    seeds: Sequence[int],
+) -> List[str]:
+    """:func:`run_chunk` that elaborates and compiles the circuit once.
+
+    Each seed re-simulates the same :class:`Simulation` through its
+    ``reset`` hook — bit-identical to a fresh ``factory()`` per seed
+    (locked by ``tests/test_determinism.py``) while paying elaboration and
+    ``compile_circuit`` exactly once per chunk. This is the in-process
+    sequential path used by the engine and ``measure_yield(workers=1)``;
+    :func:`run_chunk` stays as the definitional reference.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        return []
+    sim = Simulation(factory())
+    outcomes: List[str] = []
+    for seed in seeds:
+        sim.reset()
+        try:
+            events = sim.simulate(variability={"stddev": sigma}, seed=seed)
+        except SimulationError:
+            outcomes.append(VIOLATION)
+            continue
+        outcomes.append(OK if predicate(events) else MIS_BEHAVED)
+    return outcomes
+
+
+def run_chunk_stats_reused(
+    factory: Callable[[], object],
+    predicate: Callable[[Events], bool],
+    sigma: float,
+    seeds: Sequence[int],
+) -> Tuple[List[str], List["SimMetrics"]]:
+    """:func:`run_chunk_reused` plus one fresh ``SimMetrics`` per seed."""
+    from ..obs import Observer
+
+    seeds = list(seeds)
+    if not seeds:
+        return [], []
+    sim = Simulation(factory())
+    outcomes: List[str] = []
+    stats: List["SimMetrics"] = []
+    for seed in seeds:
+        sim.reset()
+        observer = Observer(provenance=False, metrics=True)
+        try:
+            events = sim.simulate(
+                variability={"stddev": sigma}, seed=seed, observer=observer
+            )
+        except SimulationError:
+            outcomes.append(VIOLATION)
+            stats.append(observer.metrics)
+            continue
+        outcomes.append(OK if predicate(events) else MIS_BEHAVED)
+        stats.append(observer.metrics)
     return outcomes, stats
 
 
@@ -356,27 +419,36 @@ COST_EWMA_WEIGHT = 0.5
 class _WorkerContext:
     """Per-worker-process task state, installed by the pool initializer."""
 
-    __slots__ = ("factory", "predicate", "circuit", "sim")
+    __slots__ = ("predicate", "circuit", "sim")
 
-    def __init__(self, factory, predicate):
-        self.factory = factory
+    def __init__(self, circuit, predicate):
         self.predicate = predicate
-        self.circuit = factory()  # elaborate once per worker
-        self.sim = Simulation(self.circuit)
+        self.circuit = circuit
+        self.sim = Simulation(circuit)
 
 
 _WORKER_CTX: Optional[_WorkerContext] = None
 
 
-def _engine_worker_init(task_blob: bytes) -> None:
-    """Pool initializer: unpickle the task once and pre-elaborate.
+def _engine_worker_init(init_blob: bytes) -> None:
+    """Pool initializer: install the design once per worker process.
 
-    Runs once per worker process; afterwards every chunk task is just
-    ``(sigma, seeds)`` — no factory/predicate pickling per chunk.
+    ``init_blob`` is either ``("compiled", CompiledCircuit, predicate)`` —
+    the parent elaborated and compiled the design exactly once and ships
+    the frozen IR, so workers never re-run the factory or the compile
+    pass (the unpickled circuit arrives with its compile memo warm) — or
+    the fallback ``("factory", factory, predicate)`` for designs whose
+    circuit does not pickle (e.g. closure-bodied holes), where each
+    worker elaborates once. Afterwards every chunk task is just
+    ``(sigma, seeds)``.
     """
     global _WORKER_CTX
-    factory, predicate = pickle.loads(task_blob)
-    _WORKER_CTX = _WorkerContext(factory, predicate)
+    kind, payload, predicate = pickle.loads(init_blob)
+    if kind == "compiled":
+        circuit = payload.circuit
+    else:
+        circuit = payload()  # elaborate once per worker
+    _WORKER_CTX = _WorkerContext(circuit, predicate)
 
 
 def _engine_chunk(sigma: float, seeds: Sequence[int]) -> List[str]:
@@ -482,6 +554,10 @@ class YieldEngine:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._task_key: Optional[bytes] = None
         self._cost_by_task: Dict[bytes, float] = {}
+        #: task blob -> pool-initializer payload (compiled design when the
+        #: circuit pickles, factory fallback otherwise), built at most once
+        #: per task so repeated runs never re-elaborate in the parent.
+        self._init_blob_by_task: Dict[bytes, bytes] = {}
 
     # -- lifecycle -----------------------------------------------------
     def __enter__(self) -> "YieldEngine":
@@ -501,18 +577,42 @@ class YieldEngine:
             self._pool = None
             self._task_key = None
 
-    def _ensure_pool(self, task_blob: bytes) -> ProcessPoolExecutor:
+    def _ensure_pool(
+        self, task_blob: bytes, init_blob: bytes
+    ) -> ProcessPoolExecutor:
         if self._pool is not None and self._task_key == task_blob:
             return self._pool
         self._shutdown_pool()
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_engine_worker_init,
-            initargs=(task_blob,),
+            initargs=(init_blob,),
         )
         self._task_key = task_blob
         self.pools_created += 1
         return self._pool
+
+    def _task_init_blob(self, factory, predicate, task_blob: bytes) -> bytes:
+        """The initializer payload for a task, built (at most) once.
+
+        Prefers shipping the parent-compiled :class:`CompiledCircuit` —
+        one elaboration + compile for the whole sweep, with every worker
+        receiving the design pre-validated and its compile memo warm.
+        Node placement ids are assigned per elaboration, but only their
+        *relative* order matters for heap pop ordering, and a pickled
+        circuit preserves it — so worker results stay bit-identical to
+        the factory path. Falls back to shipping the factory when the
+        circuit itself does not pickle.
+        """
+        blob = self._init_blob_by_task.get(task_blob)
+        if blob is None:
+            try:
+                compiled = compile_circuit(factory())
+                blob = pickle.dumps(("compiled", compiled, predicate))
+            except Exception:
+                blob = pickle.dumps(("factory", factory, predicate))
+            self._init_blob_by_task[task_blob] = blob
+        return blob
 
     # -- the run entry point -------------------------------------------
     def run(
@@ -571,11 +671,11 @@ class YieldEngine:
         """Reference-path classification with timing fed to the cost model."""
         started = time.perf_counter()
         if collect_stats:
-            outcomes, per_seed = run_chunk_stats(
+            outcomes, per_seed = run_chunk_stats_reused(
                 factory, predicate, sigma, seeds
             )
         else:
-            outcomes = run_chunk(factory, predicate, sigma, seeds)
+            outcomes = run_chunk_reused(factory, predicate, sigma, seeds)
             per_seed = []
         if seeds:
             task_blob = (
@@ -679,7 +779,10 @@ class YieldEngine:
                 # already dead) or at result time, so both live under the
                 # same failure handling.
                 if need_submit:
-                    pool = self._ensure_pool(task_blob)
+                    pool = self._ensure_pool(
+                        task_blob,
+                        self._task_init_blob(factory, predicate, task_blob),
+                    )
                     futures[index:] = [
                         pool.submit(task, sigma, c) for c in chunks[index:]
                     ]
@@ -716,12 +819,12 @@ class YieldEngine:
                 self.last_backend = "degraded"
                 for tail in chunks[index:]:
                     if collect_stats:
-                        tail_outcomes, tail_stats = run_chunk_stats(
+                        tail_outcomes, tail_stats = run_chunk_stats_reused(
                             factory, predicate, sigma, tail
                         )
                         per_seed.extend(tail_stats)
                     else:
-                        tail_outcomes = run_chunk(
+                        tail_outcomes = run_chunk_reused(
                             factory, predicate, sigma, tail
                         )
                     outcomes.extend(tail_outcomes)

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Type
 from .circuit import Circuit
 from .element import InGen
 from .errors import PylseError
+from .ir import compile_circuit
 from .timing import Normal, Uniform
 from .transitional import Transitional
 from .wire import Wire
@@ -77,9 +78,14 @@ def _decode_overrides(encoded: Dict[str, object]) -> Dict[str, object]:
 
 
 def circuit_to_json(circuit: Circuit, indent: Optional[int] = 2) -> str:
-    """Serialize a circuit's structure (cells, wiring, input schedules)."""
+    """Serialize a circuit's structure (cells, wiring, input schedules).
+
+    Consumes the compiled IR's node order (elaboration order), tolerantly
+    compiled so partially-built circuits still serialize for diffing.
+    """
+    compiled = compile_circuit(circuit, validate=False)
     nodes: List[dict] = []
-    for node in circuit.nodes:
+    for node in compiled.nodes:
         element = node.element
         if isinstance(element, InGen):
             wire = node.output_wires["out"]

@@ -46,6 +46,7 @@ from .circuit import Circuit, working_circuit
 from .errors import PylseError, SimulationError
 from .events import PulseHeap
 from .functional import Functional
+from .ir import CompiledCircuit, compile_circuit
 from .node import Node
 from .timing import Distribution, VariabilitySpec, sample_delay
 from .transitional import Transitional
@@ -99,7 +100,12 @@ class Simulation:
     >>> print(sim.plot())           # ASCII waveform  # doctest: +SKIP
     """
 
-    def __init__(self, circuit: Optional[Circuit] = None):
+    def __init__(self, circuit: Union[Circuit, CompiledCircuit, None] = None):
+        if isinstance(circuit, CompiledCircuit):
+            # A pre-compiled design (e.g. shipped to a Monte-Carlo worker):
+            # simulate against its circuit; compile_circuit() will hit the
+            # memoized view instead of recompiling.
+            circuit = circuit.circuit
         self.circuit = circuit if circuit is not None else working_circuit()
         self.events: Events = {}
         self.until: Optional[float] = None
@@ -117,16 +123,24 @@ class Simulation:
         """Return this simulation (and its circuit) to a pre-run state.
 
         Clears every per-run artifact — events, trace, activity counters,
-        pulse count, the attached observer — and resets all element state
-        via :meth:`Circuit.reset_elements`, so the same ``Simulation``
-        object can be re-simulated as if freshly constructed. This is the
-        reuse hook behind the parallel Monte-Carlo workers
-        (:mod:`repro.core.parallel`): elaborating a circuit once per
-        worker and resetting between seeds is bit-identical to building a
-        fresh circuit per seed, because ``simulate`` derives everything
-        else (dispatch records, RNG, variability spec) per call.
+        pulse count, the attached observer — and resets element state, so
+        the same ``Simulation`` object can be re-simulated as if freshly
+        constructed. This is the reuse hook behind the Monte-Carlo
+        backends (:mod:`repro.core.parallel`): elaborating and compiling a
+        circuit once and resetting between seeds is bit-identical to
+        building a fresh circuit per seed, because per-run state lives in
+        ``simulate()`` (RNG, variability spec, event series) while the
+        per-circuit dispatch topology lives in the memoized
+        :class:`repro.core.ir.CompiledCircuit`. With a warm compile cache
+        only the *stateful* elements are touched, making reset trivially
+        cheap for fabric-heavy designs.
         """
-        self.circuit.reset_elements()
+        compiled = self.circuit._compiled_ir
+        if compiled is not None and compiled.version == self.circuit.version:
+            for element in compiled.stateful_elements:
+                element.reset()
+        else:
+            self.circuit.reset_elements()
         self.events = {}
         self.until = None
         self.pulses_processed = 0
@@ -162,53 +176,63 @@ class Simulation:
         offending pulse group.
         """
         circuit = self.circuit
-        circuit.validate()
-        circuit.reset_elements()
+        # Validates the circuit (once per revision) and yields the frozen
+        # dispatch topology; repeated simulate() calls hit the memo.
+        compiled = compile_circuit(circuit)
+        for element in compiled.stateful_elements:
+            element.reset()
         spec = VariabilitySpec.normalize(variability, seed)
         rng = random.Random(seed)
         tie_rng = random.Random(rng.random()) if seed is not None else None
 
-        # ---- precompute the dispatch plan -----------------------------
+        # ---- instantiate the per-run dispatch plan --------------------
         # Wires sharing an observation label share one series list, exactly
-        # as the previous per-emit dict lookup behaved.
+        # as the previous per-emit dict lookup behaved; insertion order is
+        # the wires' elaboration order (compiled.labels preserves it).
         events: Events = {}
-        series_of: Dict[Wire, List[float]] = {}
-        for wire in circuit.wires:
-            label = wire.observed_as
+        series_by_wire: List[List[float]] = [None] * len(compiled.labels)  # type: ignore[list-item]
+        for wid, label in enumerate(compiled.labels):
             series = events.get(label)
             if series is None:
                 series = events[label] = []
-            series_of[wire] = series
+            series_by_wire[wid] = series
 
-        records: Dict[Node, list] = {}
+        nodes = compiled.nodes
+        records: List[Optional[list]] = [None] * len(nodes)
         activity: Dict[str, List[int]] = {}
-        for node in circuit.cells():
-            element = node.element
-            is_transitional = isinstance(element, Transitional)
-            if is_transitional:
+        for nd in compiled.dispatch:
+            if nd.is_input:
+                continue
+            element = nodes[nd.index].element
+            if nd.is_transitional:
                 element.set_dispatch_rng(tie_rng)
                 # Attach (or clear, so no stale list keeps growing) the
                 # taken-transition log the observer drains per group.
                 element.set_transition_log([] if observer is not None else None)
-            if is_transitional or isinstance(element, Functional):
-                deliver = element.raw_firings
-            else:
-                deliver = element.handle_inputs
+            deliver = element.raw_firings if nd.uses_raw else element.handle_inputs
             counts = [0, 0]
-            activity[node.name] = counts
-            records[node] = [node, deliver, counts, {}, is_transitional]
-        dest_of = circuit.dest_of
-        for node, rec in records.items():
-            outs = rec[_REC_OUTS]
-            for port, wire in node.output_wires.items():
-                dest = dest_of.get(wire)
-                if dest is None:
-                    outs[port] = (series_of[wire], -1, None, "", wire.observed_as)
+            activity[nd.name] = counts
+            records[nd.index] = [
+                nodes[nd.index], deliver, counts, {}, nd.is_transitional,
+            ]
+        for nd in compiled.dispatch:
+            if nd.is_input:
+                continue
+            outs = records[nd.index][_REC_OUTS]
+            for o in nd.outs:
+                if o.dest < 0:
+                    outs[o.port] = (
+                        series_by_wire[o.wire_id], -1, None, "",
+                        compiled.labels[o.wire_id],
+                    )
                 else:
-                    dnode, dport = dest
-                    outs[port] = (
-                        series_of[wire], dnode.node_id, records[dnode], dport,
-                        wire.observed_as,
+                    # Heap key stays node.node_id (global placement id),
+                    # not the dense IR index: pop ordering of simultaneous
+                    # cross-node groups depends on it bit-for-bit.
+                    outs[o.port] = (
+                        series_by_wire[o.wire_id], nodes[o.dest].node_id,
+                        records[o.dest], o.dest_port,
+                        compiled.labels[o.wire_id],
                     )
 
         heap = PulseHeap()
@@ -221,19 +245,20 @@ class Simulation:
         if observer is not None:
             observer.begin(circuit)
 
-        for node in circuit.input_nodes():
-            out_wire = node.output_wires["out"]
-            series = series_of[out_wire]
-            label = out_wire.observed_as
-            dest = dest_of.get(out_wire)
-            if dest is None:
+        for i in compiled.input_ids:
+            node = nodes[i]
+            spec_out = compiled.dispatch[i].outs[0]
+            series = series_by_wire[spec_out.wire_id]
+            label = compiled.labels[spec_out.wire_id]
+            if spec_out.dest < 0:
                 series.extend(node.element.times)  # type: ignore[attr-defined]
                 if observer is not None:
                     for t in node.element.times:  # type: ignore[attr-defined]
                         observer.on_input(node.name, label, t, -1, "")
                 continue
-            dnode, dport = dest
-            dkey, drec = dnode.node_id, records[dnode]
+            dkey = nodes[spec_out.dest].node_id
+            drec = records[spec_out.dest]
+            dport = spec_out.dest_port
             for t in node.element.times:  # type: ignore[attr-defined]
                 series.append(t)
                 push(t, dkey, drec, dport)

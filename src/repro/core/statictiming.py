@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .errors import PylseError
+from .ir import compile_circuit
 from .machine import Configuration
 from .simulation import Simulation
 from .transitional import Transitional
@@ -70,7 +71,7 @@ def timing_margins(sim: Simulation) -> List[MarginRecord]:
             "No trace recorded: run simulate(record=True) before "
             "timing_margins()"
         )
-    nodes = {node.name: node for node in sim.circuit.cells()}
+    nodes = compile_circuit(sim.circuit).node_by_name
     configs: Dict[str, Configuration] = {}
     records: List[MarginRecord] = []
     for entry in sim.trace:

@@ -21,8 +21,16 @@ class Wire:
     created anonymously; :func:`repro.core.helpers.inspect` or the ``name=``
     argument of the cell helper functions attach a user-visible name. The
     simulation's ``events`` mapping is keyed by these names.
+
+    Anonymous names are provisional until the wire attaches to a circuit:
+    :meth:`repro.core.circuit.Circuit._adopt_wire` re-assigns them from a
+    *per-circuit* counter, so a circuit's ``_k`` names depend only on its
+    own construction order — not on how many wires other circuits in the
+    process created before (which used to leak through this class-global
+    counter into goldens and serialized forms).
     """
 
+    #: Fallback counter for wires that never join a circuit.
     _name_counter = itertools.count()
 
     __slots__ = ("name", "observed_as", "_user_named", "_circuit")

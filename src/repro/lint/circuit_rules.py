@@ -28,6 +28,7 @@ from ..core.analysis import balance_report, circuit_graph, clock_wires
 from ..core.circuit import Circuit, working_circuit
 from ..core.element import InGen
 from ..core.errors import PylseError
+from ..core.ir import compile_circuit
 from ..core.transitional import Transitional
 from .findings import Finding, Location
 from .intervals import TimingCheck, propagate
@@ -112,6 +113,16 @@ def lint_circuit(
     ignore = _patterns(ignore) or ()
     suppressions = dict(suppressions or {})
 
+    # Self-check: the O(1) wire-name index must agree with the circuit's
+    # wire lists (rename/feedback-wire patterns are the historical risk).
+    # An inconsistency is a core bug, not a design finding — fail loudly.
+    index_problems = circuit.index_problems()
+    if index_problems:
+        raise PylseError(
+            "circuit wire-name index is inconsistent with circuit.wires "
+            "(core invariant violated): " + "; ".join(index_problems)
+        )
+
     node_suppress: Dict[str, Tuple[str, ...]] = {}
     for node in circuit.cells():
         cell_level = tuple(getattr(node.element, "lint_suppress", ()) or ())
@@ -191,24 +202,17 @@ def lint_circuit(
              f"pulses are silently dropped",
              node=src_node.name, port=src_port, wire=wire.name)
 
-    # PL201: cycles made only of stateless fabric.
-    node_graph = nx.DiGraph()
-    by_name = {node.name: node for node in circuit.nodes}
-    node_graph.add_nodes_from(by_name)
-    for wire, (src, _) in circuit.source_of.items():
-        dest = circuit.dest_of.get(wire)
-        if dest is not None:
-            node_graph.add_edge(src.name, dest[0].name)
-    has_cycles = False
-    for scc in nx.strongly_connected_components(node_graph):
-        cyclic = len(scc) > 1 or any(
-            node_graph.has_edge(n, n) for n in scc
-        )
-        if not cyclic:
-            continue
-        has_cycles = True
-        members = sorted(scc)
-        if all(_is_stateless_fabric(by_name[n].element) for n in members):
+    # PL201: cycles made only of stateless fabric. The compiled IR already
+    # carries the cyclic SCCs with members sorted by node name — no private
+    # node graph or {name: node} rebuild.
+    compiled = compile_circuit(circuit, validate=False)
+    has_cycles = not compiled.is_acyclic
+    for component in compiled.cyclic_sccs:
+        members = [compiled.nodes[i].name for i in component]
+        if all(
+            _is_stateless_fabric(compiled.nodes[i].element)
+            for i in component
+        ):
             emit("PL201",
                  f"feedback loop through stateless fabric only "
                  f"({', '.join(members)}): every pulse entering the loop "

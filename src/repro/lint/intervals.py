@@ -27,12 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import networkx as nx
-
 from ..core.circuit import Circuit
 from ..core.element import InGen
 from ..core.errors import PylseError
 from ..core.functional import Functional
+from ..core.ir import compile_circuit
 from ..core.machine import expand_constraints
 from ..core.node import Node
 from ..core.timing import nominal_delay
@@ -206,21 +205,18 @@ class ArrivalAnalysis:
 
 
 def _node_order(circuit: Circuit) -> List[Node]:
-    """Nodes in dataflow topological order (raises on cycles)."""
-    graph = nx.DiGraph()
-    for node in circuit.nodes:
-        graph.add_node(node.name)
-    for wire, (src, _) in circuit.source_of.items():
-        dest = circuit.dest_of.get(wire)
-        if dest is not None:
-            graph.add_edge(src.name, dest[0].name)
-    by_name = {node.name: node for node in circuit.nodes}
-    try:
-        return [by_name[n] for n in nx.topological_sort(graph)]
-    except nx.NetworkXUnfeasible:
+    """Nodes in dataflow topological order (raises on cycles).
+
+    The order comes straight from the compiled IR — one shared traversal
+    instead of a private graph rebuild; any valid topological order yields
+    identical arrival windows (the propagation is pure dataflow).
+    """
+    compiled = compile_circuit(circuit, validate=False)
+    if not compiled.is_acyclic:
         raise PylseError(
             "Circuit contains feedback loops; arrival windows are unbounded"
-        ) from None
+        )
+    return compiled.topo_nodes()
 
 
 def propagate(circuit: Circuit) -> ArrivalAnalysis:

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.circuit import Circuit
 from ..core.element import InGen
 from ..core.errors import PylseError
+from ..core.ir import compile_circuit
 from ..core.node import Node
 from ..core.timing import nominal_delay
 from ..core.transitional import Transitional
@@ -264,13 +265,14 @@ def translate_circuit(
     pointless for pure size statistics). ``until`` truncates input schedules
     at the given time.
     """
+    compiled = compile_circuit(circuit, validate=False)
     network = TANetwork()
     result = TranslationResult(network=network)
-    for wire in circuit.wires:
+    for wire in compiled.wires:
         network.channels.append(channel_name(wire))
 
     fire_counter = [0]
-    for node in circuit.cells():
+    for node in compiled.cells():
         if not isinstance(node.element, Transitional):
             raise PylseError(
                 f"Cannot translate node {node.name}: Functional (hole) "
@@ -280,11 +282,11 @@ def translate_circuit(
         _CellTranslator(node, network, result, fire_counter, default_soak).translate()
 
     if include_inputs:
-        for node in circuit.input_nodes():
+        for node in compiled.input_nodes():
             _make_input_ta(network, node, until)
 
-    for wire in circuit.output_wires():
-        _make_sink_ta(network, wire)
+    for wid in compiled.output_wire_ids:
+        _make_sink_ta(network, compiled.wires[wid])
     return result
 
 

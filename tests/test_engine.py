@@ -28,8 +28,10 @@ from repro.core.parallel import (
 from repro.designs import min_max
 
 #: Captured at import time in the parent; a forked pool worker inherits
-#: this value but has a different pid — which is how ``crashing_factory``
-#: kills workers while staying harmless in the parent.
+#: this value but has a different pid — which is how ``crashing_predicate``
+#: kills workers while staying harmless in the parent. (The injection
+#: lives in the predicate because workers no longer run the factory at
+#: all: the parent ships the compiled circuit via the pool initializer.)
 _PARENT_PID = os.getpid()
 
 FORK_ONLY = pytest.mark.skipif(
@@ -56,11 +58,28 @@ def minmax_ok(events) -> bool:
     )
 
 
-def crashing_factory() -> Circuit:
-    """Builds fine in the parent, kills any pool worker that runs it."""
+def crashing_predicate(events) -> bool:
+    """Judges fine in the parent, kills any pool worker that runs it."""
     if os.getpid() != _PARENT_PID:
         os._exit(13)
-    return minmax_factory()
+    return minmax_ok(events)
+
+
+def unpicklable_hole_factory() -> Circuit:
+    """Builds fine, but the hole's nested function defeats pickling."""
+    from repro.core.functional import hole
+
+    @hole(delay=5.0, inputs=["a", "b"], outputs=["lo", "hi"])
+    def local_minmax(a, b, time):
+        return (a and b) or None, a or b
+
+    with fresh_circuit() as circuit:
+        a = inp_at(60.0, name="A")
+        b = inp_at(25.0, name="B")
+        lo, hi = local_minmax(a, b)
+        lo.observe("low")
+        hi.observe("high")
+    return circuit
 
 
 @pytest.fixture(autouse=True)
@@ -121,6 +140,41 @@ class TestPoolReuse:
         revived = default_engine(2)
         assert revived is not engine
         assert not revived.closed
+
+
+class TestInitBlobProtocol:
+    def test_compiled_circuit_shipped_when_picklable(self):
+        """The pool initializer carries the parent's compiled circuit, so
+        workers neither re-elaborate nor recompile."""
+        from repro.core.ir import CompiledCircuit, compile_circuit
+
+        task_blob = pickle.dumps((minmax_factory, minmax_ok))
+        with YieldEngine(workers=2) as engine:
+            blob = engine._task_init_blob(minmax_factory, minmax_ok, task_blob)
+            kind, payload, predicate = pickle.loads(blob)
+            assert kind == "compiled"
+            assert isinstance(payload, CompiledCircuit)
+            assert predicate is minmax_ok
+            # The pickle cycle keeps the memo warm on the receiving side.
+            assert compile_circuit(payload.circuit) is payload
+            # One pickling per task: the blob is cached.
+            assert engine._task_init_blob(
+                minmax_factory, minmax_ok, task_blob
+            ) is blob
+
+    def test_factory_fallback_when_compiled_form_unpicklable(self):
+        """Hole circuits wrap arbitrary callables; when the compiled form
+        cannot pickle, the initializer falls back to shipping the factory
+        and the worker elaborates once itself."""
+        task_blob = pickle.dumps((unpicklable_hole_factory, minmax_ok))
+        with YieldEngine(workers=2) as engine:
+            blob = engine._task_init_blob(
+                unpicklable_hole_factory, minmax_ok, task_blob
+            )
+            kind, payload, predicate = pickle.loads(blob)
+            assert kind == "factory"
+            assert payload is unpicklable_hole_factory
+            assert predicate is minmax_ok
 
 
 class TestAdaptiveFallback:
@@ -240,7 +294,7 @@ class TestDegradation:
         with YieldEngine(workers=2, adaptive=False) as engine:
             with pytest.warns(RuntimeWarning, match="retrying once"):
                 degraded = measure_yield(
-                    crashing_factory, minmax_ok, sigma=12.0,
+                    minmax_factory, crashing_predicate, sigma=12.0,
                     seeds=range(20), workers=2, engine=engine,
                 )
             assert engine.fallbacks == 1
@@ -252,7 +306,7 @@ class TestDegradation:
 
             # Subsequent calls skip the pool entirely: no thrash.
             again = measure_yield(
-                crashing_factory, minmax_ok, sigma=12.0, seeds=range(20),
+                minmax_factory, crashing_predicate, sigma=12.0, seeds=range(20),
                 workers=2, engine=engine,
             )
             assert engine.last_backend == "serial"
@@ -268,7 +322,7 @@ class TestDegradation:
         with YieldEngine(workers=2, adaptive=False) as engine:
             with pytest.warns(RuntimeWarning):
                 degraded = measure_yield(
-                    crashing_factory, minmax_ok, sigma=12.0,
+                    minmax_factory, crashing_predicate, sigma=12.0,
                     seeds=range(10), workers=2, engine=engine,
                     collect_stats=True,
                 )
@@ -279,7 +333,7 @@ class TestDegradation:
         from concurrent.futures.process import BrokenProcessPool
 
         engine = YieldEngine(workers=2, adaptive=False, chunks_per_worker=1)
-        blob = pickle.dumps((minmax_factory, minmax_ok))
+        blob = pickle.dumps(("factory", minmax_factory, minmax_ok))
         # Run the worker initializer in-process so the fake pool can
         # execute chunk tasks inline.
         _engine_worker_init(blob)
@@ -309,7 +363,7 @@ class TestDegradation:
 
         fake = FakePool()
 
-        def install_fake(task_blob):
+        def install_fake(task_blob, init_blob):
             # Mirror _ensure_pool: register the pool on the engine so the
             # failure path's _shutdown_pool() reaches fake.shutdown().
             engine._pool = fake
@@ -338,7 +392,7 @@ class TestWorkerReuseSemantics:
     def test_engine_chunk_matches_reference_chunk(self):
         """The reused-circuit worker loop is bit-identical to fresh
         elaboration per seed (run in-process via the initializer)."""
-        blob = pickle.dumps((minmax_factory, minmax_ok))
+        blob = pickle.dumps(("factory", minmax_factory, minmax_ok))
         _engine_worker_init(blob)
         seeds = list(range(25))
         assert _engine_chunk(12.0, seeds) == run_chunk(

@@ -1,0 +1,50 @@
+"""The committed structural-hash manifest stays in sync with the code.
+
+``HASH_MANIFEST.json`` pins the compiled-IR structural hash of every
+registry design (16 basic cells + the six paper designs). Any change to a
+cell's transitions/delays, a design's wiring, or the hash recipe must show
+up as a reviewed manifest diff — this test makes forgetting that a tier-1
+failure rather than a silent drift.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+MANIFEST = ROOT / "HASH_MANIFEST.json"
+
+
+def test_manifest_exists_and_covers_registry():
+    from repro.exp.registry import registry
+
+    payload = json.loads(MANIFEST.read_text())
+    assert set(payload["hashes"]) == {entry.name for entry in registry()}
+
+
+def test_manifest_matches_freshly_compiled_hashes():
+    from repro.core import ir
+    from repro.core.ir import structural_hash
+    from repro.exp.registry import build_in_fresh_circuit, registry
+
+    payload = json.loads(MANIFEST.read_text())
+    assert payload["hash_version"] == ir._HASH_VERSION
+    stale = {
+        entry.name
+        for entry in registry()
+        if payload["hashes"][entry.name]
+        != structural_hash(build_in_fresh_circuit(entry))
+    }
+    assert not stale, (
+        f"stale manifest entries {sorted(stale)}; regenerate with "
+        "`PYTHONPATH=src python tools/hash_manifest.py --update`"
+    )
+
+
+def test_checker_tool_passes():
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "hash_manifest.py")],
+        capture_output=True, text=True, cwd=ROOT,
+    )
+    assert result.returncode == 0, result.stderr

@@ -1,0 +1,141 @@
+"""Stability properties of the compiled IR's structural hash.
+
+The hash is the identity the CI manifest and compile-cache rely on, so its
+contract is pinned here from both sides:
+
+* **stable** — identical across processes, across repeat builds in one
+  process, and under anonymous-wire-counter offsets and node insertion
+  order for isomorphic builds;
+* **sensitive** — any change to a delay, a transition time, a connection,
+  an input schedule, or a user-visible label changes it.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.core.circuit import fresh_circuit
+from repro.core.helpers import inp, inp_at
+from repro.core.ir import structural_hash
+from repro.core.wire import Wire
+from repro.sfq import and_s, jtl
+
+BUILD_FIG12 = """
+from repro.core.circuit import fresh_circuit
+from repro.core.helpers import inp, inp_at
+from repro.core.ir import structural_hash
+from repro.sfq import and_s
+
+with fresh_circuit() as circuit:
+    a = inp_at(125, 175, 225, 275, name="A")
+    b = inp_at(75, 185, 225, 265, name="B")
+    clk = inp(start=50, period=50, n=6, name="CLK")
+    and_s(a, b, clk, name="Q")
+print(structural_hash(circuit))
+"""
+
+
+def build_fig12():
+    with fresh_circuit() as circuit:
+        a = inp_at(125, 175, 225, 275, name="A")
+        b = inp_at(75, 185, 225, 265, name="B")
+        clk = inp(start=50, period=50, n=6, name="CLK")
+        and_s(a, b, clk, name="Q")
+    return circuit
+
+
+def build_chain(*, delay=None, times=(10.0,), label="Q", stages=2):
+    with fresh_circuit() as circuit:
+        wire = inp_at(*times, name="A")
+        overrides = {} if delay is None else {"firing_delay": delay}
+        for _ in range(stages):
+            wire = jtl(wire, **overrides)
+        wire.observe(label)
+    return circuit
+
+
+class TestStability:
+    def test_identical_across_processes(self):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", BUILD_FIG12],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.strip() == structural_hash(build_fig12())
+
+    def test_identical_across_repeat_builds(self):
+        assert structural_hash(build_fig12()) == structural_hash(build_fig12())
+
+    def test_insensitive_to_stray_wire_counter(self):
+        # Wires created outside any circuit advance the class-global
+        # fallback counter; adoption re-names per circuit, so the hash (and
+        # the serialized form) cannot see the offset.
+        first = structural_hash(build_fig12())
+        for _ in range(17):
+            Wire()
+        assert structural_hash(build_fig12()) == first
+
+    def test_insensitive_to_insertion_order_of_independent_nodes(self):
+        def build(order):
+            with fresh_circuit() as circuit:
+                chains = {}
+                for key in order:
+                    t = {"A": 10.0, "B": 20.0}[key]
+                    chains[key] = jtl(inp_at(t, name=key))
+                for key in sorted(chains):
+                    chains[key].observe(f"out_{key}")
+            return circuit
+
+        assert structural_hash(build("AB")) == structural_hash(build("BA"))
+
+    def test_hash_is_hex_digest(self):
+        digest = structural_hash(build_fig12())
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+class TestSensitivity:
+    def test_firing_delay_changes_hash(self):
+        assert structural_hash(build_chain()) != structural_hash(
+            build_chain(delay=9.9)
+        )
+
+    def test_transition_time_changes_hash(self):
+        def build(tt):
+            with fresh_circuit() as circuit:
+                a = inp_at(10.0, name="A")
+                jtl(a, transition_time={("idle", "a"): tt}, name="Q")
+            return circuit
+
+        assert structural_hash(build(0.0)) != structural_hash(build(2.5))
+
+    def test_input_schedule_changes_hash(self):
+        assert structural_hash(build_chain(times=(10.0,))) != structural_hash(
+            build_chain(times=(10.0, 30.0))
+        )
+
+    def test_connection_changes_hash(self):
+        def build(swapped):
+            with fresh_circuit() as circuit:
+                a = inp_at(10.0, name="A")
+                b = inp_at(20.0, name="B")
+                clk = inp_at(50.0, name="CLK")
+                if swapped:
+                    and_s(b, a, clk, name="Q")
+                else:
+                    and_s(a, b, clk, name="Q")
+            return circuit
+
+        assert structural_hash(build(False)) != structural_hash(build(True))
+
+    def test_added_node_changes_hash(self):
+        assert structural_hash(build_chain(stages=2)) != structural_hash(
+            build_chain(stages=3)
+        )
+
+    def test_observed_label_changes_hash(self):
+        assert structural_hash(build_chain(label="Q")) != structural_hash(
+            build_chain(label="R")
+        )

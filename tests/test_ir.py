@@ -1,0 +1,304 @@
+"""The compiled circuit IR: compile pass, memoization, pickling, indexes.
+
+``compile_circuit`` is the single source of topology for every backend
+(simulation, lint, static timing, TA export, serialization), so these tests
+pin down its contract: dense ids mirror elaboration order, the memo is keyed
+by the circuit's mutation version, tolerant compiles serve lint without
+validating, and the frozen result survives a pickle round-trip with its memo
+warm (the mechanism the Monte-Carlo workers rely on).
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.analysis import clock_wires
+from repro.core.circuit import Circuit, fresh_circuit
+from repro.core.element import InGen
+from repro.core.errors import PylseError, WireError
+from repro.core.helpers import inp, inp_at
+from repro.core.ir import CompiledCircuit, compile_circuit, structural_hash
+from repro.core.serialize import circuit_to_json
+from repro.core.simulation import Simulation
+from repro.core.wire import Wire
+from repro.sfq import JTL, and_s, dro, jtl, m, split
+
+
+def build_fig12():
+    with fresh_circuit() as circuit:
+        a = inp_at(125, 175, 225, 275, name="A")
+        b = inp_at(75, 185, 225, 265, name="B")
+        clk = inp(start=50, period=50, n=6, name="CLK")
+        and_s(a, b, clk, name="Q")
+    return circuit
+
+
+def build_feedback():
+    """A stateless loop: m0 -> jtl0 -> back into m0."""
+    with fresh_circuit() as circuit:
+        a = inp_at(5.0, name="A")
+        fb = Wire("fb")
+        x = m(a, fb)
+        circuit.add_node(JTL(), [x], [fb])
+    return circuit
+
+
+class TestCompileBasics:
+    def test_ids_mirror_elaboration_order(self):
+        circuit = build_fig12()
+        compiled = compile_circuit(circuit)
+        assert [n.name for n in compiled.nodes] == [n.name for n in circuit.nodes]
+        assert list(compiled.wires) == circuit.wires
+        assert all(
+            compiled.nodes[compiled.node_index[n.name]] is n
+            for n in circuit.nodes
+        )
+        assert len(compiled) == len(circuit)
+
+    def test_cells_and_inputs_partition_nodes(self):
+        compiled = compile_circuit(build_fig12())
+        assert [n.name for n in compiled.input_nodes()] == [
+            n.name for n in compiled.circuit.input_nodes()
+        ]
+        assert [n.name for n in compiled.cells()] == [
+            n.name for n in compiled.circuit.cells()
+        ]
+        assert sorted(compiled.cell_ids + compiled.input_ids) == list(
+            range(len(compiled))
+        )
+
+    def test_wire_source_matches_source_of(self):
+        circuit = build_fig12()
+        compiled = compile_circuit(circuit)
+        for wid, (src, port) in enumerate(compiled.wire_source):
+            node, src_port = circuit.source_of[compiled.wires[wid]]
+            assert compiled.nodes[src] is node and port == src_port
+
+    def test_output_wire_ids_are_unconsumed(self):
+        circuit = build_fig12()
+        compiled = compile_circuit(circuit)
+        outputs = [compiled.wires[k] for k in compiled.output_wire_ids]
+        assert outputs == circuit.output_wires()
+        assert all(compiled.wire_dest[k] is None for k in compiled.output_wire_ids)
+
+    def test_topo_order_respects_edges(self):
+        compiled = compile_circuit(build_fig12())
+        assert compiled.is_acyclic and not compiled.feedback_edges
+        position = {i: k for k, i in enumerate(compiled.topo_order)}
+        assert all(position[src] < position[dst] for src, dst, _ in compiled.edges)
+
+    def test_node_lookup(self):
+        compiled = compile_circuit(build_fig12())
+        assert compiled.node("and0").name == "and0"
+        assert compiled.node_by_name["and0"] is compiled.node("and0")
+        with pytest.raises(PylseError, match="No node named"):
+            compiled.node("nope")
+
+    def test_duplicate_node_names_rejected(self):
+        circuit = Circuit()
+        a = circuit.add_input(InGen([1.0]))
+        # Two cells forced onto the same explicit name.
+        circuit.add_node(JTL(), [a], name="dup")
+        out = circuit.nodes[-1].output_wires["q"]
+        circuit.add_node(JTL(), [out], name="dup")
+        with pytest.raises(PylseError, match="Two nodes named 'dup'"):
+            compile_circuit(circuit, validate=False)
+
+
+class TestMemoization:
+    def test_repeat_compile_returns_same_object(self):
+        circuit = build_fig12()
+        assert compile_circuit(circuit) is compile_circuit(circuit)
+
+    def test_add_node_invalidates(self):
+        circuit = build_fig12()
+        first = compile_circuit(circuit)
+        circuit.add_node(JTL(), [circuit.find_wire("Q")])
+        second = compile_circuit(circuit)
+        assert second is not first
+        assert second.version > first.version
+
+    def test_observe_invalidates(self):
+        circuit = build_fig12()
+        first = compile_circuit(circuit)
+        circuit.find_wire("Q").observe("renamed")
+        second = compile_circuit(circuit)
+        assert second is not first
+        assert "renamed" in second.labels
+
+    def test_tolerant_then_strict_revalidates_in_place(self):
+        circuit = build_fig12()
+        tolerant = compile_circuit(circuit, validate=False)
+        assert not tolerant.validated
+        strict = compile_circuit(circuit)
+        assert strict is tolerant and strict.validated
+
+    def test_tolerant_compile_skips_validation(self):
+        with fresh_circuit() as circuit:
+            jtl(Wire("floating"), name="q")
+        compiled = compile_circuit(circuit, validate=False)
+        # The undriven wire only exists in dest_of, never in circuit.wires.
+        assert "floating" not in compiled.wire_index
+        with pytest.raises(WireError, match="has no driver"):
+            compile_circuit(circuit)
+
+    def test_simulate_uses_warm_compile(self):
+        circuit = build_fig12()
+        compiled = compile_circuit(circuit)
+        sim = Simulation(circuit)
+        events = sim.simulate()
+        assert circuit._compiled_ir is compiled
+        assert events["Q"] == [209.2, 259.2, 309.2]
+
+    def test_simulation_accepts_compiled_circuit(self):
+        compiled = compile_circuit(build_fig12())
+        events = Simulation(compiled).simulate()
+        assert events["Q"] == [209.2, 259.2, 309.2]
+
+
+class TestPickleRoundTrip:
+    def test_roundtrip_preserves_structure_and_memo(self):
+        compiled = compile_circuit(build_fig12())
+        compiled.node_by_name  # populate the lazy cache
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert isinstance(clone, CompiledCircuit)
+        assert clone.structural_hash == compiled.structural_hash
+        assert clone._cache == {}  # scratch never travels
+        # The pickle cycle keeps the memo warm: compiling the unpickled
+        # circuit is a cache hit, which is what makes shipping the compiled
+        # form to Monte-Carlo workers a compile-once protocol.
+        assert compile_circuit(clone.circuit) is clone
+
+    def test_roundtrip_simulates_identically(self):
+        compiled = compile_circuit(build_fig12())
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert Simulation(clone.circuit).simulate() == Simulation(
+            compiled.circuit
+        ).simulate()
+
+
+class TestDelayWindows:
+    def test_jtl_window_is_constant(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, name="A")
+            jtl(a, firing_delay=5.7, name="Q")
+        compiled = compile_circuit(circuit)
+        assert compiled.delay_window("jtl0", "q") == (5.7, 5.7)
+
+    def test_window_spans_transitions(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, name="A")
+            clk = inp_at(50.0, name="CLK")
+            dro(a, clk, name="Q")
+        compiled = compile_circuit(circuit)
+        lo, hi = compiled.delay_window("dro0", "q")
+        assert lo <= hi
+
+    def test_unknown_port_raises(self):
+        compiled = compile_circuit(build_fig12())
+        with pytest.raises(PylseError, match="never fired by any transition"):
+            compiled.delay_window("and0", "nope")
+
+
+class TestTopologyAnnotations:
+    def test_feedback_edges_flag_cycles(self):
+        compiled = compile_circuit(build_feedback())
+        assert not compiled.is_acyclic
+        assert compiled.feedback_edges
+        # Every node still appears exactly once in the forced order.
+        assert sorted(compiled.topo_order) == list(range(len(compiled)))
+
+    def test_cyclic_sccs_name_ordering(self):
+        compiled = compile_circuit(build_feedback())
+        (component,) = compiled.cyclic_sccs
+        assert [compiled.nodes[i].name for i in component] == ["jtl0", "m0"]
+
+    def test_acyclic_circuit_has_no_sccs(self):
+        compiled = compile_circuit(build_fig12())
+        assert compiled.cyclic_sccs == ()
+
+    def test_clock_wires_match_analysis(self):
+        circuit = build_fig12()
+        compiled = compile_circuit(circuit)
+        assert {
+            label: list(cells) for label, cells in compiled.clock_wires.items()
+        } == clock_wires(circuit)
+        assert "CLK" in compiled.clock_wires
+
+    def test_clock_reached_through_fabric(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(100.0, name="A")
+            b = inp_at(110.0, name="B")
+            a2 = inp_at(120.0, name="A2")
+            b2 = inp_at(130.0, name="B2")
+            clk = inp_at(50.0, name="CLK")
+            c1, c2 = split(jtl(clk))
+            and_s(a, b, c1, name="Q1")
+            and_s(a2, b2, c2, name="Q2")
+        compiled = compile_circuit(circuit)
+        assert set(compiled.clock_wires["CLK"]) == {"and0", "and1"}
+
+
+class TestWireNamingIsolation:
+    """Anonymous wire names are per-circuit, not process-global."""
+
+    def test_back_to_back_circuits_serialize_identically(self):
+        # Before the per-circuit counter, the second build's anonymous wires
+        # continued from wherever the first build left the class-global
+        # counter, so archived JSON depended on what ran earlier.
+        first = build_fig12()
+        second = build_fig12()
+        assert circuit_to_json(first) == circuit_to_json(second)
+
+    def test_back_to_back_circuits_hash_identically(self):
+        assert structural_hash(build_fig12()) == structural_hash(build_fig12())
+
+    def test_anonymous_names_start_at_zero_per_circuit(self):
+        build_fig12()  # burn through some anonymous wires first
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0)  # anonymous input wire
+            jtl(a, name="Q")
+        names = [w.name for w in circuit.wires]
+        assert names[0] == "_0"
+
+
+class TestWireIndexConsistency:
+    def test_clean_circuit_has_no_problems(self):
+        circuit = build_fig12()
+        assert circuit.index_problems() == []
+
+    def test_rename_keeps_index_consistent(self):
+        circuit = build_fig12()
+        q = circuit.find_wire("Q")
+        q.observe("stage1")
+        q.observe("stage2")
+        assert circuit.index_problems() == []
+        assert circuit.find_wire("stage2") is q
+        with pytest.raises(WireError):
+            circuit.find_wire("stage1")  # superseded alias dropped
+
+    def test_feedback_wire_findable_before_driven(self):
+        with fresh_circuit() as circuit:
+            a = inp_at(5.0, name="A")
+            fb = Wire()
+            x = m(a, fb)
+            fb.observe("fb_alias")
+            assert circuit.find_wire("fb_alias") is fb
+            circuit.add_node(JTL(), [x], [fb])
+        assert circuit.index_problems() == []
+
+    def test_corrupted_index_is_reported(self):
+        circuit = build_fig12()
+        stray = Wire("stray")
+        circuit._wire_index["stray"] = stray
+        problems = circuit.index_problems()
+        assert any("no longer attached" in p for p in problems)
+
+    def test_stale_label_is_reported(self):
+        circuit = build_fig12()
+        q = circuit.find_wire("Q")
+        # Bypass observe() to simulate the historical staleness bug.
+        q.observed_as = "sneaky"
+        q._user_named = True
+        problems = circuit.index_problems()
+        assert problems

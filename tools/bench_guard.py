@@ -1,10 +1,12 @@
 """Benchmark regression guard for the simulation core.
 
-Runs the simulator benchmarks (``bench_scaling_bitonic.py`` and the
-Monte-Carlo sweep in ``bench_mc_scaling.py``) via pytest-benchmark, writes
-the medians to ``BENCH_sim.json`` at the repository root, and fails (exit
-code 1) if the bitonic-8 median regressed more than the tolerance against
-the committed baseline.
+Runs the simulator benchmarks (``bench_scaling_bitonic.py``, the
+compile-cache comparison in ``bench_compile.py``, and the Monte-Carlo
+sweep in ``bench_mc_scaling.py``) via pytest-benchmark, writes the medians
+to ``BENCH_sim.json`` at the repository root, and fails (exit code 1) if
+the bitonic-8 median regressed more than the tolerance against the
+committed baseline, or if a repeated ``simulate()`` on a warm compile
+cache is no faster than a cold compile+simulate.
 
 Usage, from the repository root::
 
@@ -56,6 +58,7 @@ SEED_MEDIANS_US = {
 #: explicitly instead of a meaningless ratio.
 BENCH_GROUPS = [
     ["benchmarks/bench_scaling_bitonic.py"],
+    ["benchmarks/bench_compile.py"],
     ["benchmarks/bench_mc_scaling.py::test_mc_yield_workers"],
     ["benchmarks/bench_mc_scaling.py::test_mc_amortized"],
 ]
@@ -117,6 +120,20 @@ def mc_comparison(medians_s: dict, cpus: int, seq_name: str,
     return block
 
 
+def compile_cache_block(medians_us: dict) -> dict:
+    """Cold-compile vs warm-repeat-simulate comparison (bench_compile.py)."""
+    cold = medians_us.get("test_simulate_cold")
+    warm = medians_us.get("test_simulate_warm")
+    return {
+        "compile_cold_us": round(medians_us["test_compile_cold"], 3)
+        if "test_compile_cold" in medians_us else None,
+        "simulate_cold_us": round(cold, 3) if cold else None,
+        "simulate_warm_us": round(warm, 3) if warm else None,
+        "warm_vs_cold_speedup": round(cold / warm, 3)
+        if cold and warm else None,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -173,6 +190,7 @@ def main(argv=None) -> int:
             for name in seed_block
             if name in medians_us and medians_us[name] > 0
         },
+        "compile_cache": compile_cache_block(medians_us),
         "mc_yield_200_seeds_s": mc_comparison(
             medians_s, cpus,
             "test_mc_yield_workers[1]", "test_mc_yield_workers[4]",
@@ -199,6 +217,21 @@ def main(argv=None) -> int:
             failed = True
     else:
         print(f"{GUARDED}: {guarded_us:.1f} us (no committed baseline yet)")
+
+    cache = doc["compile_cache"]
+    cold, warm = cache["simulate_cold_us"], cache["simulate_warm_us"]
+    if cold and warm:
+        print(
+            f"compile cache: cold {cold:.1f} us vs warm repeat {warm:.1f} us "
+            f"({cache['warm_vs_cold_speedup']}x)"
+        )
+        if warm >= cold:
+            print(
+                "REGRESSION: warm repeated simulate() is no faster than a "
+                "cold compile+simulate — the compile cache is not working",
+                file=sys.stderr,
+            )
+            failed = True
 
     if not failed or args.update:
         BENCH_FILE.write_text(json.dumps(doc, indent=2) + "\n")

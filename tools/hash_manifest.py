@@ -1,0 +1,115 @@
+"""Structural-hash manifest for every registry design.
+
+Compiles each of the 22 evaluated designs (the 16 basic cells and the six
+paper designs of Table 3) through :func:`repro.core.ir.compile_circuit`
+and records its structural hash in ``HASH_MANIFEST.json`` at the
+repository root. The hash is invariant under process, anonymous-wire
+numbering, and insertion order of independent nodes, but changes whenever
+a delay, transition, connection, input schedule, or user-visible label
+changes — so a manifest diff is a precise "the netlist semantics changed"
+signal in review, and an *unintended* diff catches accidental changes to
+cell definitions or the hash recipe itself.
+
+Usage, from the repository root::
+
+    PYTHONPATH=src python tools/hash_manifest.py            # check
+    PYTHONPATH=src python tools/hash_manifest.py --update   # regenerate
+
+Check mode exits 1 on any mismatch, listing each design whose hash moved
+(CI runs this on every push). The manifest also pins the hash recipe
+version; bumping ``repro.core.ir._HASH_VERSION`` without regenerating the
+manifest fails loudly rather than comparing incompatible digests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+MANIFEST_FILE = ROOT / "HASH_MANIFEST.json"
+
+
+def current_hashes() -> dict:
+    from repro.core.ir import structural_hash
+    from repro.exp.registry import build_in_fresh_circuit, registry
+
+    return {
+        entry.name: structural_hash(build_in_fresh_circuit(entry))
+        for entry in registry()
+    }
+
+
+def build_manifest() -> dict:
+    from repro.core import ir
+
+    return {
+        "generated_by": "tools/hash_manifest.py",
+        "hash_version": ir._HASH_VERSION,
+        "hashes": current_hashes(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="write the freshly computed manifest instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = build_manifest()
+    if args.update:
+        MANIFEST_FILE.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"wrote {MANIFEST_FILE} ({len(fresh['hashes'])} designs)")
+        return 0
+
+    if not MANIFEST_FILE.exists():
+        print(
+            f"{MANIFEST_FILE} missing; run with --update to create it",
+            file=sys.stderr,
+        )
+        return 1
+    committed = json.loads(MANIFEST_FILE.read_text())
+
+    failures = []
+    if committed.get("hash_version") != fresh["hash_version"]:
+        failures.append(
+            f"hash recipe version changed: manifest has "
+            f"{committed.get('hash_version')!r}, code has "
+            f"{fresh['hash_version']!r}"
+        )
+    else:
+        old = committed.get("hashes", {})
+        for name, digest in fresh["hashes"].items():
+            if name not in old:
+                failures.append(f"{name}: not in committed manifest")
+            elif old[name] != digest:
+                failures.append(
+                    f"{name}: hash changed ({old[name][:12]} -> {digest[:12]})"
+                )
+        for name in old:
+            if name not in fresh["hashes"]:
+                failures.append(f"{name}: in manifest but not in registry")
+
+    if failures:
+        print("structural-hash manifest check FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        print(
+            "intentional netlist changes: regenerate with "
+            "`PYTHONPATH=src python tools/hash_manifest.py --update` "
+            "and commit the diff",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all {len(fresh['hashes'])} design hashes match the manifest")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
