@@ -120,6 +120,7 @@ def cmd_yield(args) -> int:
             collect_stats=collect_stats,
             engine=args.engine,
             min_seeds_parallel=args.min_seeds_parallel,
+            batch=args.batch,
         )
     except PylseError as err:
         print(str(err), file=sys.stderr)
@@ -136,6 +137,18 @@ def cmd_yield(args) -> int:
         )
         more = "..." if len(result.failures) > 8 else ""
         print(f"  failing seeds: {preview}{more}")
+    if args.stats:
+        # Divergence observability of the vectorized drain. Kept out of
+        # the default output so batched and reference runs stay diffable
+        # (the CI smoke job relies on that).
+        print(f"  batched lanes: {result.batched_lanes}  "
+              f"replayed seeds: {len(result.fallback_seeds)}")
+        if result.divergence:
+            causes = ", ".join(
+                f"{cause}: {count}"
+                for cause, count in sorted(result.divergence.items())
+            )
+            print(f"  divergence causes: {causes}")
     if result.stats is not None:
         if args.stats:
             print()
@@ -305,8 +318,13 @@ def main(argv=None) -> int:
                    metavar="N",
                    help="never use the pool for sweeps with fewer than N "
                         "seeds (default: 2 x workers, adaptive)")
+    p.add_argument("--batch", type=int, default=None, metavar="N",
+                   help="vectorized-drain lane width: N seeds per batched "
+                        "event-loop pass; 0 disables batching (per-seed "
+                        "reference drain); default: auto")
     p.add_argument("--stats", action="store_true",
-                   help="print per-cell metrics aggregated over all seeds")
+                   help="print per-cell metrics aggregated over all seeds "
+                        "and the vectorized-drain divergence report")
     p.add_argument("--stats-json", metavar="FILE",
                    help="write the aggregated metrics as JSON to FILE")
     p = sub.add_parser("verify", help="model-check a registry design")

@@ -30,9 +30,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-import numpy as np
 from scipy import sparse
 from scipy.sparse.linalg import splu
+
+from ..core._np import np
 
 from .netlist import Netlist
 from .params import DT, PHI0_2PI

@@ -1,0 +1,27 @@
+"""The single numpy import point for the whole package.
+
+numpy is a declared core dependency (``pyproject.toml``): the analog
+backend, the model-checking DBMs, and the vectorized Monte-Carlo drain
+(:mod:`repro.core.batchsim`) all need it. Importing it in exactly one
+place means a missing/broken numpy fails with one clear message instead
+of a different traceback per subsystem, and grepping for ``from
+.._np import np`` finds every consumer.
+
+Usage::
+
+    from repro.core._np import np
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError as _err:  # pragma: no cover - depends on environment
+    raise ImportError(
+        "repro requires numpy (a declared core dependency, see "
+        "pyproject.toml [project] dependencies); it is used by the "
+        "vectorized Monte-Carlo drain, the analog solver, and the "
+        "model-checking DBMs. Install it with: pip install numpy"
+    ) from _err
+
+__all__ = ["np"]

@@ -14,6 +14,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
+from .batchsim import BatchReport
 from .circuit import Circuit
 from .errors import PylseError
 from .parallel import (
@@ -24,8 +25,8 @@ from .parallel import (
     default_engine,
     merge_stats,
     resolve_workers,
-    run_chunk_reused,
-    run_chunk_stats_reused,
+    run_chunk_batched,
+    run_chunk_stats_batched,
 )
 from .simulation import Events
 
@@ -53,6 +54,17 @@ class YieldResult:
     #: aggregated per-cell metrics over every seed, when the measurement
     #: ran with ``collect_stats=True`` (None otherwise).
     stats: Optional["SimMetrics"] = None
+    # Vectorized-drain observability (repro.core.batchsim). Excluded from
+    # equality: two backends producing the same outcomes are equal results
+    # even if one batched more lanes (e.g. the adaptive engine classifies
+    # a calibration seed outside any batch).
+    #: seeds classified entirely inside a vectorized batch.
+    batched_lanes: int = field(default=0, compare=False)
+    #: seeds replayed on the per-seed reference drain, in seed order.
+    fallback_seeds: List[int] = field(default_factory=list, compare=False)
+    #: divergence cause -> count for the replayed seeds (empty when every
+    #: fallback was a non-divergence, e.g. calibration or batch=0).
+    divergence: Dict[str, int] = field(default_factory=dict, compare=False)
 
     @property
     def yield_fraction(self) -> float:
@@ -75,6 +87,7 @@ def measure_yield(
     collect_stats: bool = False,
     engine: EngineSpec = None,
     min_seeds_parallel: Optional[int] = None,
+    batch: Union[int, str, None] = None,
 ) -> YieldResult:
     """Run the design once per seed at the given noise level.
 
@@ -110,6 +123,14 @@ def measure_yield(
     ``YieldResult.stats`` — per-cell dispatch counts, transition tallies,
     violation counts, and firing-delay histograms across the whole sweep.
     The aggregate is bit-identical whichever backend ran the sweep.
+
+    ``batch`` controls the vectorized multi-seed drain
+    (:mod:`repro.core.batchsim`): ``None``/``"auto"`` (default) picks a
+    lane width automatically, a positive int fixes it, and ``0`` disables
+    batching (per-seed reference drain). Batched results are element-wise
+    identical to unbatched ones; ``YieldResult.batched_lanes``,
+    ``fallback_seeds``, and ``divergence`` report how much of the sweep
+    the batch covered and why any seeds were replayed individually.
     """
     seeds = list(seeds)
     if not seeds:
@@ -139,6 +160,7 @@ def measure_yield(
             "'auto', 'pool', 'serial', or None"
         )
     stats: Optional["SimMetrics"] = None
+    report: BatchReport
     if resolved_engine is not None:
         outcomes, stats = resolved_engine.run(
             factory,
@@ -148,17 +170,22 @@ def measure_yield(
             collect_stats=collect_stats,
             policy=policy,
             min_seeds_parallel=min_seeds_parallel,
+            batch=batch,
         )
+        report = resolved_engine.last_report
     elif collect_stats:
-        outcomes, per_seed = run_chunk_stats_reused(
-            factory, predicate, sigma, seeds
+        outcomes, per_seed, report = run_chunk_stats_batched(
+            factory, predicate, sigma, seeds, batch
         )
         stats = merge_stats(per_seed)
     else:
-        # Elaborate + compile once, reset per seed: bit-identical to a
-        # fresh factory() per seed (tests/test_determinism.py) and the
-        # reason repeat sweeps never pay re-elaboration.
-        outcomes = run_chunk_reused(factory, predicate, sigma, seeds)
+        # Elaborate + compile once, then drain all seeds through the
+        # vectorized batched loop (element-wise identical to per-seed
+        # simulation — tests/test_differential.py). This is the
+        # workers=1 production path.
+        outcomes, report = run_chunk_batched(
+            factory, predicate, sigma, seeds, batch
+        )
     if len(outcomes) != len(seeds):
         # zip() would silently truncate and shift outcomes onto the wrong
         # seeds; the per-chunk guard in repro.core.parallel names the
@@ -186,6 +213,9 @@ def measure_yield(
         violations=viol,
         failures=failures,
         stats=stats,
+        batched_lanes=report.batched_lanes,
+        fallback_seeds=list(report.fallback_seeds),
+        divergence=dict(report.divergence),
     )
 
 
@@ -196,16 +226,18 @@ def yield_curve(
     seeds: Sequence[int] = tuple(range(25)),
     workers: int = 1,
     engine: EngineSpec = None,
+    batch: Union[int, str, None] = None,
 ) -> List[YieldResult]:
     """Yield at each noise level, for plotting or tabulation.
 
     With ``workers > 1`` every sigma level reuses the same warm worker
     pool (one engine, one pool, many calls); pass an explicit ``engine``
-    to control its lifetime.
+    to control its lifetime. ``batch`` is forwarded to every
+    :func:`measure_yield` (the vectorized-drain lane width).
     """
     return [
         measure_yield(factory, predicate, s, seeds, workers=workers,
-                      engine=engine)
+                      engine=engine, batch=batch)
         for s in sigmas
     ]
 
@@ -219,6 +251,7 @@ def critical_sigma(
     iterations: int = 6,
     workers: int = 1,
     engine: EngineSpec = None,
+    batch: Union[int, str, None] = None,
 ) -> Optional[float]:
     """Bisect for the smallest sigma at which yield drops below target.
 
@@ -235,7 +268,8 @@ def critical_sigma(
 
     def sample(sigma: float) -> float:
         return measure_yield(
-            factory, predicate, sigma, seeds, workers=workers, engine=engine
+            factory, predicate, sigma, seeds, workers=workers, engine=engine,
+            batch=batch,
         ).yield_fraction
 
     if sample(0.0) < target_yield:

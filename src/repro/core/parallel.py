@@ -66,6 +66,14 @@ from typing import (
     Union,
 )
 
+from .batchsim import (
+    MIS_BEHAVED,
+    OK,
+    VIOLATION,
+    BatchReport,
+    batch_eligible,
+    run_batch,
+)
 from .errors import PylseError, SimulationError
 from .ir import compile_circuit
 from .simulation import Events, Simulation
@@ -73,11 +81,20 @@ from .simulation import Events, Simulation
 if TYPE_CHECKING:  # layering: core never imports repro.obs at runtime
     from ..obs.metrics import SimMetrics
 
-#: Outcome tokens, one per seed. ``OK`` counts toward yield; the other two
-#: are recorded in ``YieldResult.failures``.
-OK = "ok"
-MIS_BEHAVED = "mis-behaved"
-VIOLATION = "violation"
+
+def mc_variability(circuit, sigma: float) -> dict:
+    """The ``variability`` argument every Monte-Carlo backend passes.
+
+    Batch-eligible designs (see :func:`repro.core.batchsim.batch_eligible`)
+    get the counter noise scheme — the per-(seed, node) streams the
+    vectorized drain consumes — so batched, per-seed, pooled, and serial
+    sweeps all draw identical noise for identical seeds and stay mutually
+    bit-identical. Ineligible designs keep the original python-rng scheme
+    on every backend.
+    """
+    if batch_eligible(compile_circuit(circuit)):
+        return {"stddev": sigma, "scheme": "counter"}
+    return {"stddev": sigma}
 
 
 def classify_seed(
@@ -94,7 +111,7 @@ def classify_seed(
     circuit = factory()
     try:
         events = Simulation(circuit).simulate(
-            variability={"stddev": sigma}, seed=seed
+            variability=mc_variability(circuit, sigma), seed=seed
         )
     except SimulationError:
         return VIOLATION
@@ -130,7 +147,8 @@ def classify_seed_stats(
     circuit = factory()
     try:
         events = Simulation(circuit).simulate(
-            variability={"stddev": sigma}, seed=seed, observer=observer
+            variability=mc_variability(circuit, sigma), seed=seed,
+            observer=observer,
         )
     except SimulationError:
         return VIOLATION, observer.metrics
@@ -180,11 +198,12 @@ def run_chunk_reused(
     if not seeds:
         return []
     sim = Simulation(factory())
+    variability = mc_variability(sim.circuit, sigma)
     outcomes: List[str] = []
     for seed in seeds:
         sim.reset()
         try:
-            events = sim.simulate(variability={"stddev": sigma}, seed=seed)
+            events = sim.simulate(variability=variability, seed=seed)
         except SimulationError:
             outcomes.append(VIOLATION)
             continue
@@ -205,6 +224,7 @@ def run_chunk_stats_reused(
     if not seeds:
         return [], []
     sim = Simulation(factory())
+    variability = mc_variability(sim.circuit, sigma)
     outcomes: List[str] = []
     stats: List["SimMetrics"] = []
     for seed in seeds:
@@ -212,7 +232,7 @@ def run_chunk_stats_reused(
         observer = Observer(provenance=False, metrics=True)
         try:
             events = sim.simulate(
-                variability={"stddev": sigma}, seed=seed, observer=observer
+                variability=variability, seed=seed, observer=observer
             )
         except SimulationError:
             outcomes.append(VIOLATION)
@@ -221,6 +241,47 @@ def run_chunk_stats_reused(
         outcomes.append(OK if predicate(events) else MIS_BEHAVED)
         stats.append(observer.metrics)
     return outcomes, stats
+
+
+def run_chunk_batched(
+    factory: Callable[[], object],
+    predicate: Callable[[Events], bool],
+    sigma: float,
+    seeds: Sequence[int],
+    batch: Union[int, str, None] = None,
+) -> Tuple[List[str], BatchReport]:
+    """:func:`run_chunk_reused` through the vectorized batched drain.
+
+    Element-wise identical to the per-seed path (divergent lanes replay on
+    the reference drain; ``tests/test_differential.py`` locks this) and
+    ~an order of magnitude faster on batch-eligible designs. This is the
+    ``measure_yield(workers=1)`` production path.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        return [], BatchReport()
+    sim = Simulation(factory())
+    outcomes, _stats, report = run_batch(
+        sim, predicate, sigma, seeds, collect_stats=False, batch=batch
+    )
+    return outcomes, report
+
+
+def run_chunk_stats_batched(
+    factory: Callable[[], object],
+    predicate: Callable[[Events], bool],
+    sigma: float,
+    seeds: Sequence[int],
+    batch: Union[int, str, None] = None,
+) -> Tuple[List[str], List["SimMetrics"], BatchReport]:
+    """:func:`run_chunk_batched` plus one ``SimMetrics`` per seed."""
+    seeds = list(seeds)
+    if not seeds:
+        return [], [], BatchReport()
+    sim = Simulation(factory())
+    return run_batch(
+        sim, predicate, sigma, seeds, collect_stats=True, batch=batch
+    )
 
 
 def merge_stats(stats: Sequence["SimMetrics"]) -> Optional["SimMetrics"]:
@@ -451,55 +512,35 @@ def _engine_worker_init(init_blob: bytes) -> None:
     _WORKER_CTX = _WorkerContext(circuit, predicate)
 
 
-def _engine_chunk(sigma: float, seeds: Sequence[int]) -> List[str]:
+def _engine_chunk(
+    sigma: float, seeds: Sequence[int], batch: Union[int, str, None] = None
+) -> Tuple[List[str], BatchReport]:
     """Classify a chunk against the worker's pre-elaborated circuit.
 
-    ``Simulation.reset`` restores the initial element configuration, so
-    each seed sees exactly the state a fresh ``factory()`` circuit would
-    have — the re-simulation stability locked by
-    ``tests/test_determinism.py`` is what makes this bit-identical to
-    :func:`run_chunk`.
+    Each worker drains its chunk as one (or a few) batched passes —
+    multiplicative with the pool parallelism. ``Simulation.reset``
+    restores the initial element configuration, so each seed sees exactly
+    the state a fresh ``factory()`` circuit would have — the re-simulation
+    stability locked by ``tests/test_determinism.py`` plus the batched ==
+    sequential property of ``tests/test_differential.py`` is what makes
+    this bit-identical to :func:`run_chunk`.
     """
     ctx = _WORKER_CTX
-    sim = ctx.sim
-    predicate = ctx.predicate
-    outcomes: List[str] = []
-    for seed in seeds:
-        sim.reset()
-        try:
-            events = sim.simulate(variability={"stddev": sigma}, seed=seed)
-        except SimulationError:
-            outcomes.append(VIOLATION)
-            continue
-        outcomes.append(OK if predicate(events) else MIS_BEHAVED)
-    return outcomes
+    outcomes, _stats, report = run_batch(
+        ctx.sim, ctx.predicate, sigma, seeds, collect_stats=False,
+        batch=batch,
+    )
+    return outcomes, report
 
 
 def _engine_chunk_stats(
-    sigma: float, seeds: Sequence[int]
-) -> Tuple[List[str], List["SimMetrics"]]:
+    sigma: float, seeds: Sequence[int], batch: Union[int, str, None] = None
+) -> Tuple[List[str], List["SimMetrics"], BatchReport]:
     """:func:`_engine_chunk` plus one fresh ``SimMetrics`` per seed."""
-    from ..obs import Observer
-
     ctx = _WORKER_CTX
-    sim = ctx.sim
-    predicate = ctx.predicate
-    outcomes: List[str] = []
-    stats: List["SimMetrics"] = []
-    for seed in seeds:
-        sim.reset()
-        observer = Observer(provenance=False, metrics=True)
-        try:
-            events = sim.simulate(
-                variability={"stddev": sigma}, seed=seed, observer=observer
-            )
-        except SimulationError:
-            outcomes.append(VIOLATION)
-            stats.append(observer.metrics)
-            continue
-        outcomes.append(OK if predicate(events) else MIS_BEHAVED)
-        stats.append(observer.metrics)
-    return outcomes, stats
+    return run_batch(
+        ctx.sim, ctx.predicate, sigma, seeds, collect_stats=True, batch=batch
+    )
 
 
 class YieldEngine:
@@ -527,7 +568,10 @@ class YieldEngine:
 
     Counters for observability and tests: ``pools_created``,
     ``fallbacks`` (crash degradations), ``last_backend`` (``"serial"`` /
-    ``"pool"`` / ``"degraded"`` for the most recent run).
+    ``"pool"`` / ``"degraded"`` for the most recent run), and
+    ``last_report`` (the merged :class:`~repro.core.batchsim.BatchReport`
+    of the most recent run — batched lane count, replayed seeds, and
+    per-cause divergence tallies).
     """
 
     def __init__(
@@ -549,6 +593,7 @@ class YieldEngine:
         self.pools_created = 0
         self.fallbacks = 0
         self.last_backend: Optional[str] = None
+        self.last_report = BatchReport()
         self.parallel_disabled = False
         self.closed = False
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -624,6 +669,7 @@ class YieldEngine:
         collect_stats: bool = False,
         policy: Optional[str] = None,
         min_seeds_parallel: Optional[int] = None,
+        batch: Union[int, str, None] = None,
     ) -> Tuple[List[str], Optional["SimMetrics"]]:
         """Classify every seed; returns ``(outcomes, merged_stats_or_None)``.
 
@@ -631,7 +677,11 @@ class YieldEngine:
         ``"pool"`` forces the process pool, ``"serial"`` forces the
         sequential reference path, ``None`` lets the engine decide.
         ``min_seeds_parallel`` overrides the engine-level floor below
-        which the pool is never considered.
+        which the pool is never considered. ``batch`` is the batched-drain
+        lane width each worker uses per chunk (``None``/``"auto"`` picks
+        it, ``0`` disables batching); the run's merged
+        :class:`~repro.core.batchsim.BatchReport` lands on
+        ``self.last_report``.
         """
         if self.closed:
             raise PylseError("YieldEngine is closed; create a new one")
@@ -641,6 +691,7 @@ class YieldEngine:
                 "'serial', or None"
             )
         seeds = list(seeds)
+        self.last_report = BatchReport()
         if not seeds:
             return [], None
         if (
@@ -650,33 +701,37 @@ class YieldEngine:
             or self.parallel_disabled
         ):
             return self._run_serial(factory, predicate, sigma, seeds,
-                                    collect_stats)
+                                    collect_stats, batch)
         # From here on the pool is a possibility: reject unpicklable
         # tasks up front, exactly like the one-shot backend does.
         _require_picklable(factory, predicate)
         task_blob = pickle.dumps((factory, predicate))
         if policy == "pool" or not self.adaptive:
             return self._run_pool(
-                factory, predicate, task_blob, sigma, seeds, collect_stats
+                factory, predicate, task_blob, sigma, seeds, collect_stats,
+                batch=batch,
             )
         return self._run_adaptive(
             factory, predicate, task_blob, sigma, seeds, collect_stats,
-            min_seeds_parallel,
+            min_seeds_parallel, batch,
         )
 
     # -- backends ------------------------------------------------------
     def _serial_chunk(
-        self, factory, predicate, sigma, seeds, collect_stats
+        self, factory, predicate, sigma, seeds, collect_stats, batch=None
     ) -> Tuple[List[str], List["SimMetrics"]]:
-        """Reference-path classification with timing fed to the cost model."""
+        """In-process batched classification, timing fed to the cost model."""
         started = time.perf_counter()
         if collect_stats:
-            outcomes, per_seed = run_chunk_stats_reused(
-                factory, predicate, sigma, seeds
+            outcomes, per_seed, report = run_chunk_stats_batched(
+                factory, predicate, sigma, seeds, batch
             )
         else:
-            outcomes = run_chunk_reused(factory, predicate, sigma, seeds)
+            outcomes, report = run_chunk_batched(
+                factory, predicate, sigma, seeds, batch
+            )
             per_seed = []
+        self.last_report.merge(report)
         if seeds:
             task_blob = (
                 pickle.dumps((factory, predicate))
@@ -689,17 +744,17 @@ class YieldEngine:
         return outcomes, per_seed
 
     def _run_serial(
-        self, factory, predicate, sigma, seeds, collect_stats
+        self, factory, predicate, sigma, seeds, collect_stats, batch=None
     ) -> Tuple[List[str], Optional["SimMetrics"]]:
         self.last_backend = "serial"
         outcomes, per_seed = self._serial_chunk(
-            factory, predicate, sigma, seeds, collect_stats
+            factory, predicate, sigma, seeds, collect_stats, batch
         )
         return outcomes, merge_stats(per_seed) if collect_stats else None
 
     def _run_adaptive(
         self, factory, predicate, task_blob, sigma, seeds, collect_stats,
-        min_seeds_parallel,
+        min_seeds_parallel, batch=None,
     ) -> Tuple[List[str], Optional["SimMetrics"]]:
         floor = min_seeds_parallel
         if floor is None:
@@ -708,7 +763,7 @@ class YieldEngine:
             floor = 2 * self.workers
         if len(seeds) < floor:
             return self._run_serial(factory, predicate, sigma, seeds,
-                                    collect_stats)
+                                    collect_stats, batch)
         # Calibrate on the first seed, in-process. Its outcome (and
         # metrics) are kept, so calibration costs nothing extra and the
         # cost estimate tracks the actual design being swept.
@@ -723,6 +778,10 @@ class YieldEngine:
             prefix_stats = []
         sample = time.perf_counter() - started
         cost = self._update_cost(task_blob, sample)
+        # The calibration seed was classified per-seed, outside any batch:
+        # account for it in the report (no divergence cause — nothing
+        # diverged, it simply never entered a batch).
+        self.last_report.fallback_seeds.append(seeds[0])
         rest = seeds[1:]
         est_serial = cost * len(rest)
         warm = self._pool is not None and self._task_key == task_blob
@@ -736,10 +795,11 @@ class YieldEngine:
             return self._run_pool(
                 factory, predicate, task_blob, sigma, rest, collect_stats,
                 prefix_outcomes=[first_outcome], prefix_stats=prefix_stats,
+                batch=batch,
             )
         self.last_backend = "serial"
         rest_outcomes, rest_per_seed = self._serial_chunk(
-            factory, predicate, sigma, rest, collect_stats
+            factory, predicate, sigma, rest, collect_stats, batch
         )
         outcomes = [first_outcome] + rest_outcomes
         if not collect_stats:
@@ -759,6 +819,7 @@ class YieldEngine:
         collect_stats: bool,
         prefix_outcomes: Optional[List[str]] = None,
         prefix_stats: Optional[List["SimMetrics"]] = None,
+        batch: Union[int, str, None] = None,
     ) -> Tuple[List[str], Optional["SimMetrics"]]:
         """Pool execution with per-chunk retry-once and crash degradation."""
         self.last_backend = "pool"
@@ -784,7 +845,8 @@ class YieldEngine:
                         self._task_init_blob(factory, predicate, task_blob),
                     )
                     futures[index:] = [
-                        pool.submit(task, sigma, c) for c in chunks[index:]
+                        pool.submit(task, sigma, c, batch)
+                        for c in chunks[index:]
                     ]
                     need_submit = False
                 result = futures[index].result()
@@ -819,24 +881,28 @@ class YieldEngine:
                 self.last_backend = "degraded"
                 for tail in chunks[index:]:
                     if collect_stats:
-                        tail_outcomes, tail_stats = run_chunk_stats_reused(
-                            factory, predicate, sigma, tail
+                        tail_outcomes, tail_stats, tail_report = (
+                            run_chunk_stats_batched(
+                                factory, predicate, sigma, tail, batch
+                            )
                         )
                         per_seed.extend(tail_stats)
                     else:
-                        tail_outcomes = run_chunk_reused(
-                            factory, predicate, sigma, tail
+                        tail_outcomes, tail_report = run_chunk_batched(
+                            factory, predicate, sigma, tail, batch
                         )
+                    self.last_report.merge(tail_report)
                     outcomes.extend(tail_outcomes)
                 break
             if collect_stats:
-                chunk_outcomes, chunk_stats = result
+                chunk_outcomes, chunk_stats, chunk_report = result
                 _check_chunk(index, chunk, len(chunk_outcomes))
                 _check_chunk(index, chunk, len(chunk_stats), what="metrics")
                 per_seed.extend(chunk_stats)
             else:
-                chunk_outcomes = result
+                chunk_outcomes, chunk_report = result
                 _check_chunk(index, chunk, len(chunk_outcomes))
+            self.last_report.merge(chunk_report)
             outcomes.extend(chunk_outcomes)
             index += 1
         return outcomes, merge_stats(per_seed) if collect_stats else None

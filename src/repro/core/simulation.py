@@ -57,9 +57,13 @@ Events = Dict[str, List[float]]
 #: Per-node dispatch record indices (plain lists beat attribute access in
 #: the inner loop): NODE is the placed node, DELIVER the bound dispatch
 #: method, COUNTS the mutable [pulses_in, pulses_out] pair shared with
-#: ``Simulation.activity``, OUTS the per-output-port emit map, and
-#: TRANSITIONAL whether the element carries machine state (trace recording).
-_REC_NODE, _REC_DELIVER, _REC_COUNTS, _REC_OUTS, _REC_TRANSITIONAL = range(5)
+#: ``Simulation.activity``, OUTS the per-output-port emit map,
+#: TRANSITIONAL whether the element carries machine state (trace
+#: recording), and INDEX the dense IR index (the counter-noise stream id).
+(
+    _REC_NODE, _REC_DELIVER, _REC_COUNTS, _REC_OUTS, _REC_TRANSITIONAL,
+    _REC_INDEX,
+) = range(6)
 
 
 @dataclass(frozen=True)
@@ -184,6 +188,14 @@ class Simulation:
         spec = VariabilitySpec.normalize(variability, seed)
         rng = random.Random(seed)
         tie_rng = random.Random(rng.random()) if seed is not None else None
+        counter = None
+        if spec.enabled and spec.scheme == "counter":
+            # Counter-based per-(seed, node) noise streams: the width-1
+            # form of the vectorized Monte-Carlo drain, bit-identical to
+            # one lane of a batched pass over the same seed.
+            from .batchsim import CounterNoise
+
+            counter = CounterNoise.for_seeds([seed])
 
         # ---- instantiate the per-run dispatch plan --------------------
         # Wires sharing an observation label share one series list, exactly
@@ -205,7 +217,10 @@ class Simulation:
                 continue
             element = nodes[nd.index].element
             if nd.is_transitional:
-                element.set_dispatch_rng(tie_rng)
+                element.set_dispatch_rng(
+                    counter.tie_rng(nd.index) if counter is not None
+                    else tie_rng
+                )
                 # Attach (or clear, so no stale list keeps growing) the
                 # taken-transition log the observer drains per group.
                 element.set_transition_log([] if observer is not None else None)
@@ -214,6 +229,7 @@ class Simulation:
             activity[nd.name] = counts
             records[nd.index] = [
                 nodes[nd.index], deliver, counts, {}, nd.is_transitional,
+                nd.index,
             ]
         for nd in compiled.dispatch:
             if nd.is_input:
@@ -268,7 +284,8 @@ class Simulation:
         try:
             if spec.enabled or record:
                 self._drain_general(
-                    heap, spec, rng, until, record, max_pulses, observer
+                    heap, spec, rng, until, record, max_pulses, observer,
+                    counter,
                 )
             else:
                 self._drain_fast(heap, rng, until, max_pulses, observer)
@@ -399,12 +416,16 @@ class Simulation:
         record: bool,
         max_pulses: Optional[int],
         observer=None,
+        counter=None,
     ) -> None:
         """Drain the heap with variability and/or trace bookkeeping on.
 
         Observer hooks fire at the same points, in the same order, with
         the same arguments as in :meth:`_drain_fast`, so both loops build
         identical provenance graphs and metrics for the same stimulus.
+        ``counter`` (a width-1 :class:`repro.core.batchsim.CounterNoise`)
+        replaces the python-rng delay resolution when the variability spec
+        selects the counter scheme.
         """
         pending = heap._heap
         pop = heap.pop_simultaneous
@@ -449,7 +470,12 @@ class Simulation:
             emitted: List[Tuple[str, float]] = []
             obs_emitted = [] if observe else None
             for out_port, delay in firings:
-                resolved = self._resolve_delay(delay, node, spec, rng)
+                if counter is not None:
+                    resolved = counter.resolve_scalar(
+                        delay, rec[_REC_INDEX], node, spec, rng
+                    )
+                else:
+                    resolved = self._resolve_delay(delay, node, spec, rng)
                 t = time + resolved
                 emitted.append((out_port, t))
                 series, dkey, drec, dport, label = outs[out_port]

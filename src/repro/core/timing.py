@@ -122,9 +122,20 @@ class VariabilitySpec:
     * ``True`` — Gaussian noise on every firing delay;
     * a ``dict`` with optional keys ``cell_types`` (iterable of cell-name
       strings), ``instances`` (iterable of node names or node objects),
-      ``stddev`` (absolute sigma) and ``fraction`` (sigma as a fraction of
-      the nominal delay);
+      ``stddev`` (absolute sigma), ``fraction`` (sigma as a fraction of
+      the nominal delay) and ``scheme`` (noise stream layout, below);
     * a callable ``f(delay, node) -> delay`` for full control.
+
+    ``scheme`` selects how per-run noise streams are laid out:
+
+    * ``"python"`` (default) — one ``random.Random(seed)`` stream consumed
+      in global event order, the original reference behaviour;
+    * ``"counter"`` — counter-based per-(seed, node) streams
+      (:class:`repro.core.batchsim.CounterNoise`), whose draws are
+      addressable by position and independent of cross-node event order.
+      This is the scheme the vectorized Monte-Carlo drain uses, and the
+      Monte-Carlo backends select it automatically for batch-eligible
+      designs so batched and per-seed sweeps stay element-wise identical.
     """
 
     enabled: bool = False
@@ -134,6 +145,7 @@ class VariabilitySpec:
     fraction: float = DEFAULT_VARIABILITY_FRACTION
     custom: Optional[VariabilityFn] = None
     rng: random.Random = field(default_factory=random.Random)
+    scheme: str = "python"
 
     @classmethod
     def normalize(
@@ -149,11 +161,20 @@ class VariabilitySpec:
         if callable(variability):
             return cls(enabled=True, custom=variability, rng=rng)
         if isinstance(variability, dict):
-            unknown = set(variability) - {"cell_types", "instances", "stddev", "fraction"}
+            unknown = set(variability) - {
+                "cell_types", "instances", "stddev", "fraction", "scheme"
+            }
             if unknown:
                 raise PylseError(
                     f"Unknown variability keys: {sorted(unknown)}; "
-                    "expected 'cell_types', 'instances', 'stddev', 'fraction'"
+                    "expected 'cell_types', 'instances', 'stddev', "
+                    "'fraction', 'scheme'"
+                )
+            scheme = variability.get("scheme", "python")
+            if scheme not in ("python", "counter"):
+                raise PylseError(
+                    f"Unknown variability scheme {scheme!r}; "
+                    "expected 'python' or 'counter'"
                 )
             cell_types = variability.get("cell_types")
             instances = variability.get("instances")
@@ -164,6 +185,7 @@ class VariabilitySpec:
                 stddev=variability.get("stddev"),
                 fraction=variability.get("fraction", DEFAULT_VARIABILITY_FRACTION),
                 rng=rng,
+                scheme=scheme,
             )
         raise PylseError(
             f"variability must be a bool, dict, or callable, got {type(variability).__name__}"

@@ -16,8 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-import numpy as np
-
+from ..core._np import np
 from ..core.errors import PylseError
 
 #: "No bound" sentinel; large enough that encoded addition cannot overflow.

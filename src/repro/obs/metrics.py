@@ -61,6 +61,21 @@ class DelayHistogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    def __eq__(self, other) -> bool:
+        # Value equality, so containers of metrics (CellMetrics,
+        # SimMetrics, YieldResult.stats) compare by content across
+        # independently-collected runs.
+        if not isinstance(other, DelayHistogram):
+            return NotImplemented
+        return (
+            self.bin_width == other.bin_width
+            and self.bins == other.bins
+            and self.count == other.count
+            and self.total == other.total
+            and self.min == other.min
+            and self.max == other.max
+        )
+
     def merge(self, other: "DelayHistogram") -> None:
         if other.bin_width != self.bin_width:
             raise ValueError(
@@ -158,6 +173,21 @@ class SimMetrics:
         self.input_pulses = 0
         self.max_heap_depth = 0
         self.runs = 1
+
+    def __eq__(self, other) -> bool:
+        # Value equality (like the dataclass CellMetrics), so aggregates
+        # from different backends compare by content.
+        if not isinstance(other, SimMetrics):
+            return NotImplemented
+        return (
+            self.delay_bin_width == other.delay_bin_width
+            and self.cells == other.cells
+            and self.pulses_processed == other.pulses_processed
+            and self.groups == other.groups
+            and self.input_pulses == other.input_pulses
+            and self.max_heap_depth == other.max_heap_depth
+            and self.runs == other.runs
+        )
 
     # ------------------------------------------------------------------
     def cell(self, node_name: str, cell_name: str) -> CellMetrics:

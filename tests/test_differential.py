@@ -12,6 +12,8 @@ different grouping of simultaneous pulses, a missed duplicate collapse)
 shows up as a JSON-payload mismatch here.
 """
 
+import json
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -153,3 +155,101 @@ class TestEngineMatchesSequential:
         assert (
             pooled.stats.to_jsonable() == sequential.stats.to_jsonable()
         )
+
+
+def _capturing(store):
+    """Predicate that records the exact event dict it judged.
+
+    ``json.dumps`` with sorted keys is a bit-exact float serialization,
+    so any per-seed timestamp drift between the two drains flips the
+    comparison below.
+    """
+
+    def predicate(events):
+        store.append(json.dumps(events, sort_keys=True))
+        return True
+
+    return predicate
+
+
+class TestBatchedMatchesSequential:
+    """The vectorized batched drain against the per-seed reference.
+
+    ``batch=0`` runs the same counter-based noise scheme one seed at a
+    time; the batched drain (any lane width) must match element-wise:
+    same outcomes in the same order, same failures dict, the same event
+    dictionaries, and bit-identical aggregated stats — including when
+    lanes diverge and are replayed. Event dicts are compared as a
+    multiset because predicate call order may interleave batched and
+    replayed lanes.
+    """
+
+    @given(
+        circuit_seed=st.integers(0, 10_000),
+        n_inputs=st.integers(2, 4),
+        n_cells=st.integers(1, 10),
+        sigma=st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+        n_seeds=st.integers(1, 24),
+        width=st.sampled_from([None, 1, 3, 17]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_circuit_events_and_outcomes_identical(
+        self, circuit_seed, n_inputs, n_cells, sigma, n_seeds, width
+    ):
+        def factory():
+            return build_random_circuit(circuit_seed, n_inputs, n_cells)
+
+        reference_events, batched_events = [], []
+        reference = measure_yield(
+            factory, _capturing(reference_events), sigma,
+            seeds=range(n_seeds), batch=0,
+        )
+        batched = measure_yield(
+            factory, _capturing(batched_events), sigma,
+            seeds=range(n_seeds), batch=width,
+        )
+        assert batched == reference  # outcome tallies + failures by seed
+        assert list(batched.failures.items()) == list(
+            reference.failures.items()
+        )
+        assert sorted(batched_events) == sorted(reference_events)
+
+    @given(
+        sigma=st.floats(0.0, 40.0, allow_nan=False, allow_infinity=False),
+        start=st.integers(0, 500),
+        n_seeds=st.integers(1, 20),
+        width=st.sampled_from([None, 1, 3, 17]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_stats_identical(self, sigma, start, n_seeds, width):
+        seeds = range(start, start + n_seeds)
+        reference = measure_yield(
+            minmax_factory, minmax_ok, sigma=sigma, seeds=seeds,
+            collect_stats=True, batch=0,
+        )
+        batched = measure_yield(
+            minmax_factory, minmax_ok, sigma=sigma, seeds=seeds,
+            collect_stats=True, batch=width,
+        )
+        assert batched == reference
+        assert batched.stats.to_jsonable() == reference.stats.to_jsonable()
+
+    def test_forced_divergence_still_identical(self):
+        """At sigma far past the reorder threshold most lanes diverge;
+        the replays must still reproduce the reference exactly."""
+        seeds = range(120)
+        reference = measure_yield(
+            minmax_factory, minmax_ok, sigma=40.0, seeds=seeds, batch=0,
+        )
+        batched = measure_yield(
+            minmax_factory, minmax_ok, sigma=40.0, seeds=seeds,
+        )
+        assert batched == reference
+        assert list(batched.failures.items()) == list(
+            reference.failures.items()
+        )
+        assert batched.fallback_seeds       # divergence actually happened
+        assert sum(batched.divergence.values()) == len(
+            batched.fallback_seeds
+        )
+        assert batched.batched_lanes + len(batched.fallback_seeds) == 120

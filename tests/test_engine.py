@@ -395,9 +395,9 @@ class TestWorkerReuseSemantics:
         blob = pickle.dumps(("factory", minmax_factory, minmax_ok))
         _engine_worker_init(blob)
         seeds = list(range(25))
-        assert _engine_chunk(12.0, seeds) == run_chunk(
-            minmax_factory, minmax_ok, 12.0, seeds
-        )
+        outcomes, report = _engine_chunk(12.0, seeds)
+        assert outcomes == run_chunk(minmax_factory, minmax_ok, 12.0, seeds)
+        assert report.batched_lanes + len(report.fallback_seeds) == len(seeds)
 
     def test_simulation_reset_allows_reuse(self):
         from repro.core.simulation import Simulation

@@ -122,14 +122,84 @@ class TestBenchGuard:
         )
         assert block["parallel_speedup"] is None
 
+    def test_mc_comparison_carries_committed_parallel_forward(self):
+        """Regression: regenerating on a 1-CPU host used to overwrite the
+        committed multi-worker numbers with null / 'skipped: 1 CPU'. A
+        real committed workers4 median survives, flagged with a note."""
+        guard = self._load()
+        committed = {"workers1": 0.9, "workers4": 0.3,
+                     "parallel_speedup": 3.0}
+        block = guard.mc_comparison(
+            {"seq": 0.8}, cpus=1, seq_name="seq", par_name="par",
+            committed=committed,
+        )
+        assert block["workers1"] == 0.8          # fresh sequential number
+        assert block["workers4"] == 0.3          # carried forward
+        assert block["parallel_speedup"] == 3.0  # carried forward
+        assert "carried forward" in block["note"]
+
+    def test_mc_comparison_fresh_parallel_beats_committed(self):
+        """A parallel median measured in this run always wins over any
+        committed value — carry-forward only fills a gap."""
+        guard = self._load()
+        block = guard.mc_comparison(
+            {"seq": 1.2, "par": 0.4}, cpus=4, seq_name="seq",
+            par_name="par", committed={"workers4": 9.9},
+        )
+        assert block["workers4"] == 0.4
+        assert block["parallel_speedup"] == 3.0
+        assert "note" not in block
+
+    def test_mc_comparison_no_committed_still_records_skip(self):
+        guard = self._load()
+        block = guard.mc_comparison(
+            {"seq": 0.8}, cpus=1, seq_name="seq", par_name="par",
+            committed={"workers4": None, "parallel_speedup": None},
+        )
+        assert block["parallel_speedup"] == "skipped: 1 CPU"
+
+    def test_mc_batched_block_speedup(self):
+        guard = self._load()
+        medians = {
+            "test_mc_batched[minmax-batched]": 0.002,
+            "test_mc_batched[minmax-perseed]": 0.1,
+            "test_mc_batched[bitonic8-batched]": 0.09,
+            "test_mc_batched[bitonic8-perseed]": 1.53,
+        }
+        block = guard.mc_batched_block(medians)
+        assert block["minmax"]["batched_speedup"] == 50.0
+        assert block["bitonic8"]["batched_speedup"] == 17.0
+        assert block["minmax"]["batched"] == 0.002
+
+    def test_mc_batched_block_missing_pair(self):
+        guard = self._load()
+        block = guard.mc_batched_block(
+            {"test_mc_batched[minmax-batched]": 0.002}
+        )
+        assert block["minmax"]["perseed"] is None
+        assert block["minmax"]["batched_speedup"] is None
+
     def test_committed_artifact_mc_block_consistent(self):
         """The committed artifact's MC blocks honour the cpus field: a
-        numeric speedup may only appear alongside >= 2 recorded CPUs."""
+        numeric speedup may only appear alongside >= 2 recorded CPUs or
+        an explicit carried-forward note."""
         payload = json.loads((ROOT / "BENCH_sim.json").read_text())
         assert payload["cpus"] >= 1
         for key in ("mc_yield_200_seeds_s", "mc_amortized_800_trials_s"):
             speedup = payload[key]["parallel_speedup"]
-            if payload["cpus"] < 2:
-                assert speedup == "skipped: 1 CPU"
-            elif isinstance(speedup, (int, float)):
+            if isinstance(speedup, (int, float)):
                 assert speedup > 0
+                assert payload["cpus"] >= 2 or "note" in payload[key]
+            elif payload["cpus"] < 2:
+                assert speedup in ("skipped: 1 CPU", None)
+
+    def test_committed_artifact_mc_batched_block(self):
+        """The vectorized-drain comparison is recorded and meets the
+        guard's floor for every design."""
+        guard = self._load()
+        payload = json.loads((ROOT / "BENCH_sim.json").read_text())
+        block = payload["mc_batched_200_seeds_s"]
+        for design, _, _ in guard.MC_BATCHED_PAIRS:
+            pair = block[design]
+            assert pair["batched"] > 0 and pair["perseed"] > 0
+            assert pair["batched_speedup"] >= guard.MC_BATCHED_MIN_SPEEDUP

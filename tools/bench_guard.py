@@ -1,12 +1,15 @@
 """Benchmark regression guard for the simulation core.
 
 Runs the simulator benchmarks (``bench_scaling_bitonic.py``, the
-compile-cache comparison in ``bench_compile.py``, and the Monte-Carlo
-sweep in ``bench_mc_scaling.py``) via pytest-benchmark, writes the medians
-to ``BENCH_sim.json`` at the repository root, and fails (exit code 1) if
+compile-cache comparison in ``bench_compile.py``, the Monte-Carlo sweep
+in ``bench_mc_scaling.py``, and the vectorized-drain comparison in
+``bench_mc_batched.py``) via pytest-benchmark, writes the medians to
+``BENCH_sim.json`` at the repository root, and fails (exit code 1) if
 the bitonic-8 median regressed more than the tolerance against the
-committed baseline, or if a repeated ``simulate()`` on a warm compile
-cache is no faster than a cold compile+simulate.
+committed baseline, if a repeated ``simulate()`` on a warm compile
+cache is no faster than a cold compile+simulate, or if the batched
+Monte-Carlo drain is less than 5x faster than its per-seed reference
+on any recorded design.
 
 Usage, from the repository root::
 
@@ -61,7 +64,19 @@ BENCH_GROUPS = [
     ["benchmarks/bench_compile.py"],
     ["benchmarks/bench_mc_scaling.py::test_mc_yield_workers"],
     ["benchmarks/bench_mc_scaling.py::test_mc_amortized"],
+    ["benchmarks/bench_mc_batched.py"],
 ]
+
+#: (design, batched benchmark, per-seed benchmark) triples recorded in the
+#: ``mc_batched_200_seeds_s`` block; each batched median must beat its
+#: per-seed reference by at least ``MC_BATCHED_MIN_SPEEDUP``.
+MC_BATCHED_PAIRS = [
+    ("minmax", "test_mc_batched[minmax-batched]",
+     "test_mc_batched[minmax-perseed]"),
+    ("bitonic8", "test_mc_batched[bitonic8-batched]",
+     "test_mc_batched[bitonic8-perseed]"),
+]
+MC_BATCHED_MIN_SPEEDUP = 5.0
 
 
 def run_benchmarks(json_path: pathlib.Path | None, targets) -> None:
@@ -97,13 +112,18 @@ def cpu_count() -> int:
 
 
 def mc_comparison(medians_s: dict, cpus: int, seq_name: str,
-                  par_name: str) -> dict:
+                  par_name: str, committed: dict | None = None) -> dict:
     """Sequential-vs-parallel block for one Monte-Carlo benchmark pair.
 
     On single-CPU hosts the parallel variant never ran, and a pool can
-    only lose there anyway — record an explicit ``"skipped: 1 CPU"``
-    marker instead of a ratio that would read as a real (and damning)
-    parallel speedup on a machine that cannot show one.
+    only lose there anyway. If the committed baseline recorded a real
+    ``workers4`` number (from a multi-CPU run), carry it and its speedup
+    forward with an explicit note rather than overwriting them with
+    null — regenerating on a 1-CPU box must not erase the only parallel
+    measurement the artifact has. Without a committed number, record an
+    explicit ``"skipped: 1 CPU"`` marker instead of a ratio that would
+    read as a real (and damning) parallel speedup on a machine that
+    cannot show one.
     """
     seq = medians_s.get(seq_name)
     par = medians_s.get(par_name)
@@ -111,12 +131,36 @@ def mc_comparison(medians_s: dict, cpus: int, seq_name: str,
         "workers1": round(seq, 4) if seq else None,
         "workers4": round(par, 4) if par else None,
     }
-    if cpus < 2:
+    if par:
+        block["parallel_speedup"] = round(seq / par, 3) if seq else None
+        return block
+    prior = committed or {}
+    if prior.get("workers4") is not None:
+        block["workers4"] = prior["workers4"]
+        block["parallel_speedup"] = prior.get("parallel_speedup")
+        block["note"] = (
+            "workers4 carried forward from committed baseline; the "
+            "parallel variant did not run on this host"
+        )
+    elif cpus < 2:
         block["parallel_speedup"] = "skipped: 1 CPU"
-    elif seq and par:
-        block["parallel_speedup"] = round(seq / par, 3)
     else:
         block["parallel_speedup"] = None
+    return block
+
+
+def mc_batched_block(medians_s: dict) -> dict:
+    """Batched-vs-per-seed drain comparison (bench_mc_batched.py)."""
+    block = {}
+    for design, batched_name, perseed_name in MC_BATCHED_PAIRS:
+        batched = medians_s.get(batched_name)
+        perseed = medians_s.get(perseed_name)
+        block[design] = {
+            "batched": round(batched, 4) if batched else None,
+            "perseed": round(perseed, 4) if perseed else None,
+            "batched_speedup": round(perseed / batched, 3)
+            if batched and perseed else None,
+        }
     return block
 
 
@@ -160,6 +204,7 @@ def main(argv=None) -> int:
 
     baseline = None
     seed_block = dict(SEED_MEDIANS_US)
+    committed = {}
     if BENCH_FILE.exists():
         committed = json.loads(BENCH_FILE.read_text())
         baseline = committed.get("medians_us", {}).get(GUARDED)
@@ -194,11 +239,14 @@ def main(argv=None) -> int:
         "mc_yield_200_seeds_s": mc_comparison(
             medians_s, cpus,
             "test_mc_yield_workers[1]", "test_mc_yield_workers[4]",
+            committed=committed.get("mc_yield_200_seeds_s"),
         ),
         "mc_amortized_800_trials_s": mc_comparison(
             medians_s, cpus,
             "test_mc_amortized[1]", "test_mc_amortized[4]",
+            committed=committed.get("mc_amortized_800_trials_s"),
         ),
+        "mc_batched_200_seeds_s": mc_batched_block(medians_s),
     }
 
     failed = False
@@ -229,6 +277,29 @@ def main(argv=None) -> int:
             print(
                 "REGRESSION: warm repeated simulate() is no faster than a "
                 "cold compile+simulate — the compile cache is not working",
+                file=sys.stderr,
+            )
+            failed = True
+
+    for design, pair in doc["mc_batched_200_seeds_s"].items():
+        speedup = pair["batched_speedup"]
+        if speedup is None:
+            print(
+                f"REGRESSION: mc_batched[{design}] pair incomplete "
+                f"(batched={pair['batched']}, perseed={pair['perseed']})",
+                file=sys.stderr,
+            )
+            failed = True
+            continue
+        print(
+            f"mc batched [{design}]: batched {pair['batched']:.4f} s vs "
+            f"per-seed {pair['perseed']:.4f} s ({speedup}x)"
+        )
+        if speedup < MC_BATCHED_MIN_SPEEDUP:
+            print(
+                f"REGRESSION: batched Monte-Carlo drain on {design} is only "
+                f"{speedup}x the per-seed reference "
+                f"(floor {MC_BATCHED_MIN_SPEEDUP}x)",
                 file=sys.stderr,
             )
             failed = True
