@@ -1,0 +1,96 @@
+"""Request-throughput benchmarks for the yield service (repro.serve).
+
+Each timed round issues ``SERVE_REQUESTS_PER_ROUND`` ``POST /yield``
+requests for the Min-Max registry design over one keep-alive connection
+to an in-process server (``repro.serve.serving``), bracketing the result
+cache:
+
+* ``warm`` — the identical request repeated: after the priming miss,
+  every request is a cache hit and the round measures pure service
+  overhead (HTTP parse, key construction, LRU lookup, JSON encode);
+* ``cold`` — a unique sigma per request: every request misses and pays
+  a full ``measure_yield`` Monte-Carlo run (the all-miss floor).
+
+``tools/bench_guard.py`` records both as requests/second in the
+``serve_throughput`` block of ``BENCH_sim.json`` and fails if the warm
+path is less than 10x the cold path — the cache paying for itself is the
+entire point of the service.
+"""
+
+import itertools
+import json
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.serve import serving
+
+#: Requests per timed round. Mirrored in ``tools/bench_guard.py`` (which
+#: converts the recorded round medians into requests/second) — keep the
+#: two definitions in sync.
+SERVE_REQUESTS_PER_ROUND = 25
+
+SERVE_BENCH_DESIGN = "Min-Max"
+SERVE_BENCH_SEEDS = 16
+SERVE_BENCH_SIGMA = 0.4
+
+
+@pytest.fixture(scope="module")
+def serve_port():
+    """One in-process server shared by both benchmarks."""
+    with serving(port=0, workers=1) as server:
+        yield server.server_address[1]
+
+
+def _post_yield(conn: HTTPConnection, sigma: float) -> str:
+    body = json.dumps({
+        "design": SERVE_BENCH_DESIGN,
+        "sigma": sigma,
+        "n_seeds": SERVE_BENCH_SEEDS,
+    })
+    conn.request("POST", "/yield", body=body,
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    assert response.status == 200, response.read()
+    response.read()
+    return response.headers["X-Repro-Cache"]
+
+
+def test_serve_warm(benchmark, serve_port):
+    conn = HTTPConnection("127.0.0.1", serve_port)
+    try:
+        # Prime the cache: the one and only miss happens outside the
+        # timed region.
+        _post_yield(conn, SERVE_BENCH_SIGMA)
+
+        def round():
+            for _ in range(SERVE_REQUESTS_PER_ROUND):
+                outcome = _post_yield(conn, SERVE_BENCH_SIGMA)
+            return outcome
+
+        outcome = benchmark.pedantic(
+            round, rounds=5, iterations=1, warmup_rounds=1
+        )
+        assert outcome == "hit"
+    finally:
+        conn.close()
+
+
+def test_serve_cold(benchmark, serve_port):
+    conn = HTTPConnection("127.0.0.1", serve_port)
+    # Unique-but-equivalent sigmas: every request is a genuine miss of
+    # essentially identical Monte-Carlo cost, never colliding with the
+    # warm benchmark's key.
+    sigmas = (SERVE_BENCH_SIGMA + 0.1 + i * 1e-6 for i in itertools.count())
+    try:
+        def round():
+            for _ in range(SERVE_REQUESTS_PER_ROUND):
+                outcome = _post_yield(conn, next(sigmas))
+            return outcome
+
+        outcome = benchmark.pedantic(
+            round, rounds=3, iterations=1, warmup_rounds=1
+        )
+        assert outcome == "miss"
+    finally:
+        conn.close()

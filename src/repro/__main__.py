@@ -15,6 +15,7 @@ Usage::
     python -m repro trace Min-Max             # dispatch-level trace + slack
     python -m repro trace Min-Max --stats --provenance max   # + metrics + chain
     python -m repro export Min-Max            # structural JSON
+    python -m repro serve --port 8080 --workers 4   # yield-analysis service
 
 (The table/figure experiments live under ``python -m repro.exp``.)
 """
@@ -285,6 +286,38 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve import run_server
+
+    try:
+        server = run_server(
+            host=args.host,
+            port=args.port,
+            quiet=not args.verbose,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            compiled_cache_size=args.compiled_cache_size,
+        )
+    except (OSError, PylseError) as err:
+        print(f"cannot start server: {err}", file=sys.stderr)
+        return 1
+    host, port = server.server_address[:2]
+    service = server.service
+    print(f"serving yield analysis on http://{host}:{port} "
+          f"(workers={service.workers}, "
+          f"result cache={service.result_cache.capacity}, "
+          f"compiled cache={service.compiled_cache.capacity})")
+    print("endpoints: POST /yield /yield_curve /critical_sigma, "
+          "GET /healthz /stats — Ctrl-C to stop", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -370,6 +403,25 @@ def main(argv=None) -> int:
     p = sub.add_parser("export", help="structural JSON for a design")
     p.add_argument("name")
     p.add_argument("-o", "--output", help="write to a file instead of stdout")
+    p = sub.add_parser(
+        "serve",
+        help="HTTP/JSON yield-analysis service with result caching",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port; 0 picks an ephemeral one (default 8080)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="Monte-Carlo engine workers per request; 0 = one "
+                        "per CPU (default 1)")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="LRU capacity of the (hash, sigma, seeds, batch) "
+                        "result cache (default 1024)")
+    p.add_argument("--compiled-cache-size", type=int, default=128,
+                   help="LRU capacity of the compiled-design cache "
+                        "(default 128)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log one line per handled request")
     args = parser.parse_args(argv)
     handler = {
         "list": cmd_list,
@@ -382,6 +434,7 @@ def main(argv=None) -> int:
         "lint": cmd_lint,
         "trace": cmd_trace,
         "export": cmd_export,
+        "serve": cmd_serve,
     }[args.command]
     return handler(args)
 

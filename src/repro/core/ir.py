@@ -659,6 +659,55 @@ def structural_hash(circuit: Circuit) -> str:
     return compile_circuit(circuit).structural_hash
 
 
+def result_cache_key(
+    digest: str,
+    *,
+    sigma: float,
+    n_seeds: int,
+    seed0: int = 0,
+    batch: Union[int, str, None] = None,
+) -> Tuple[str, str, float, int, int, Union[int, str]]:
+    """The canonical memo key for one Monte-Carlo yield measurement.
+
+    Two measurements with equal keys are guaranteed to produce equal
+    :class:`~repro.core.montecarlo.YieldResult` values (sigma, counts,
+    failures), so the key is safe to use for cross-request result caching
+    (:mod:`repro.serve`). The key covers exactly the inputs that determine
+    the result:
+
+    * ``digest`` — the circuit's :func:`structural_hash`, which already
+      folds in element behavior, wiring, overrides, and input schedules;
+    * ``sigma`` and the contiguous seed range ``seed0 .. seed0 + n_seeds``;
+    * the normalized ``batch`` spec (``None``/``"auto"`` collapse to
+      ``"auto"``: the auto-picked lane width is a pure function of the
+      seed count, and batched results are element-wise identical to
+      per-seed ones anyway — only ``batch=0`` selects the reference drain,
+      which is also outcome-identical but kept distinct for auditability).
+
+    ``workers`` and the engine policy are deliberately **not** part of the
+    key: every backend path is bit-identical for the same seed list (the
+    determinism contract of :mod:`repro.core.parallel`), so a result
+    computed serially may be served to a pooled request and vice versa.
+
+    The hash-recipe version is mixed in so caches survive across releases
+    without ever serving a result computed under a different hash recipe.
+    """
+    if isinstance(n_seeds, bool) or not isinstance(n_seeds, int) or n_seeds < 1:
+        raise PylseError(f"n_seeds must be a positive integer, got {n_seeds!r}")
+    if isinstance(seed0, bool) or not isinstance(seed0, int):
+        raise PylseError(f"seed0 must be an integer, got {seed0!r}")
+    if batch in (None, "auto"):
+        norm_batch: Union[int, str] = "auto"
+    elif isinstance(batch, int) and not isinstance(batch, bool) and batch >= 0:
+        norm_batch = batch
+    else:
+        raise PylseError(
+            f"batch must be a non-negative integer, 'auto', or None, "
+            f"got {batch!r}"
+        )
+    return (_HASH_VERSION, digest, float(sigma), n_seeds, seed0, norm_batch)
+
+
 # ----------------------------------------------------------------------
 # Dense dispatch arrays (structure-of-arrays view for batched drains)
 # ----------------------------------------------------------------------

@@ -252,6 +252,7 @@ def critical_sigma(
     workers: int = 1,
     engine: EngineSpec = None,
     batch: Union[int, str, None] = None,
+    measure: Optional[Callable[..., YieldResult]] = None,
 ) -> Optional[float]:
     """Bisect for the smallest sigma at which yield drops below target.
 
@@ -262,12 +263,19 @@ def critical_sigma(
     :func:`measure_yield`; with ``workers > 1`` all bisection iterations
     share one warm worker pool (exactly one pool is created for the whole
     search).
+
+    ``measure`` swaps the per-sigma measurement for a drop-in replacement
+    with :func:`measure_yield`'s signature. The yield service
+    (:mod:`repro.serve`) passes its cached measurement here, so every
+    bisection sample lands in — and is served from — the same
+    structural-hash result cache as direct ``/yield`` requests.
     """
     if not 0 < target_yield <= 1:
         raise PylseError(f"target_yield must be in (0, 1], got {target_yield}")
+    measure_fn = measure_yield if measure is None else measure
 
     def sample(sigma: float) -> float:
-        return measure_yield(
+        return measure_fn(
             factory, predicate, sigma, seeds, workers=workers, engine=engine,
             batch=batch,
         ).yield_fraction

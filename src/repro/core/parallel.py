@@ -51,6 +51,7 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import threading
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -564,7 +565,12 @@ class YieldEngine:
     count — is not comfortably below the estimated serial time. Pass
     ``adaptive=False`` (or ``policy="pool"`` per call) to force the pool.
 
-    Not thread-safe: drive one engine from one thread.
+    Concurrent :meth:`run` calls from different threads serialize on an
+    internal lock (one pool, one in-flight sweep at a time), so a single
+    engine — in particular the :func:`default_engine` cache — can safely
+    be shared by the request-handler threads of :mod:`repro.serve`. The
+    observability counters (``last_backend``, ``last_report``) describe
+    the most recently *completed* run.
 
     Counters for observability and tests: ``pools_created``,
     ``fallbacks`` (crash degradations), ``last_backend`` (``"serial"`` /
@@ -597,6 +603,9 @@ class YieldEngine:
         self.parallel_disabled = False
         self.closed = False
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Serializes run() across threads: the pool, the cost model, and
+        #: the last_* observability fields are all single-sweep state.
+        self._run_lock = threading.RLock()
         self._task_key: Optional[bytes] = None
         self._cost_by_task: Dict[bytes, float] = {}
         #: task blob -> pool-initializer payload (compiled design when the
@@ -612,9 +621,14 @@ class YieldEngine:
         self.close()
 
     def close(self) -> None:
-        """Shut the pool down and mark the engine unusable."""
-        self._shutdown_pool()
-        self.closed = True
+        """Shut the pool down and mark the engine unusable.
+
+        Takes the run lock, so a close racing a sweep on another thread
+        waits for the sweep to finish instead of killing its pool.
+        """
+        with self._run_lock:
+            self._shutdown_pool()
+            self.closed = True
 
     def _shutdown_pool(self) -> None:
         if self._pool is not None:
@@ -683,38 +697,39 @@ class YieldEngine:
         :class:`~repro.core.batchsim.BatchReport` lands on
         ``self.last_report``.
         """
-        if self.closed:
-            raise PylseError("YieldEngine is closed; create a new one")
         if policy not in (None, "pool", "serial"):
             raise PylseError(
                 f"unknown engine policy {policy!r}: expected 'pool', "
                 "'serial', or None"
             )
-        seeds = list(seeds)
-        self.last_report = BatchReport()
-        if not seeds:
-            return [], None
-        if (
-            policy == "serial"
-            or self.workers <= 1
-            or len(seeds) < 2
-            or self.parallel_disabled
-        ):
-            return self._run_serial(factory, predicate, sigma, seeds,
-                                    collect_stats, batch)
-        # From here on the pool is a possibility: reject unpicklable
-        # tasks up front, exactly like the one-shot backend does.
-        _require_picklable(factory, predicate)
-        task_blob = pickle.dumps((factory, predicate))
-        if policy == "pool" or not self.adaptive:
-            return self._run_pool(
+        with self._run_lock:
+            if self.closed:
+                raise PylseError("YieldEngine is closed; create a new one")
+            seeds = list(seeds)
+            self.last_report = BatchReport()
+            if not seeds:
+                return [], None
+            if (
+                policy == "serial"
+                or self.workers <= 1
+                or len(seeds) < 2
+                or self.parallel_disabled
+            ):
+                return self._run_serial(factory, predicate, sigma, seeds,
+                                        collect_stats, batch)
+            # From here on the pool is a possibility: reject unpicklable
+            # tasks up front, exactly like the one-shot backend does.
+            _require_picklable(factory, predicate)
+            task_blob = pickle.dumps((factory, predicate))
+            if policy == "pool" or not self.adaptive:
+                return self._run_pool(
+                    factory, predicate, task_blob, sigma, seeds,
+                    collect_stats, batch=batch,
+                )
+            return self._run_adaptive(
                 factory, predicate, task_blob, sigma, seeds, collect_stats,
-                batch=batch,
+                min_seeds_parallel, batch,
             )
-        return self._run_adaptive(
-            factory, predicate, task_blob, sigma, seeds, collect_stats,
-            min_seeds_parallel, batch,
-        )
 
     # -- backends ------------------------------------------------------
     def _serial_chunk(

@@ -13,7 +13,7 @@ Timing distributions (``Normal``/``Uniform``) and per-instance overrides
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Type
+from typing import TYPE_CHECKING, Dict, List, Optional, Type
 
 from .circuit import Circuit
 from .element import InGen
@@ -22,6 +22,9 @@ from .ir import compile_circuit
 from .timing import Normal, Uniform
 from .transitional import Transitional
 from .wire import Wire
+
+if TYPE_CHECKING:
+    from .montecarlo import YieldResult
 
 FORMAT = "repro-circuit-v1"
 
@@ -184,3 +187,73 @@ def circuit_from_json(
         else:
             raise PylseError(f"Unknown node kind {kind!r} in circuit JSON")
     return circuit
+
+
+class SerializedCircuitFactory:
+    """A picklable ``CircuitFactory`` over a ``repro-circuit-v1`` document.
+
+    Stores only the JSON text, so instances ship cleanly to the process-pool
+    workers of :mod:`repro.core.parallel` and rebuild a *fresh* circuit per
+    call — the contract :func:`repro.core.montecarlo.measure_yield` requires
+    of its factory. This is how the yield service (:mod:`repro.serve`) turns
+    a client-submitted circuit into an engine task.
+    """
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        # Fail fast on malformed documents (and normalize str-vs-obj input
+        # at the caller): a bad circuit should be rejected at request time,
+        # not inside a worker process.
+        if not isinstance(text, str):
+            raise PylseError(
+                f"SerializedCircuitFactory expects the circuit JSON text, "
+                f"got {type(text).__name__}"
+            )
+        self.text = text
+
+    def __call__(self) -> Circuit:
+        return circuit_from_json(self.text)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SerializedCircuitFactory):
+            return NotImplemented
+        return self.text == other.text
+
+    def __hash__(self) -> int:
+        return hash(self.text)
+
+    def __repr__(self) -> str:
+        return f"SerializedCircuitFactory({len(self.text)} chars)"
+
+
+#: Format tag of the served yield-result JSON schema (docs/serving.md).
+RESULT_FORMAT = "repro-yield-result-v1"
+
+
+def yield_result_to_jsonable(result: "YieldResult") -> Dict[str, object]:
+    """A stable, backend-independent JSON form of a :class:`YieldResult`.
+
+    Covers exactly the fields that participate in ``YieldResult`` equality
+    — sigma, counts, and the seed-keyed failures map — and deliberately
+    omits the batched-drain diagnostics (``batched_lanes``,
+    ``fallback_seeds``, ``divergence``): those describe *how* a backend ran
+    the sweep, differ between equally-correct backends, and would break the
+    byte-identical cache contract of :mod:`repro.serve`. Keys are sorted
+    (failures by seed), so equal results always serialize to equal text.
+    """
+    return {
+        "format": RESULT_FORMAT,
+        "sigma": result.sigma,
+        "runs": result.runs,
+        "passed": result.passed,
+        "mis_behaved": result.mis_behaved,
+        "violations": result.violations,
+        "yield": result.yield_fraction,
+        # JSON object keys are strings; sorted by numeric seed so the
+        # rendered text is independent of dict insertion order.
+        "failures": {
+            str(seed): kind
+            for seed, kind in sorted(result.failures.items())
+        },
+    }

@@ -27,14 +27,26 @@ from .provenance import (
     format_chain,
     format_group_chain,
 )
+from .serving import (
+    LATENCY_WINDOW,
+    STATS_FORMAT,
+    EndpointMetrics,
+    LatencyStats,
+    ServiceMetrics,
+)
 
 __all__ = [
     "CellMetrics",
     "DEFAULT_BIN_WIDTH",
     "DelayHistogram",
+    "EndpointMetrics",
+    "LATENCY_WINDOW",
+    "LatencyStats",
     "Observer",
     "ProvenanceGraph",
     "PulseRecord",
+    "STATS_FORMAT",
+    "ServiceMetrics",
     "SimMetrics",
     "format_chain",
     "format_group_chain",

@@ -1,0 +1,222 @@
+"""HTTP/JSON transport for the yield service.
+
+A deliberately small, stdlib-only shell over
+:class:`~repro.serve.service.YieldService`: a ``ThreadingHTTPServer``
+(one thread per connection, HTTP/1.1 keep-alive) whose handlers parse the
+JSON body, dispatch to the service, and map failures onto structured
+error responses::
+
+    {"error": {"code": "unknown_design", "message": "..."}}
+
+Response bodies are canonical JSON — ``sort_keys`` with compact
+separators — so a cache hit is *byte-identical* to the cold miss that
+populated it (``tests/test_serve.py``). The ``X-Repro-Cache`` header
+(``hit``/``miss``) carries the per-request cache outcome out-of-band,
+keeping it out of the cached bytes.
+
+Endpoints (see docs/serving.md for the full schemas):
+
+* ``POST /yield`` · ``POST /yield_curve`` · ``POST /critical_sigma``
+* ``GET /healthz`` · ``GET /stats``
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Iterator, Optional, Tuple
+
+from ..core.errors import PylseError
+from .service import RequestError, YieldService
+
+#: Hard bound on request-body size; a yield request is a few KB of circuit
+#: JSON at most, so anything larger is a client bug (or abuse).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class YieldHTTPServer(ThreadingHTTPServer):
+    """The bound server; ``.service`` is the shared :class:`YieldService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: YieldService,
+        quiet: bool = True,
+    ):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+    # One TCP segment per response instead of one per header line: without
+    # these, Nagle + delayed ACK adds ~40 ms to every keep-alive response,
+    # capping even all-hit traffic near 25 req/s per client. ``wbufsize=-1``
+    # buffers the response (handle_one_request flushes after each request);
+    # TCP_NODELAY makes the flush go out immediately.
+    disable_nagle_algorithm = True
+    wbufsize = -1
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(
+        self,
+        status: int,
+        body: dict,
+        cached: Optional[bool] = None,
+    ) -> None:
+        data = json.dumps(
+            body, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8") + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if cached is not None:
+            self.send_header("X-Repro-Cache", "hit" if cached else "miss")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_json(self, status: int, code: str, message: str) -> None:
+        self._send_json(status, {"error": {"code": code, "message": message}})
+
+    def _read_json_body(self) -> object:
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length or 0)
+        except ValueError:
+            raise RequestError(
+                f"invalid Content-Length {raw_length!r}"
+            ) from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise RequestError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise RequestError("request body must be a JSON object")
+        try:
+            return json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise RequestError(f"request body is not valid JSON: {err}") \
+                from None
+
+    def _handle(self, endpoint: str, call) -> None:
+        """Run one endpoint call, record metrics, map errors to JSON."""
+        service = self.server.service
+        started = time.perf_counter()
+        cached: Optional[bool] = None
+        error = False
+        try:
+            body, cached = call()
+        except RequestError as err:
+            error = True
+            self._send_error_json(err.status, err.code, str(err))
+        except PylseError as err:
+            # A library-level failure while measuring: the request was
+            # well-formed but the design cannot be analyzed as asked.
+            error = True
+            self._send_error_json(400, "bad_request", str(err))
+        except Exception as err:  # pragma: no cover - defensive
+            error = True
+            self._send_error_json(
+                500, "internal", f"{type(err).__name__}: {err}"
+            )
+        else:
+            self._send_json(200, body, cached=cached)
+        service.metrics.record(
+            endpoint, time.perf_counter() - started, cached=cached,
+            error=error,
+        )
+
+    # -- methods -------------------------------------------------------
+    def do_GET(self) -> None:
+        service = self.server.service
+        if self.path == "/healthz":
+            self._handle("/healthz", lambda: (service.healthz(), None))
+        elif self.path == "/stats":
+            self._handle("/stats", lambda: (service.stats(), None))
+        else:
+            self._send_error_json(
+                404, "not_found", f"no such endpoint: GET {self.path}"
+            )
+
+    def do_POST(self) -> None:
+        service = self.server.service
+        routes = {
+            "/yield": service.yield_,
+            "/yield_curve": service.yield_curve,
+            "/critical_sigma": service.critical_sigma,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_error_json(
+                404, "not_found", f"no such endpoint: POST {self.path}"
+            )
+            return
+
+        def call():
+            return handler(self._read_json_body())
+
+        self._handle(self.path, call)
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[YieldService] = None,
+    quiet: bool = True,
+    **service_kwargs,
+) -> YieldHTTPServer:
+    """Bind (but do not start) a yield server; port 0 picks an ephemeral one.
+
+    ``service_kwargs`` (``workers``, ``cache_size``,
+    ``compiled_cache_size``) construct the service when one is not passed
+    in. The caller drives ``serve_forever()`` — or uses :func:`serving`
+    for a background-thread lifetime.
+    """
+    if service is None:
+        service = YieldService(**service_kwargs)
+    return YieldHTTPServer((host, port), service, quiet=quiet)
+
+
+@contextlib.contextmanager
+def serving(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[YieldService] = None,
+    quiet: bool = True,
+    **service_kwargs,
+) -> Iterator[YieldHTTPServer]:
+    """A live server on a background thread, shut down on exit.
+
+    The test suite, the benchmark harness, and ad-hoc scripts all start
+    their servers through this::
+
+        with serving(port=0, workers=1) as server:
+            port = server.server_address[1]
+            ...
+    """
+    server = run_server(host, port, service=service, quiet=quiet,
+                        **service_kwargs)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)

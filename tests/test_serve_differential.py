@@ -1,0 +1,140 @@
+"""Differential property: served results are bit-identical to direct calls.
+
+The cache key (:func:`repro.core.ir.result_cache_key`) is only sound if a
+served measurement never depends on *how* it was computed — which request
+arrived first, whether it was a hit or a miss, how the batch drain lanes
+fell. This property drives a live server across (design, sigma, n_seeds,
+seed0, batch) and checks the served JSON element-wise against a direct
+:func:`~repro.core.montecarlo.measure_yield` call with the same
+parameters — the failure map seed for seed, not just the yield fraction —
+on both the cold (first request) and warm (repeat request) paths.
+"""
+
+import json
+from http.client import HTTPConnection
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import fresh_circuit
+from repro.core.helpers import inp_at
+from repro.core.montecarlo import measure_yield
+from repro.core.serialize import (
+    SerializedCircuitFactory,
+    circuit_to_json,
+    yield_result_to_jsonable,
+)
+from repro.core.simulation import Simulation
+from repro.designs import min_max
+from repro.exp.registry import PulseCountPredicate, RegistryFactory
+from repro.serve import serving
+
+#: A cheap-to-measure slice of the registry: basic cells plus one
+#: composite design, enough to cross cell kinds without making the
+#: property sweep minutes long.
+DESIGNS = ["JTL", "AND", "XOR", "DRO", "Min-Max"]
+SIGMAS = [0.0, 0.3, 0.75, 1.5]
+
+_PREDICATES = {}
+
+
+@pytest.fixture(scope="module")
+def serve_port():
+    with serving(port=0, workers=1) as server:
+        yield server.server_address[1]
+
+
+def _post_yield(port, body):
+    conn = HTTPConnection("127.0.0.1", port)
+    try:
+        conn.request("POST", "/yield", body=json.dumps(body),
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, dict(response.headers), response.read()
+    finally:
+        conn.close()
+
+
+def _direct(factory, design_key, sigma, n_seeds, seed0, batch):
+    """The reference measurement the service must reproduce exactly."""
+    predicate = _PREDICATES.get(design_key)
+    if predicate is None:
+        predicate = PulseCountPredicate(Simulation(factory()).simulate())
+        _PREDICATES[design_key] = predicate
+    result = measure_yield(
+        factory, predicate, sigma,
+        seeds=range(seed0, seed0 + n_seeds), batch=batch,
+    )
+    return yield_result_to_jsonable(result)
+
+
+def _check_served_equals_direct(port, request_body, factory, design_key,
+                                sigma, n_seeds, seed0, batch):
+    status1, _, raw1 = _post_yield(port, request_body)
+    status2, headers2, raw2 = _post_yield(port, request_body)
+    assert status1 == status2 == 200, raw1
+    # Warm path: the repeat is a cache hit and byte-identical.
+    assert headers2["X-Repro-Cache"] == "hit"
+    assert raw1 == raw2
+
+    served = json.loads(raw1)["result"]
+    expected = _direct(factory, design_key, sigma, n_seeds, seed0, batch)
+    # Element-wise: yield fraction, outcome counts, and the per-seed
+    # failure map must all match the direct call exactly.
+    assert served == expected
+
+
+@settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    design=st.sampled_from(DESIGNS),
+    sigma=st.sampled_from(SIGMAS),
+    n_seeds=st.integers(1, 8),
+    seed0=st.integers(0, 3),
+    batch=st.sampled_from([None, 0, 4]),
+)
+def test_served_registry_design_equals_direct(
+    serve_port, design, sigma, n_seeds, seed0, batch
+):
+    body = {
+        "design": design, "sigma": sigma, "n_seeds": n_seeds,
+        "seed0": seed0,
+    }
+    if batch is not None:
+        body["batch"] = batch
+    _check_served_equals_direct(
+        serve_port, body, RegistryFactory(design), design, sigma,
+        n_seeds, seed0, batch,
+    )
+
+
+@settings(
+    max_examples=6, deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    sigma=st.sampled_from(SIGMAS),
+    n_seeds=st.integers(1, 6),
+    batch=st.sampled_from([None, 0]),
+)
+def test_served_submitted_circuit_equals_direct(
+    serve_port, sigma, n_seeds, batch
+):
+    """The serialized-circuit path obeys the same bit-identity contract."""
+    with fresh_circuit() as circuit:
+        a = inp_at(60.0, name="A")
+        b = inp_at(25.0, name="B")
+        low, high = min_max(a, b)
+        low.observe("low")
+        high.observe("high")
+    text = circuit_to_json(circuit)
+    body = {"circuit": text, "sigma": sigma, "n_seeds": n_seeds}
+    if batch is not None:
+        body["batch"] = batch
+    _check_served_equals_direct(
+        serve_port, body, SerializedCircuitFactory(text),
+        ("circuit", text), sigma, n_seeds, 0, batch,
+    )

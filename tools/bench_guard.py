@@ -2,14 +2,16 @@
 
 Runs the simulator benchmarks (``bench_scaling_bitonic.py``, the
 compile-cache comparison in ``bench_compile.py``, the Monte-Carlo sweep
-in ``bench_mc_scaling.py``, and the vectorized-drain comparison in
-``bench_mc_batched.py``) via pytest-benchmark, writes the medians to
+in ``bench_mc_scaling.py``, the vectorized-drain comparison in
+``bench_mc_batched.py``, and the served warm-vs-cold throughput pair in
+``bench_serve.py``) via pytest-benchmark, writes the medians to
 ``BENCH_sim.json`` at the repository root, and fails (exit code 1) if
 the bitonic-8 median regressed more than the tolerance against the
 committed baseline, if a repeated ``simulate()`` on a warm compile
-cache is no faster than a cold compile+simulate, or if the batched
+cache is no faster than a cold compile+simulate, if the batched
 Monte-Carlo drain is less than 5x faster than its per-seed reference
-on any recorded design.
+on any recorded design, or if the warm (all-hit) serve path is less
+than 10x the cold (all-miss) path.
 
 Usage, from the repository root::
 
@@ -65,7 +67,17 @@ BENCH_GROUPS = [
     ["benchmarks/bench_mc_scaling.py::test_mc_yield_workers"],
     ["benchmarks/bench_mc_scaling.py::test_mc_amortized"],
     ["benchmarks/bench_mc_batched.py"],
+    ["benchmarks/bench_serve.py"],
 ]
+
+#: Requests per timed round in ``benchmarks/bench_serve.py`` — mirrored
+#: here to convert round medians into requests/second. Keep in sync.
+SERVE_REQUESTS_PER_ROUND = 25
+
+#: The warm (all-hit) serve path must beat the cold (all-miss) path by at
+#: least this factor; anything less means the result cache is not paying
+#: for itself.
+SERVE_MIN_SPEEDUP = 10.0
 
 #: (design, batched benchmark, per-seed benchmark) triples recorded in the
 #: ``mc_batched_200_seeds_s`` block; each batched median must beat its
@@ -164,6 +176,24 @@ def mc_batched_block(medians_s: dict) -> dict:
     return block
 
 
+def serve_throughput_block(medians_s: dict) -> dict:
+    """Warm-vs-cold served request throughput (bench_serve.py).
+
+    The benchmark times rounds of ``SERVE_REQUESTS_PER_ROUND`` requests,
+    so requests/second is the round size over the round median.
+    """
+    warm = medians_s.get("test_serve_warm")
+    cold = medians_s.get("test_serve_cold")
+    return {
+        "requests_per_round": SERVE_REQUESTS_PER_ROUND,
+        "cold_rps": round(SERVE_REQUESTS_PER_ROUND / cold, 2)
+        if cold else None,
+        "warm_rps": round(SERVE_REQUESTS_PER_ROUND / warm, 2)
+        if warm else None,
+        "warm_vs_cold": round(cold / warm, 2) if cold and warm else None,
+    }
+
+
 def compile_cache_block(medians_us: dict) -> dict:
     """Cold-compile vs warm-repeat-simulate comparison (bench_compile.py)."""
     cold = medians_us.get("test_simulate_cold")
@@ -247,6 +277,7 @@ def main(argv=None) -> int:
             committed=committed.get("mc_amortized_800_trials_s"),
         ),
         "mc_batched_200_seeds_s": mc_batched_block(medians_s),
+        "serve_throughput": serve_throughput_block(medians_s),
     }
 
     failed = False
@@ -300,6 +331,29 @@ def main(argv=None) -> int:
                 f"REGRESSION: batched Monte-Carlo drain on {design} is only "
                 f"{speedup}x the per-seed reference "
                 f"(floor {MC_BATCHED_MIN_SPEEDUP}x)",
+                file=sys.stderr,
+            )
+            failed = True
+
+    serve = doc["serve_throughput"]
+    speedup = serve["warm_vs_cold"]
+    if speedup is None:
+        print(
+            f"REGRESSION: serve throughput pair incomplete "
+            f"(cold={serve['cold_rps']}, warm={serve['warm_rps']})",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(
+            f"serve throughput: warm {serve['warm_rps']:.0f} req/s vs "
+            f"cold {serve['cold_rps']:.0f} req/s ({speedup}x)"
+        )
+        if speedup < SERVE_MIN_SPEEDUP:
+            print(
+                f"REGRESSION: warm serve path is only {speedup}x the "
+                f"cold path (floor {SERVE_MIN_SPEEDUP}x) — the result "
+                f"cache is not paying for itself",
                 file=sys.stderr,
             )
             failed = True

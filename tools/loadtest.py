@@ -1,0 +1,363 @@
+"""Closed-loop async load generator for the yield service.
+
+Drives a running ``python -m repro serve`` instance with N concurrent
+clients issuing ``POST /yield`` requests over keep-alive connections, with
+a zipf-ish skew over the design registry (a small hot set dominates, the
+tail stays cold — the traffic shape a shared analysis service actually
+sees). Reports throughput, latency percentiles, and the cache hit rate
+measured from the server's own ``/stats`` deltas.
+
+Usage, from the repository root (server already listening)::
+
+    PYTHONPATH=src python -m repro serve --port 8080 &
+    PYTHONPATH=src python tools/loadtest.py --port 8080 \
+        --clients 8 --requests 200
+    PYTHONPATH=src python tools/loadtest.py --port 8080 --mode cold
+    PYTHONPATH=src python tools/loadtest.py --port 8080 \
+        --requests 50 --assert-hit-rate 0.5 --json out.json
+
+Modes:
+
+* ``mixed`` (default) — zipf-skewed design choice, fixed sigma: the hot
+  designs repeat identical cache keys and hit, the cold tail misses;
+* ``hot``  — one design, one sigma: everything after the first request
+  is a cache hit (the warm ceiling);
+* ``cold`` — a unique sigma per request: every request misses (the
+  all-miss floor).
+
+The generator is *closed-loop*: each client waits for its response before
+sending the next request, so offered load adapts to service latency
+instead of overrunning it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+class _Counter:
+    """Remaining-request counter shared by the client coroutines.
+
+    Single-threaded under the event loop, so plain attributes suffice.
+    """
+
+    def __init__(self, total: int):
+        self.remaining = total
+
+    def take(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+async def _http_request(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    method: str,
+    path: str,
+    host: str,
+    body: Optional[bytes] = None,
+) -> Tuple[int, bytes]:
+    """One HTTP/1.1 request on a kept-alive connection."""
+    payload = body or b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: keep-alive\r\n\r\n"
+    ).encode("ascii")
+    writer.write(head + payload)
+    await writer.drain()
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    parts = status_line.split(None, 2)
+    status = int(parts[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    data = await reader.readexactly(length) if length else b""
+    return status, data
+
+
+async def _fetch_stats(host: str, port: int) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        status, body = await _http_request(
+            reader, writer, "GET", "/stats", host
+        )
+        if status != 200:
+            raise ConnectionError(f"/stats returned HTTP {status}")
+        return json.loads(body)
+    finally:
+        writer.close()
+
+
+async def _wait_ready(host: str, port: int, timeout_s: float) -> None:
+    deadline = time.monotonic() + timeout_s
+    last_err: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                status, _ = await _http_request(
+                    reader, writer, "GET", "/healthz", host
+                )
+            finally:
+                writer.close()
+            if status == 200:
+                return
+        except (OSError, ConnectionError, ValueError) as err:
+            last_err = err
+        await asyncio.sleep(0.2)
+    raise SystemExit(
+        f"server at {host}:{port} not ready within {timeout_s:.0f}s "
+        f"({last_err})"
+    )
+
+
+def _design_weights(designs: List[str], zipf_s: float) -> List[float]:
+    """Zipf-ish popularity: weight of the rank-k design is (k+1)^-s."""
+    return [(rank + 1) ** -zipf_s for rank in range(len(designs))]
+
+
+def _registry_designs() -> List[str]:
+    """All registry design names, composite designs first (hotter)."""
+    from repro.exp.registry import registry
+
+    entries = sorted(registry(), key=lambda e: e.is_basic_cell)
+    return [entry.name for entry in entries]
+
+
+async def _client_loop(
+    index: int,
+    args,
+    counter: _Counter,
+    designs: List[str],
+    weights: List[float],
+    latencies: List[float],
+    errors: List[str],
+    cold_sigmas,
+) -> None:
+    rng = random.Random(args.seed * 7919 + index)
+    reader, writer = await asyncio.open_connection(args.host, args.port)
+    try:
+        while counter.take():
+            if args.mode == "hot":
+                design, sigma = designs[0], args.sigma
+            elif args.mode == "cold":
+                design = rng.choices(designs, weights)[0]
+                sigma = next(cold_sigmas)
+            else:
+                design = rng.choices(designs, weights)[0]
+                sigma = args.sigma
+            body = json.dumps({
+                "design": design,
+                "sigma": sigma,
+                "n_seeds": args.n_seeds,
+                "seed0": args.seed0,
+            }).encode("utf-8")
+            started = time.perf_counter()
+            status, data = await _http_request(
+                reader, writer, "POST", "/yield", args.host, body
+            )
+            latencies.append(time.perf_counter() - started)
+            if status != 200:
+                errors.append(f"HTTP {status}: {data[:120]!r}")
+    finally:
+        writer.close()
+
+
+def _endpoint_delta(before: dict, after: dict, field: str) -> int:
+    def value(stats: dict) -> int:
+        return (
+            stats.get("endpoints", {}).get("/yield", {}).get(field, 0)
+        )
+
+    return value(after) - value(before)
+
+
+async def run_loadtest(args) -> dict:
+    await _wait_ready(args.host, args.port, args.wait_s)
+    designs = (
+        [name.strip() for name in args.designs.split(",") if name.strip()]
+        if args.designs
+        else _registry_designs()
+    )
+    if args.hot_set:
+        designs = designs[: args.hot_set]
+    weights = _design_weights(designs, args.zipf)
+
+    def _cold_sigma_stream():
+        # Unique-but-equivalent sigmas: every request is a genuine cache
+        # miss of essentially identical cost. One shared stream — clients
+        # must never draw the same sigma or "cold" requests would hit.
+        step = 0
+        while True:
+            step += 1
+            yield args.sigma + step * 1e-9
+
+    cold_sigmas = _cold_sigma_stream()
+    counter = _Counter(args.requests)
+    latencies: List[float] = []
+    errors: List[str] = []
+    before = await _fetch_stats(args.host, args.port)
+    started = time.perf_counter()
+    await asyncio.gather(*(
+        _client_loop(
+            index, args, counter, designs, weights, latencies, errors,
+            cold_sigmas,
+        )
+        for index in range(args.clients)
+    ))
+    wall_s = time.perf_counter() - started
+    after = await _fetch_stats(args.host, args.port)
+
+    ordered = sorted(latencies)
+    hits = _endpoint_delta(before, after, "hits")
+    misses = _endpoint_delta(before, after, "misses")
+    answered = hits + misses
+    report: Dict[str, object] = {
+        "endpoint": "/yield",
+        "mode": args.mode,
+        "requests": len(latencies),
+        "clients": args.clients,
+        "designs": len(designs),
+        "zipf": args.zipf,
+        "n_seeds": args.n_seeds,
+        "sigma": args.sigma,
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(len(latencies) / wall_s, 2) if wall_s else None,
+        "latency_ms": {
+            "mean": round(sum(ordered) / len(ordered) * 1e3, 3) if ordered else None,
+            "p50": round(_percentile(ordered, 0.50) * 1e3, 3) if ordered else None,
+            "p95": round(_percentile(ordered, 0.95) * 1e3, 3) if ordered else None,
+            "p99": round(_percentile(ordered, 0.99) * 1e3, 3) if ordered else None,
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / answered, 4) if answered else None,
+            "computations": (
+                after.get("computations", 0) - before.get("computations", 0)
+            ),
+            "coalesced": (
+                after.get("coalesced", 0) - before.get("coalesced", 0)
+            ),
+        },
+        "errors": len(errors),
+        "error_samples": errors[:5],
+    }
+    return report
+
+
+def render(report: dict) -> str:
+    lat = report["latency_ms"]
+    cache = report["cache"]
+    rate = cache["hit_rate"]
+    lines = [
+        f"loadtest: POST /yield x {report['requests']} | "
+        f"{report['clients']} clients | mode={report['mode']} "
+        f"zipf={report['zipf']} over {report['designs']} designs",
+        f"  wall time: {report['wall_s']:.2f} s   "
+        f"throughput: {report['throughput_rps']} req/s",
+        f"  latency ms: mean {lat['mean']} | p50 {lat['p50']} | "
+        f"p95 {lat['p95']} | p99 {lat['p99']}",
+        f"  cache: {cache['hits']} hits / {cache['misses']} misses"
+        + (f" ({rate:.1%} hit rate)" if rate is not None else "")
+        + f" | computations +{cache['computations']}"
+        + f" | coalesced +{cache['coalesced']}",
+        f"  errors: {report['errors']}",
+    ]
+    for sample in report["error_samples"]:
+        lines.append(f"    {sample}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent closed-loop clients (default 8)")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="total requests across all clients "
+                             "(default 200)")
+    parser.add_argument("--mode", choices=["mixed", "hot", "cold"],
+                        default="mixed",
+                        help="traffic shape: zipf-skewed designs, "
+                             "all-hit, or all-miss (default mixed)")
+    parser.add_argument("--designs", default=None,
+                        help="comma-separated design names "
+                             "(default: the full registry, composite "
+                             "designs ranked hottest)")
+    parser.add_argument("--hot-set", type=int, default=0, metavar="K",
+                        help="restrict traffic to the K hottest designs "
+                             "(0 = use them all)")
+    parser.add_argument("--zipf", type=float, default=1.1,
+                        help="zipf skew exponent s (weight ~ rank^-s, "
+                             "default 1.1)")
+    parser.add_argument("--sigma", type=float, default=0.5)
+    parser.add_argument("--n-seeds", type=int, default=25)
+    parser.add_argument("--seed0", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="RNG seed for the design choices "
+                             "(default 1234)")
+    parser.add_argument("--wait-s", type=float, default=15.0,
+                        help="seconds to wait for the server to become "
+                             "ready (default 15)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="also write the report as JSON to FILE")
+    parser.add_argument("--assert-hit-rate", type=float, default=None,
+                        metavar="FRACTION",
+                        help="exit 1 unless the measured hit rate is at "
+                             "least FRACTION")
+    args = parser.parse_args(argv)
+    if args.requests < 1 or args.clients < 1:
+        parser.error("--requests and --clients must be >= 1")
+
+    report = asyncio.run(run_loadtest(args))
+    print(render(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    if report["errors"]:
+        return 1
+    rate = report["cache"]["hit_rate"]
+    if args.assert_hit_rate is not None:
+        if rate is None or rate < args.assert_hit_rate:
+            print(
+                f"FAIL: hit rate {rate} below required "
+                f"{args.assert_hit_rate}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"hit-rate assertion ok: {rate:.1%} >= "
+              f"{args.assert_hit_rate:.1%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
