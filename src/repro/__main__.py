@@ -39,7 +39,18 @@ from .exp.registry import (
     build_in_fresh_circuit,
     registry,
 )
-from .lint import Severity, json_payload, lint_circuit, render_text, sarif_payload
+from .lint import (
+    ReachBudget,
+    Severity,
+    compare_with_baseline,
+    json_payload,
+    lint_circuit,
+    lint_designs,
+    load_baseline,
+    render_text,
+    sarif_payload,
+    write_baseline,
+)
 from .lint import max_severity as lint_max_severity
 from .mc.check import verify_design
 from .obs import Observer
@@ -199,19 +210,23 @@ def cmd_lint(args) -> int:
         print("specify design name(s) or --all; try `python -m repro list`.",
               file=sys.stderr)
         return 2
-    reports = []
+    entries = []
     for name in names:
         entry = _require(designs, name, "design")
         if entry is None:
             return 2
-        circuit = build_in_fresh_circuit(entry)
-        reports.append(lint_circuit(
-            circuit,
-            select=args.select,
-            ignore=args.ignore,
-            tolerance=args.tolerance,
-            design=entry.name,
-        ))
+        entries.append(entry)
+    reports = lint_designs(
+        [entry.name for entry in entries],
+        workers=args.workers,
+        select=args.select,
+        ignore=args.ignore,
+        tolerance=args.tolerance,
+        reach=args.reach,
+        reach_budget=ReachBudget(
+            max_states=args.reach_states, time_limit=args.reach_time_limit
+        ),
+    )
     if args.format == "text":
         text = render_text(reports)
     elif args.format == "json":
@@ -224,6 +239,28 @@ def cmd_lint(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
+    if args.update_baseline:
+        if not args.baseline:
+            print("--update-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        count = write_baseline(args.baseline, reports)
+        print(f"wrote {args.baseline} ({count} accepted finding(s))")
+        return 0
+    if args.baseline:
+        # Baseline mode replaces the severity gate: pre-existing findings
+        # (whatever their severity) pass, anything new fails.
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"baseline file {args.baseline!r} not found; create it with "
+                f"--update-baseline",
+                file=sys.stderr,
+            )
+            return 2
+        comparison = compare_with_baseline(reports, baseline)
+        print(comparison.render_text())
+        return 0 if comparison.ok else 1
     if args.fail_on == "never":
         return 0
     worst = lint_max_severity(reports)
@@ -390,6 +427,26 @@ def main(argv=None) -> int:
     p.add_argument("--tolerance", type=float, default=0.0,
                    help="allowed path-balance skew and minimum acceptable "
                         "timing margin in ps (default 0)")
+    p.add_argument("--reach", action="store_true",
+                   help="also run the PL4xx zone-based reachability layer "
+                        "(dead transitions, races, timing witnesses, stuck "
+                        "states) with incremental caching")
+    p.add_argument("--reach-states", type=int, default=4000,
+                   help="state budget per design for --reach; exceeding it "
+                        "reports the analysis as truncated (default 4000)")
+    p.add_argument("--reach-time-limit", type=float, default=15.0,
+                   help="wall-clock budget in seconds per design for "
+                        "--reach (default 15)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="lint designs across a process pool; 0 = one per "
+                        "CPU (default 1)")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="compare findings against a baseline file: exit 0 "
+                        "when only known findings fire, 1 on any new one "
+                        "(replaces --fail-on)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="(re)write --baseline FILE accepting every current "
+                        "finding")
     p = sub.add_parser("trace", help="dispatch trace + timing slack")
     p.add_argument("name")
     p.add_argument("--stats", action="store_true",

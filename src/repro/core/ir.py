@@ -708,6 +708,48 @@ def result_cache_key(
     return (_HASH_VERSION, digest, float(sigma), n_seeds, seed0, norm_batch)
 
 
+def lint_cache_key(
+    digest: str,
+    *,
+    rules: Tuple[str, ...],
+    tolerance: float,
+    max_states: Optional[int],
+    time_limit: Optional[float],
+) -> Tuple[str, str, Tuple[str, ...], float, Optional[int], Optional[float]]:
+    """The canonical memo key for one reachability-lint analysis (PL4xx).
+
+    Same contract as :func:`result_cache_key` for the serve result cache:
+    two analyses with equal keys produce equal findings, so a warm re-lint
+    of an unchanged design is a dict hit. The key covers exactly the
+    inputs that determine the analysis:
+
+    * ``digest`` — the circuit's :func:`structural_hash` (element behavior,
+      wiring, overrides, *and* input schedules — the environment TAs replay
+      exactly the schedules the hash already folds in);
+    * ``rules`` — the enabled PL4xx subset, normalized sorted (deselecting
+      PL402 skips race collection and deselecting PL403 skips witness
+      replay, so different subsets are genuinely different analyses);
+    * ``tolerance`` — reserved for parity with the interval rules' knob
+      (PL4xx findings are exact, but the key mirrors the documented
+      ``(hash_version, structural_hash, rule-set, tolerance)`` contract);
+    * the exploration budget — a truncated analysis at a small budget must
+      never be served to a request with a larger one.
+
+    The hash-recipe version is mixed in so caches survive across releases
+    without ever serving findings computed under a different hash recipe.
+    """
+    if not isinstance(digest, str) or not digest:
+        raise PylseError(f"digest must be a non-empty string, got {digest!r}")
+    return (
+        _HASH_VERSION,
+        digest,
+        tuple(sorted(rules)),
+        float(tolerance),
+        max_states,
+        None if time_limit is None else float(time_limit),
+    )
+
+
 # ----------------------------------------------------------------------
 # Dense dispatch arrays (structure-of-arrays view for batched drains)
 # ----------------------------------------------------------------------

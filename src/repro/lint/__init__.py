@@ -9,6 +9,11 @@ questions Sections 3 and 4.2 of the paper raise dynamically:
   (PL2xx)?
 * can any concrete schedule trip a Figure 6 timing-error rule (PL3xx),
   proved by interval abstract interpretation of pulse-arrival windows?
+* what does *exhaustive* zone-based model checking of the translated TA
+  network prove (PL4xx) — dead transitions in circuit context, input-order
+  races, reachable timing violations with replayed witness schedules, and
+  stuck states — cached incrementally by structural hash
+  (:mod:`repro.lint.reach_rules`)?
 
 Public API::
 
@@ -21,10 +26,25 @@ plus the emitters (``render_text``, ``json_payload``, ``sarif_payload``)
 and the rule registry (``all_rules``, ``rule``).
 """
 
+from .baseline import (
+    BaselineComparison,
+    compare_with_baseline,
+    finding_fingerprint,
+    load_baseline,
+    write_baseline,
+)
 from .circuit_rules import lint_circuit, lint_machine
 from .findings import Finding, Location, Severity
 from .intervals import ArrivalAnalysis, Interval, TimingCheck, propagate
 from .machine_rules import MachineSpec, machine_findings, machine_spec
+from .reach_rules import (
+    REACH_RULES,
+    ReachAnalysis,
+    ReachBudget,
+    analyze_reach,
+    clear_reach_cache,
+    reach_cache_stats,
+)
 from .report import (
     LintReport,
     json_payload,
@@ -33,28 +53,41 @@ from .report import (
     sarif_payload,
 )
 from .rules import Rule, all_rules, is_selected, rule, sarif_rule_index
+from .runner import lint_designs
 
 __all__ = [
     "ArrivalAnalysis",
+    "BaselineComparison",
     "Finding",
     "Interval",
     "LintReport",
     "Location",
     "MachineSpec",
+    "REACH_RULES",
+    "ReachAnalysis",
+    "ReachBudget",
     "Rule",
     "Severity",
     "TimingCheck",
     "all_rules",
+    "analyze_reach",
+    "clear_reach_cache",
+    "compare_with_baseline",
+    "finding_fingerprint",
     "is_selected",
     "json_payload",
     "lint_circuit",
+    "lint_designs",
     "lint_machine",
+    "load_baseline",
     "machine_findings",
     "machine_spec",
     "max_severity",
     "propagate",
+    "reach_cache_stats",
     "render_text",
     "rule",
     "sarif_payload",
     "sarif_rule_index",
+    "write_baseline",
 ]

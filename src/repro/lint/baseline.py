@@ -1,0 +1,144 @@
+"""Lint baselines: CI fails only on *new* findings.
+
+A baseline file records a stable fingerprint for every finding the team has
+seen and accepted (or not yet fixed). A later lint run compared against the
+baseline fails only when it produces a finding whose fingerprint is not in
+the file — pre-existing debt never blocks CI, regressions always do, and
+fixed findings are reported as resolved so the baseline can be re-written.
+
+Fingerprints are content-addressed, not positional: ``sha256(rule id |
+structural hash of the design's compiled IR | canonical location)``. The
+structural hash makes a fingerprint survive message-wording changes and
+re-orderings but expire when the design itself changes shape — exactly the
+invalidation the incremental reach cache uses
+(:func:`repro.core.ir.lint_cache_key`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import PylseError
+from .findings import Finding
+from .report import LintReport
+
+BASELINE_FORMAT = "repro-lint-baseline-v1"
+_FINGERPRINT_LEN = 16
+
+
+def finding_fingerprint(finding: Finding, structural_hash: Optional[str]) -> str:
+    """Stable ID for one finding: rule | design structure | location.
+
+    Deliberately excludes the message text (wording changes must not churn
+    baselines) and the severity (PL402/PL403 confidence grading moves
+    severity without changing *which* finding it is).
+    """
+    material = "|".join((
+        finding.rule,
+        structural_hash or "",
+        finding.location.qualified_name(),
+    ))
+    return hashlib.sha256(material.encode()).hexdigest()[:_FINGERPRINT_LEN]
+
+
+def _entries(reports: Sequence[LintReport]) -> List[dict]:
+    entries = []
+    for report in reports:
+        for finding in report.findings:
+            entries.append({
+                "fingerprint": finding_fingerprint(
+                    finding, report.structural_hash
+                ),
+                "rule": finding.rule,
+                "design": report.design,
+                "location": finding.location.qualified_name(),
+                "severity": finding.severity.label,
+            })
+    return entries
+
+
+def baseline_payload(reports: Sequence[LintReport]) -> dict:
+    """The committed baseline document for a batch of reports."""
+    entries = sorted(
+        _entries(reports),
+        key=lambda e: (e["design"] or "", e["rule"], e["location"]),
+    )
+    return {"format": BASELINE_FORMAT, "findings": entries}
+
+
+def write_baseline(path: str, reports: Sequence[LintReport]) -> int:
+    """Write (or re-write) the baseline file; returns the entry count."""
+    payload = baseline_payload(reports)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(payload["findings"])
+
+
+def load_baseline(path: str) -> Dict[str, dict]:
+    """fingerprint -> entry from a baseline file (validating the format)."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or payload.get("format") != BASELINE_FORMAT:
+        raise PylseError(
+            f"{path} is not a {BASELINE_FORMAT} file; regenerate it with "
+            f"'repro lint --update-baseline'"
+        )
+    return {e["fingerprint"]: e for e in payload.get("findings", [])}
+
+
+@dataclass
+class BaselineComparison:
+    """New / known / resolved findings relative to a baseline."""
+
+    new: List[Tuple[LintReport, Finding]] = field(default_factory=list)
+    known: List[Tuple[LintReport, Finding]] = field(default_factory=list)
+    #: Baseline entries no current finding matches (candidates for rewrite).
+    resolved: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """CI gate: pass iff nothing new appeared."""
+        return not self.new
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        if self.new:
+            lines.append(f"{len(self.new)} NEW finding(s) not in baseline:")
+            for report, finding in self.new:
+                prefix = f"[{report.design}] " if report.design else ""
+                lines.append(f"  {prefix}{finding.render()}")
+        for entry in self.resolved:
+            prefix = f"[{entry['design']}] " if entry.get("design") else ""
+            lines.append(
+                f"resolved: {prefix}{entry['rule']} at {entry['location']} "
+                f"no longer fires (rewrite the baseline to drop it)"
+            )
+        lines.append(
+            f"baseline: {len(self.new)} new, {len(self.known)} known, "
+            f"{len(self.resolved)} resolved"
+        )
+        return "\n".join(lines)
+
+
+def compare_with_baseline(
+    reports: Sequence[LintReport], baseline: Dict[str, dict]
+) -> BaselineComparison:
+    """Split current findings into new vs. known, and spot resolved ones."""
+    comparison = BaselineComparison()
+    seen: set = set()
+    for report in reports:
+        for finding in report.findings:
+            fp = finding_fingerprint(finding, report.structural_hash)
+            seen.add(fp)
+            if fp in baseline:
+                comparison.known.append((report, finding))
+            else:
+                comparison.new.append((report, finding))
+    comparison.resolved = [
+        entry for fp, entry in sorted(baseline.items()) if fp not in seen
+    ]
+    return comparison

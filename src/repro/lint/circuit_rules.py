@@ -10,7 +10,13 @@
 3. **timing lint** — the interval abstract interpretation of
    :mod:`repro.lint.intervals`, classifying every (cell, constraint) pair
    as statically violated (PL301), possibly violated (PL302), or safe
-   (PL303) with a quantified margin.
+   (PL303) with a quantified margin;
+4. **reachability lint** (opt-in via ``reach=True``) — the zone-based model
+   checker of :mod:`repro.mc` run exhaustively over the translated TA
+   network, proving dead transitions (PL401), input-order races (PL402),
+   reachable timing violations with replayed witnesses (PL403), and stuck
+   states (PL404). See :mod:`repro.lint.reach_rules`; results come from an
+   incremental cache keyed by the circuit's structural hash.
 
 Suppression is layered: a cell class can carry ``lint_suppress`` (rule IDs
 or prefixes the analyzer skips for that cell and its nodes), and callers
@@ -30,9 +36,10 @@ from ..core.element import InGen
 from ..core.errors import PylseError
 from ..core.ir import compile_circuit
 from ..core.transitional import Transitional
-from .findings import Finding, Location
+from .findings import Finding, Location, Severity
 from .intervals import TimingCheck, propagate
 from .machine_rules import MachineLike, machine_findings, machine_spec
+from .reach_rules import REACH_RULES, ReachBudget, analyze_reach, reach_findings
 from .report import LintReport
 from .rules import is_selected, matches, rule
 
@@ -100,6 +107,8 @@ def lint_circuit(
     suppressions: Optional[Mapping[str, Sequence[str]]] = None,
     tolerance: float = 0.0,
     design: Optional[str] = None,
+    reach: bool = False,
+    reach_budget: Optional[ReachBudget] = None,
 ) -> LintReport:
     """Run the full static analysis over a circuit.
 
@@ -107,6 +116,12 @@ def lint_circuit(
     allowed path-balance skew (PL205) and the minimum acceptable timing
     margin — a statically-safe pair whose margin is below it is reported as
     PL302.
+
+    ``reach=True`` additionally runs the PL4xx zone-based reachability
+    layer within ``reach_budget`` (state/time caps with explicit
+    ``truncated`` reporting); the underlying analysis is served from the
+    incremental cache when the circuit's structural hash, rule subset,
+    tolerance, and budget all match a previous run.
     """
     circuit = circuit if circuit is not None else working_circuit()
     select = _patterns(select)
@@ -134,6 +149,7 @@ def lint_circuit(
 
     def emit(rule_id: str, message: str, path: Tuple[str, ...] = (),
              data: Optional[Mapping[str, object]] = None,
+             severity: Optional[Severity] = None,
              **location_fields) -> None:
         if not is_selected(rule_id, select, ignore):
             return
@@ -144,7 +160,7 @@ def lint_circuit(
             return
         findings.append(Finding(
             rule=rule_id,
-            severity=rule(rule_id).severity,
+            severity=severity if severity is not None else rule(rule_id).severity,
             message=message,
             location=Location(design=design, **location_fields),
             path=path,
@@ -305,6 +321,28 @@ def lint_circuit(
                  f"statically safe; worst margin {margin:g} ps")
 
     # ------------------------------------------------------------------
+    # Layer 4 (opt-in): reachability lint via zone-based model checking.
+    # ------------------------------------------------------------------
+    reach_summary: Dict[str, object] = {}
+    reach_skipped: Optional[str] = None
+    if reach:
+        enabled = tuple(
+            r for r in REACH_RULES if is_selected(r, select, ignore)
+        )
+        if not enabled:
+            reach_skipped = "all PL4xx rules deselected"
+        else:
+            analysis, cached = analyze_reach(
+                circuit, budget=reach_budget, rules=enabled,
+                tolerance=tolerance,
+            )
+            if analysis.skipped is not None:
+                reach_skipped = analysis.skipped
+            else:
+                reach_findings(analysis, emit)
+                reach_summary = dict(analysis.summary(), cached=cached)
+
+    # ------------------------------------------------------------------
     # Structural clock summary (replaces the old name-prefix heuristic).
     # ------------------------------------------------------------------
     clocks: Dict[str, Dict[str, object]] = {}
@@ -335,4 +373,7 @@ def lint_circuit(
         timing=timing,
         timing_skipped=timing_skipped,
         clocks=clocks,
+        structural_hash=compiled.structural_hash,
+        reach=reach_summary,
+        reach_skipped=reach_skipped,
     )

@@ -35,6 +35,15 @@ class LintReport:
     timing_skipped: bool = False
     #: Structural clock summary: input label -> {"sinks": n, "skew": (lo, hi)}.
     clocks: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    #: The compiled circuit's structural hash (baseline fingerprints key on
+    #: it); None for single-machine reports.
+    structural_hash: Optional[str] = None
+    #: Reachability (PL4xx) summary: states/transitions/elapsed/truncated/
+    #: cached — empty when the layer did not run.
+    reach: Mapping[str, object] = field(default_factory=dict)
+    #: Why the reachability layer was skipped (requested but not runnable:
+    #: Functional holes, no cells); None when it ran or was not requested.
+    reach_skipped: Optional[str] = None
 
     def counts(self) -> Dict[str, int]:
         result = {s.label: 0 for s in Severity}
@@ -61,6 +70,19 @@ class LintReport:
                 f"clock {label!r}: reaches {info['sinks']} clocked cell(s), "
                 f"arrival window [{lo:g}, {hi:g}] ps (skew {hi - lo:g} ps)"
             )
+        if self.reach_skipped is not None:
+            lines.append(f"reach: skipped ({self.reach_skipped})")
+        elif self.reach:
+            trunc = (
+                f", truncated ({self.reach.get('truncation_reason')})"
+                if self.reach.get("truncated") else ""
+            )
+            cached = " [cached]" if self.reach.get("cached") else ""
+            lines.append(
+                f"reach: {self.reach.get('states', 0)} state(s), "
+                f"{self.reach.get('transitions', 0)} transition(s) explored "
+                f"in {self.reach.get('elapsed', 0.0):.2f}s{trunc}{cached}"
+            )
         if self.timing_skipped:
             lines.append("timing: skipped (feedback loops)")
         elif self.timing:
@@ -85,6 +107,12 @@ class LintReport:
             "findings": [f.to_jsonable() for f in self.findings],
             "counts": self.counts(),
         }
+        if self.structural_hash is not None:
+            payload["structural_hash"] = self.structural_hash
+        if self.reach_skipped is not None:
+            payload["reach"] = {"skipped": self.reach_skipped}
+        elif self.reach:
+            payload["reach"] = dict(self.reach)
         if self.clocks:
             payload["clocks"] = {
                 label: {"sinks": info["sinks"], "skew": list(info["skew"])}  # type: ignore[index]

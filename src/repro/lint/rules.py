@@ -193,6 +193,56 @@ PL303 = register(Rule(
     "Figure 6 error rule could fire (compare Section 4.4 variability).",
 ))
 
+# ----------------------------------------------------------------------
+# Reachability lint via zone-based model checking (PL4xx) — the Section
+# 5.3 UPPAAL workflow run exhaustively as a lint pass over the compiled
+# IR, with concrete witnesses replayed through the simulator.
+# ----------------------------------------------------------------------
+PL401 = register(Rule(
+    "PL401", Severity.INFO, "transition dead in circuit context",
+    "Exhaustive zone-graph exploration of the translated TA network "
+    "(Figure 14) proves a cell transition never fires under this circuit's "
+    "wiring and input schedules. Unlike PL102 (dead at the machine level), "
+    "the transition is well-formed in isolation — the *circuit* starves "
+    "it, so its firing outputs and constraints are untested dead weight. "
+    "Only reported when exploration completed: a truncated run cannot "
+    "prove absence.",
+))
+PL402 = register(Rule(
+    "PL402", Severity.WARNING, "input-order race",
+    "Two pulses can provably reach one cell at the same instant (their "
+    "arrival zones overlap in the zone graph) and the dispatch order "
+    "changes the reached state or fired outputs: the Dispatch Relation "
+    "(Section 3.2) resolves the tie nondeterministically, so the circuit's "
+    "behavior is schedule-dependent. The reachability half upgrades PL107 "
+    "(which only says the *machine* is order-sensitive) to a deliverable "
+    "race in this circuit; seed-swept simulator replay grades the finding "
+    "confirmed or possible.",
+))
+PL403 = register(Rule(
+    "PL403", Severity.ERROR, "reachable timing violation with witness",
+    "The zone-based model checker (the offline verifyta of Section 5.3) "
+    "proves a setup (Error-kappa-Cons) or hold (Error-kappa-Tran) error "
+    "location of Figure 14 is reachable, and the finding carries the "
+    "concrete witness schedule extracted from the zone graph. Witnesses "
+    "are replayed through Simulation.simulate: a reproduced Figure 13 "
+    "error confirms the finding (with the pulse's causal chain attached); "
+    "a refuted witness downgrades it to 'possible' — the TA semantics "
+    "interleaves simultaneous pulses one handshake at a time while the "
+    "simulator dispatches them as one atomic group, a known "
+    "over-approximation.",
+))
+PL404 = register(Rule(
+    "PL404", Severity.WARNING, "stuck state",
+    "A reachable state with no successor in which some automaton is still "
+    "mid-work: a cell holds an undelivered pulse mid-transition, or an "
+    "input schedule still has pulses to emit but no cell can consume "
+    "them. 'Good' deadlock — every machine at rest with the finite input "
+    "schedule exhausted — is expected on any finite stimulus and is *not* "
+    "reported (Section 5.3 makes exactly this point about plain deadlock "
+    "checking).",
+))
+
 
 def sarif_rule_index() -> Tuple[List[dict], Dict[str, int]]:
     """The SARIF ``rules`` array plus ``rule id -> index`` mapping."""

@@ -1,0 +1,79 @@
+"""Per-design parallel lint execution over the registry.
+
+``repro lint --all --reach`` runs the PL4xx zone exploration once per
+design; the explorations are independent, so they shard across a process
+pool exactly like the Monte-Carlo seed sweeps of
+:mod:`repro.core.parallel` (whose ``resolve_workers`` convention —
+``0``/``None`` means one per CPU — this module reuses). Each worker
+re-elaborates its design from the registry by name (the
+:class:`~repro.exp.registry.RegistryFactory` pattern: names pickle,
+circuits need not) and ships the finished :class:`LintReport` back; the
+parent preserves registry order, so parallel output is byte-identical to
+serial output.
+
+A worker crash degrades loudly to the in-process serial path — the same
+"never worse than sequential" contract the Monte-Carlo engine keeps.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence
+
+from ..core.parallel import resolve_workers
+from .circuit_rules import lint_circuit
+from .report import LintReport
+
+#: Below this many designs a pool cannot amortize interpreter spawn.
+MIN_DESIGNS_PARALLEL = 4
+
+
+def _lint_design_worker(name: str, kwargs: Dict[str, object]) -> LintReport:
+    """Lint one registry design by name (module-level: must pickle)."""
+    from ..exp.registry import build_in_fresh_circuit, registry
+
+    for entry in registry():
+        if entry.name == name:
+            circuit = build_in_fresh_circuit(entry)
+            return lint_circuit(circuit, design=name, **kwargs)
+    raise ValueError(f"Unknown registry design {name!r}")
+
+
+def lint_designs(
+    names: Sequence[str],
+    workers: Optional[int] = 1,
+    **lint_kwargs,
+) -> List[LintReport]:
+    """Lint the named registry designs, optionally across a process pool.
+
+    ``workers=1`` (the default) is the in-process reference path;
+    ``workers=0``/``None`` means one worker per CPU. ``lint_kwargs`` are
+    forwarded to :func:`lint_circuit` (``select``, ``ignore``,
+    ``tolerance``, ``reach``, ``reach_budget``, ...). Reports come back in
+    the order of ``names`` regardless of backend.
+
+    Note the process-pool trade-off: each worker process has its own
+    reach cache, so cross-run cache warmth only accrues in-process
+    (``workers=1``) or within one pool's lifetime.
+    """
+    names = list(names)
+    count = resolve_workers(workers)
+    if count <= 1 or len(names) < MIN_DESIGNS_PARALLEL:
+        return [_lint_design_worker(name, lint_kwargs) for name in names]
+    try:
+        with ProcessPoolExecutor(max_workers=min(count, len(names))) as pool:
+            futures = [
+                pool.submit(_lint_design_worker, name, lint_kwargs)
+                for name in names
+            ]
+            return [f.result() for f in futures]  # submission order kept
+    except (BrokenProcessPool, OSError) as err:
+        warnings.warn(
+            f"parallel lint worker failure ({err!r}); falling back to the "
+            "in-process serial path",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [_lint_design_worker(name, lint_kwargs) for name in names]

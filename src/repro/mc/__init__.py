@@ -7,14 +7,22 @@ extrapolation) deciding the same auto-generated queries.
 
 from .check import VerificationReport, verify_design
 from .dbm import DBM, INF, bound, bound_is_strict, bound_value, zero_zone
-from .explorer import CheckResult, ModelChecker, Violation
+from .explorer import (
+    CheckResult,
+    Coverage,
+    ModelChecker,
+    RaceCandidate,
+    Violation,
+)
 from .tasim import TARun, TASimulator, ta_events
 
 __all__ = [
     "CheckResult",
+    "Coverage",
     "DBM",
     "INF",
     "ModelChecker",
+    "RaceCandidate",
     "VerificationReport",
     "TARun",
     "TASimulator",

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..core.circuit import Circuit, working_circuit
+from ..core.ir import compile_circuit
 from ..core.simulation import Events, Simulation
 from ..ta.queries import (
     Query,
@@ -40,9 +41,12 @@ class VerificationReport:
 
     def summary(self) -> str:
         stats = self.translation.cell_stats()
-        status = "SATISFIED" if self.ok else (
-            "VIOLATED" if self.result.completed else "INCOMPLETE"
-        )
+        if self.ok:
+            status = "SATISFIED"
+        elif self.result.completed:
+            status = "VIOLATED"
+        else:
+            status = f"INCOMPLETE (truncated: {self.result.truncation_reason})"
         return (
             f"{status}: {self.result.states_explored} states in "
             f"{self.result.elapsed_seconds:.2f}s "
@@ -70,8 +74,12 @@ def verify_design(
     designs where UPPAAL hit this wall with an infinity sign).
     """
     circuit = circuit if circuit is not None else working_circuit()
-    events = Simulation(circuit).simulate(until=until)
-    translation = translate_circuit(circuit, until=until)
+    # Compile once up front: the simulation and the TA translation both
+    # consume the memoized CompiledCircuit instead of re-elaborating (the
+    # same cleanup the other backends got when the IR landed).
+    compiled = compile_circuit(circuit)
+    events = Simulation(compiled).simulate(until=until)
+    translation = translate_circuit(compiled.circuit, until=until)
     q1 = correctness_query(circuit, translation, events)
     q2 = no_error_query(translation)
     selected = []

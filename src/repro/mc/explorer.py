@@ -33,6 +33,13 @@ from .dbm import DBM, bound, zero_zone
 GuardOps = Tuple[Tuple[int, int, int], ...]  # (i, j, encoded bound)
 
 
+#: One counterexample step: (transition label, earliest global time,
+#: latest global time) — times are scaled integers (see
+#: :func:`repro.ta.automaton.scale_time`); the upper bound is ``None``
+#: when the state's invariants leave it open.
+TraceStep = Tuple[str, int, Optional[int]]
+
+
 @dataclass
 class Violation:
     """One property failure found during exploration.
@@ -40,7 +47,10 @@ class Violation:
     ``trace`` is the counterexample: the sequence of fired transitions from
     the initial state to the violating one (UPPAAL likewise "will return a
     trace showing the path that led to the particular error state",
-    Section 5.3).
+    Section 5.3). ``steps`` is the same path with the global-clock window
+    of each intermediate state attached — the raw material a concrete
+    witness schedule is extracted from — and ``locations`` snapshots the
+    full location vector of the violating state.
     """
 
     query: str            # 'query1', 'query2', or 'no_deadlock'
@@ -48,11 +58,49 @@ class Violation:
     location: str
     detail: str
     trace: List[str] = field(default_factory=list)
+    steps: List[TraceStep] = field(default_factory=list)
+    locations: List[Tuple[str, str]] = field(default_factory=list)
 
     def format_trace(self) -> str:
         if not self.trace:
             return "(initial state)"
         return "\n".join(f"  {k + 1}. {step}" for k, step in enumerate(self.trace))
+
+
+@dataclass(frozen=True)
+class RaceCandidate:
+    """Two pulses that can reach one cell at the same instant.
+
+    ``automaton`` is the receiving cell's main TA (= the node name),
+    ``location`` the TA location it occupies, and ``channel_a``/
+    ``channel_b`` the two wire channels whose enabled sends are
+    simultaneously feasible — the zone conjunction of both send guards is
+    non-empty over ``window`` (scaled global-clock bounds). Whether the
+    arrival *order* matters is a machine-level question the PL402 lint
+    rule answers on top of this purely reachability-level fact.
+    """
+
+    automaton: str
+    location: str
+    channel_a: str
+    channel_b: str
+    window: Tuple[int, Optional[int]]
+
+
+@dataclass(frozen=True)
+class Coverage:
+    """What the exploration actually touched.
+
+    ``fired_edges`` holds ``(automaton, source, target)`` name triples of
+    every edge that produced at least one feasible successor (subsumed or
+    not); when a run **completed**, an edge absent from the set provably
+    never fires under the modeled environment — the PL401 evidence.
+    ``visited_locations`` maps each automaton to the locations it occupied
+    in some reachable state.
+    """
+
+    fired_edges: FrozenSet[Tuple[str, str, str]]
+    visited_locations: Dict[str, FrozenSet[str]]
 
 
 @dataclass
@@ -64,11 +112,23 @@ class CheckResult:
     elapsed_seconds: float
     completed: bool
     violations: List[Violation] = field(default_factory=list)
+    #: Why exploration stopped early: ``"max_states"`` or ``"time_limit"``
+    #: (``None`` when it ran to exhaustion). Explicit, never silent — the
+    #: budget semantics PL4xx reports as ``truncated``.
+    truncation_reason: Optional[str] = None
+    #: Simultaneous-arrival candidates (collected when ``run`` is asked to).
+    races: List[RaceCandidate] = field(default_factory=list)
+    coverage: Optional[Coverage] = None
 
     @property
     def satisfied(self) -> bool:
         """True iff exploration finished and found no violation."""
         return self.completed and not self.violations
+
+    @property
+    def truncated(self) -> bool:
+        """True when a state or time budget cut the exploration short."""
+        return not self.completed
 
     def violations_for(self, query: str) -> List[Violation]:
         return [v for v in self.violations if v.query == query]
@@ -124,7 +184,15 @@ class ModelChecker:
             name: k + 1 for k, name in enumerate(net.all_clocks())
         }
         self.n_clocks = len(self.clock_index)
+        self.global_idx = self.clock_index[net.global_clock]
         self.ta_names = [ta.name for ta in net.automata]
+        #: automaton name -> index, built once here; the query compilers
+        #: below share it instead of rebuilding their own ``{name: k}``
+        #: dicts (the explorer-side twin of the IR's ``node_index``).
+        self.ta_index: Dict[str, int] = {
+            name: k for k, name in enumerate(self.ta_names)
+        }
+        self.ta_roles = [ta.role for ta in net.automata]
         self.loc_index: List[Dict[str, int]] = []
         self.loc_names: List[List[str]] = []
         self.initial_locs: List[int] = []
@@ -178,6 +246,19 @@ class ModelChecker:
                 else:
                     self.receivers.setdefault(edge.action.channel, []).append(compiled)
 
+        # Per (automaton, location): the channels a pulse could be consumed
+        # from there — the receiver half of the race-candidate test.
+        self.recv_channels: List[Dict[int, List[str]]] = [
+            {} for _ in net.automata
+        ]
+        for channel, recvs in self.receivers.items():
+            for recv in recvs:
+                bucket = self.recv_channels[recv.ta_index].setdefault(
+                    recv.source, []
+                )
+                if channel not in bucket:
+                    bucket.append(channel)
+
         # Never-reset clocks track absolute time; give them slack so exact
         # instants survive extrapolation for the whole schedule.
         reset_clocks = {
@@ -210,8 +291,18 @@ class ModelChecker:
     # ------------------------------------------------------------------
     # exploration
     # ------------------------------------------------------------------
-    def run(self, queries: Sequence[Query] = ()) -> CheckResult:
-        """Explore the reachable zone graph, checking ``queries`` on the fly."""
+    def run(
+        self,
+        queries: Sequence[Query] = (),
+        collect_races: bool = False,
+    ) -> CheckResult:
+        """Explore the reachable zone graph, checking ``queries`` on the fly.
+
+        ``collect_races=True`` additionally records, for every explored
+        state, pairs of distinct channels whose pulses can arrive at one
+        cell at the same instant (see :class:`RaceCandidate`) — the
+        reachability half of the PL402 input-order-race lint rule.
+        """
         started = _time.monotonic()
         fta_allowed = self._compile_query1(queries)
         check_errors = any(q.kind == "no_errors" for q in queries)
@@ -227,35 +318,57 @@ class ModelChecker:
             raise PylseError("Initial state violates invariants")
 
         passed: Dict[Tuple[int, ...], List[DBM]] = {locvec: [initial_zone]}
-        # Per explored state: (parent state index, transition label), for
-        # counterexample reconstruction.
-        provenance: List[Tuple[int, Optional[str]]] = [(-1, None)]
+        # Per explored state: (parent state index, transition label, global
+        # clock window on entry), for counterexample reconstruction with
+        # concrete times.
+        lo, hi = initial_zone.clock_bounds(self.global_idx)
+        provenance: List[Tuple[int, Optional[str], int, Optional[int]]] = [
+            (-1, None, lo, hi)
+        ]
         waiting = deque([(locvec, initial_zone, 0)])
         violations: List[Violation] = []
+        races: List[RaceCandidate] = []
+        race_keys: set = set()
+        fired_edges: set = set()
+        visited: List[set] = [set() for _ in self.ta_names]
         states = 1
         fired = 0
+        self._note_visited(locvec, visited)
         self._check_state(
             locvec, initial_zone, fta_allowed, check_errors, error_filter,
             violations, provenance, 0,
         )
         self._note_reached(locvec, reach_targets, reached)
         completed = True
+        truncation_reason: Optional[str] = None
 
         while waiting:
             if self.max_states is not None and states >= self.max_states:
                 completed = False
+                truncation_reason = "max_states"
                 break
             if (
                 self.time_limit is not None
                 and _time.monotonic() - started > self.time_limit
             ):
                 completed = False
+                truncation_reason = "time_limit"
                 break
             locvec, zone, state_index = waiting.popleft()
+            if collect_races:
+                self._collect_races(locvec, zone, race_keys, races)
             any_successor = False
-            for new_locvec, new_zone, label in self._successors(locvec, zone):
+            for new_locvec, new_zone, label, edges in self._successors(
+                locvec, zone
+            ):
                 any_successor = True
                 fired += 1
+                for compiled in edges:
+                    edge = compiled.edge
+                    fired_edges.add(
+                        (self.ta_names[compiled.ta_index], edge.source,
+                         edge.target)
+                    )
                 bucket = passed.setdefault(new_locvec, [])
                 if self.use_inclusion:
                     if any(existing.includes(new_zone) for existing in bucket):
@@ -266,9 +379,11 @@ class ModelChecker:
                     if any(existing.key() == key for existing in bucket):
                         continue
                 bucket.append(new_zone)
-                provenance.append((state_index, label))
+                lo, hi = new_zone.clock_bounds(self.global_idx)
+                provenance.append((state_index, label, lo, hi))
                 new_index = len(provenance) - 1
                 states += 1
+                self._note_visited(new_locvec, visited)
                 self._check_state(
                     new_locvec, new_zone, fta_allowed, check_errors,
                     error_filter, violations, provenance, new_index,
@@ -283,6 +398,8 @@ class ModelChecker:
                         location=self._describe_locvec(locvec),
                         detail="state has no action successor",
                         trace=self._trace(provenance, state_index),
+                        steps=self._trace_steps(provenance, state_index),
+                        locations=self._locvec_pairs(locvec),
                     )
                 )
 
@@ -305,17 +422,99 @@ class ModelChecker:
             elapsed_seconds=_time.monotonic() - started,
             completed=completed,
             violations=violations,
+            truncation_reason=truncation_reason,
+            races=races,
+            coverage=Coverage(
+                fired_edges=frozenset(fired_edges),
+                visited_locations={
+                    self.ta_names[k]: frozenset(
+                        self.loc_names[k][loc] for loc in locs
+                    )
+                    for k, locs in enumerate(visited)
+                },
+            ),
         )
+
+    def _note_visited(self, locvec, visited: List[set]) -> None:
+        for ta_index, loc in enumerate(locvec):
+            visited[ta_index].add(loc)
+
+    def _locvec_pairs(self, locvec) -> List[Tuple[str, str]]:
+        return [
+            (self.ta_names[k], self.loc_names[k][loc])
+            for k, loc in enumerate(locvec)
+        ]
+
+    # ------------------------------------------------------------------
+    # race candidates (PL402's reachability half)
+    # ------------------------------------------------------------------
+    def _collect_races(self, locvec, zone, seen: set,
+                       out: List[RaceCandidate]) -> None:
+        """Record channel pairs deliverable to one cell at a common instant.
+
+        A candidate needs (a) a cell-role automaton whose current location
+        can consume pulses from two distinct channels, (b) an enabled
+        sender on each, and (c) a non-empty zone once *both* send guards
+        are conjoined — i.e. one global instant at which both pulses can
+        be in flight. Candidates are deduplicated on (automaton, location,
+        channel pair) across the whole run.
+        """
+        enabled_sends: Dict[str, List[_CompiledEdge]] = {}
+        for channel, senders in self.senders.items():
+            for send in senders:
+                if send.source == locvec[send.ta_index]:
+                    enabled_sends.setdefault(channel, []).append(send)
+        if len(enabled_sends) < 2:
+            return
+        for ta_index, role in enumerate(self.ta_roles):
+            if role != "cell":
+                continue
+            receivable = self.recv_channels[ta_index].get(locvec[ta_index])
+            if not receivable:
+                continue
+            live = sorted(ch for ch in receivable if ch in enabled_sends)
+            for i, ch_a in enumerate(live):
+                for ch_b in live[i + 1:]:
+                    key = (ta_index, locvec[ta_index], ch_a, ch_b)
+                    if key in seen:
+                        continue
+                    window = self._simultaneous_window(
+                        zone, enabled_sends[ch_a], enabled_sends[ch_b]
+                    )
+                    if window is None:
+                        continue
+                    seen.add(key)
+                    out.append(RaceCandidate(
+                        automaton=self.ta_names[ta_index],
+                        location=self.loc_names[ta_index][locvec[ta_index]],
+                        channel_a=ch_a,
+                        channel_b=ch_b,
+                        window=window,
+                    ))
+
+    def _simultaneous_window(self, zone: DBM, sends_a, sends_b):
+        """Global-clock window where both sends are enabled at once."""
+        for send_a in sends_a:
+            for send_b in sends_b:
+                if send_a.ta_index == send_b.ta_index:
+                    continue
+                z = zone.copy()
+                for edge in (send_a, send_b):
+                    for i, j, encoded in edge.guard_ops:
+                        z.constrain(i, j, encoded)
+                z.canonicalize()
+                if not z.is_empty():
+                    return z.clock_bounds(self.global_idx)
+        return None
 
     def _compile_reachable(self, queries):
         """Set of (automaton index, location index) for E<> queries."""
         targets = set()
-        name_to_index = {name: k for k, name in enumerate(self.ta_names)}
         for q in queries:
             if q.kind != "reachable":
                 continue
             for ta_name, loc_name in q.error_locations:
-                ta_index = name_to_index[ta_name]
+                ta_index = self.ta_index[ta_name]
                 targets.add((ta_index, self.loc_index[ta_index][loc_name]))
         return targets
 
@@ -338,12 +537,18 @@ class ModelChecker:
 
     @staticmethod
     def _trace(provenance, state_index) -> List[str]:
-        steps: List[str] = []
+        return [label for label, _, _ in
+                ModelChecker._trace_steps(provenance, state_index)]
+
+    @staticmethod
+    def _trace_steps(provenance, state_index) -> List[TraceStep]:
+        """The path to ``state_index`` with global-time windows attached."""
+        steps: List[TraceStep] = []
         index = state_index
         while index > 0:
-            parent, label = provenance[index]
+            parent, label, lo, hi = provenance[index]
             if label is not None:
-                steps.append(label)
+                steps.append((label, lo, hi))
             index = parent
         steps.reverse()
         return steps
@@ -356,7 +561,7 @@ class ModelChecker:
                     continue
                 result = self._fire(zone, locvec, [edge])
                 if result is not None:
-                    yield (*result, self._label([edge]))
+                    yield (*result, self._label([edge]), (edge,))
         for channel, senders in self.senders.items():
             receivers = self.receivers.get(channel, [])
             for send in senders:
@@ -370,7 +575,8 @@ class ModelChecker:
                         continue
                     result = self._fire(zone, locvec, [send, recv])
                     if result is not None:
-                        yield (*result, self._label([send, recv]))
+                        yield (*result, self._label([send, recv]),
+                               (send, recv))
 
     def _label(self, edges: List[_CompiledEdge]) -> str:
         """Human-readable description of a fired (set of) edge(s)."""
@@ -430,12 +636,11 @@ class ModelChecker:
     def _compile_query1(self, queries):
         """automaton index -> (location index, allowed global times)."""
         fta_allowed: Dict[int, Tuple[int, FrozenSet[int]]] = {}
-        name_to_index = {name: k for k, name in enumerate(self.ta_names)}
         for q in queries:
             if q.kind != "output_times":
                 continue
             for prop in q.properties:
-                ta_index = name_to_index.get(prop.automaton)
+                ta_index = self.ta_index.get(prop.automaton)
                 if ta_index is None:
                     raise PylseError(
                         f"Query 1 names unknown automaton {prop.automaton!r}"
@@ -452,12 +657,11 @@ class ModelChecker:
     def _compile_query2(self, queries):
         """Set of (automaton index, location index) to treat as errors."""
         pairs = set()
-        name_to_index = {name: k for k, name in enumerate(self.ta_names)}
         for q in queries:
             if q.kind != "no_errors":
                 continue
             for ta_name, loc_name in q.error_locations:
-                ta_index = name_to_index[ta_name]
+                ta_index = self.ta_index[ta_name]
                 pairs.add((ta_index, self.loc_index[ta_index][loc_name]))
         return pairs
 
@@ -477,6 +681,8 @@ class ModelChecker:
                             location=self.loc_names[ta_index][loc],
                             detail="error location is reachable",
                             trace=self._trace(provenance, state_index),
+                            steps=self._trace_steps(provenance, state_index),
+                            locations=self._locvec_pairs(locvec),
                         )
                     )
         if fta_allowed:
@@ -496,6 +702,8 @@ class ModelChecker:
                                 f"[{lower}, {upper}]"
                             ),
                             trace=self._trace(provenance, state_index),
+                            steps=self._trace_steps(provenance, state_index),
+                            locations=self._locvec_pairs(locvec),
                         )
                     )
                 elif lower not in allowed:
@@ -509,5 +717,7 @@ class ModelChecker:
                                 f"{sorted(allowed)}"
                             ),
                             trace=self._trace(provenance, state_index),
+                            steps=self._trace_steps(provenance, state_index),
+                            locations=self._locvec_pairs(locvec),
                         )
                     )

@@ -1,0 +1,138 @@
+"""Lint baselines: fingerprints, write/compare, and the CLI contract.
+
+CI fails only on *new* findings: a baseline file accepts the current
+finding set; later runs exit 0 while every finding's fingerprint is known
+and exit 1 the moment an unknown one appears. Fingerprints are
+content-addressed — rule ID, the design's structural hash, and the
+canonical location — so message rewording never churns a baseline while a
+design-shape change (new structural hash) expires its entries.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.circuit import fresh_circuit
+from repro.core.helpers import inp_at
+from repro.core.wire import Wire
+from repro.lint import (
+    compare_with_baseline,
+    finding_fingerprint,
+    lint_circuit,
+    load_baseline,
+    write_baseline,
+)
+from repro.sfq.and_s import AND
+
+
+def build_and(clk_time):
+    with fresh_circuit() as circuit:
+        a = inp_at(30.0, name="A")
+        b = inp_at(10.0, name="B")
+        clk = inp_at(clk_time, name="CLK")
+        circuit.add_node(AND(), [a, b, clk], [Wire("OUT_q")])
+    return circuit
+
+
+class TestFingerprints:
+    def test_stable_across_reelaboration(self):
+        r1 = lint_circuit(build_and(50.0))
+        r2 = lint_circuit(build_and(50.0))
+        fp1 = [finding_fingerprint(f, r1.structural_hash) for f in r1.findings]
+        fp2 = [finding_fingerprint(f, r2.structural_hash) for f in r2.findings]
+        assert fp1 and fp1 == fp2
+
+    def test_ignores_message_wording(self):
+        report = lint_circuit(build_and(50.0))
+        finding = report.findings[0]
+        reworded = type(finding)(
+            rule=finding.rule, severity=finding.severity,
+            message="completely different text", location=finding.location,
+        )
+        assert finding_fingerprint(finding, report.structural_hash) == \
+            finding_fingerprint(reworded, report.structural_hash)
+
+    def test_structural_change_expires(self):
+        r1 = lint_circuit(build_and(50.0))
+        r2 = lint_circuit(build_and(60.0))  # different schedule, new hash
+        assert r1.structural_hash != r2.structural_hash
+        assert finding_fingerprint(r1.findings[0], r1.structural_hash) != \
+            finding_fingerprint(r1.findings[0], r2.structural_hash)
+
+
+class TestWriteCompare:
+    def test_round_trip(self, tmp_path):
+        reports = [lint_circuit(build_and(50.0), design="andtest")]
+        path = tmp_path / "baseline.json"
+        count = write_baseline(str(path), reports)
+        assert count == len(reports[0].findings)
+        baseline = load_baseline(str(path))
+        comparison = compare_with_baseline(reports, baseline)
+        assert comparison.ok
+        assert not comparison.new and not comparison.resolved
+        assert len(comparison.known) == count
+
+    def test_new_finding_fails(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), [lint_circuit(build_and(50.0))])
+        # A broken schedule produces findings the baseline has never seen
+        # (and a different structural hash, expiring the old entries).
+        broken = [lint_circuit(build_and(31.0), reach=True)]
+        comparison = compare_with_baseline(broken, load_baseline(str(path)))
+        assert not comparison.ok
+        assert any(f.rule == "PL403" for _, f in comparison.new)
+
+    def test_resolved_entries_reported(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), [lint_circuit(build_and(31.0), reach=True)])
+        clean = [lint_circuit(build_and(31.0), select="PL2")]  # none fire
+        comparison = compare_with_baseline(clean, load_baseline(str(path)))
+        assert comparison.ok  # resolved entries never fail the gate
+        assert comparison.resolved
+        assert "resolved" in comparison.render_text()
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(Exception, match="repro-lint-baseline-v1"):
+            load_baseline(str(path))
+
+
+class TestCli:
+    def test_update_then_compare_exits_zero(self, tmp_path, capsys):
+        path = str(tmp_path / "baseline.json")
+        assert main(["lint", "AND", "DRO", "--reach",
+                     "--baseline", path, "--update-baseline"]) == 0
+        assert main(["lint", "AND", "DRO", "--reach",
+                     "--baseline", path]) == 0
+        out = capsys.readouterr().out
+        assert "0 new" in out
+
+    def test_known_findings_pass_even_at_fail_on_info(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        assert main(["lint", "AND", "--reach",
+                     "--baseline", path, "--update-baseline"]) == 0
+        # AND has info findings; without a baseline this exits 1.
+        assert main(["lint", "AND", "--reach", "--fail-on", "info"]) == 1
+        # With the baseline, the same findings are known: exit 0.
+        assert main(["lint", "AND", "--reach", "--fail-on", "info",
+                     "--baseline", path]) == 0
+
+    def test_new_finding_exits_one(self, tmp_path, capsys):
+        path = str(tmp_path / "baseline.json")
+        # Baseline covers only DRO; linting AND (other fingerprints,
+        # other structural hash) produces strictly new findings.
+        assert main(["lint", "DRO",
+                     "--baseline", path, "--update-baseline"]) == 0
+        assert main(["lint", "AND", "--baseline", path]) == 1
+        assert "NEW finding" in capsys.readouterr().out
+
+    def test_missing_baseline_file_is_a_usage_error(self, tmp_path, capsys):
+        path = str(tmp_path / "nope.json")
+        assert main(["lint", "AND", "--baseline", path]) == 2
+        assert "--update-baseline" in capsys.readouterr().err
+
+    def test_update_baseline_requires_path(self, capsys):
+        assert main(["lint", "AND", "--update-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err

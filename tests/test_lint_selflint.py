@@ -9,7 +9,7 @@ simulation runs.
 import pytest
 
 from repro.exp.registry import build_in_fresh_circuit, registry
-from repro.lint import Severity, lint_circuit, lint_machine
+from repro.lint import ReachBudget, Severity, lint_circuit, lint_machine
 from repro.sfq import BASIC_CELLS, EXTENSION_CELLS
 
 ALL_CELLS = BASIC_CELLS + EXTENSION_CELLS
@@ -46,3 +46,35 @@ def test_registry_designs_have_no_guaranteed_timing_violations():
         assert not [f for f in report.findings if f.rule == "PL301"], entry.name
         if report.timing and report.timing.get("safe_margin") is not None:
             assert report.timing["safe_margin"] > 0, entry.name
+
+
+@pytest.mark.parametrize("entry", registry(), ids=lambda e: e.name)
+def test_registry_designs_reach_clean(entry):
+    """PL4xx over every design: nothing above info under its own stimulus.
+
+    The registry stimuli are violation-free by construction, so the zone
+    exploration must not find a reachable timing violation (PL403), a
+    deliverable race (PL402), or a stuck state (PL404) in any of the 22
+    designs; only PL401 dead-in-context infos are expected. A modest state
+    budget keeps this fast — the big designs truncate, which is reported
+    explicitly and only *reduces* findings (BFS prefix), never invents one.
+    """
+    circuit = build_in_fresh_circuit(entry)
+    report = lint_circuit(
+        circuit, design=entry.name, reach=True,
+        reach_budget=ReachBudget(max_states=1500, time_limit=20.0),
+    )
+    reach_findings = [
+        f for f in report.findings if f.rule.startswith("PL4")
+    ]
+    above_info = [f for f in reach_findings if f.severity > Severity.INFO]
+    assert not above_info, [f.render() for f in above_info]
+    assert {f.rule for f in reach_findings} <= {"PL401"}, (
+        [f.render() for f in reach_findings]
+    )
+    if report.reach_skipped is None:
+        assert report.reach, "reach summary missing despite the layer running"
+        if report.reach["truncated"]:
+            assert report.reach["truncation_reason"] in (
+                "max_states", "time_limit"
+            )

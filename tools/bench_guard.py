@@ -3,15 +3,17 @@
 Runs the simulator benchmarks (``bench_scaling_bitonic.py``, the
 compile-cache comparison in ``bench_compile.py``, the Monte-Carlo sweep
 in ``bench_mc_scaling.py``, the vectorized-drain comparison in
-``bench_mc_batched.py``, and the served warm-vs-cold throughput pair in
-``bench_serve.py``) via pytest-benchmark, writes the medians to
-``BENCH_sim.json`` at the repository root, and fails (exit code 1) if
+``bench_mc_batched.py``, the served warm-vs-cold throughput pair in
+``bench_serve.py``, and the incremental-lint pair in
+``bench_lint_incremental.py``) via pytest-benchmark, writes the medians
+to ``BENCH_sim.json`` at the repository root, and fails (exit code 1) if
 the bitonic-8 median regressed more than the tolerance against the
 committed baseline, if a repeated ``simulate()`` on a warm compile
 cache is no faster than a cold compile+simulate, if the batched
 Monte-Carlo drain is less than 5x faster than its per-seed reference
-on any recorded design, or if the warm (all-hit) serve path is less
-than 10x the cold (all-miss) path.
+on any recorded design, if the warm (all-hit) serve path is less
+than 10x the cold (all-miss) path, or if a warm re-lint with PL4xx
+reachability enabled is less than 10x a cold one.
 
 Usage, from the repository root::
 
@@ -68,6 +70,7 @@ BENCH_GROUPS = [
     ["benchmarks/bench_mc_scaling.py::test_mc_amortized"],
     ["benchmarks/bench_mc_batched.py"],
     ["benchmarks/bench_serve.py"],
+    ["benchmarks/bench_lint_incremental.py"],
 ]
 
 #: Requests per timed round in ``benchmarks/bench_serve.py`` — mirrored
@@ -78,6 +81,12 @@ SERVE_REQUESTS_PER_ROUND = 25
 #: least this factor; anything less means the result cache is not paying
 #: for itself.
 SERVE_MIN_SPEEDUP = 10.0
+
+#: A warm re-lint with PL4xx reachability enabled (structural-hash cache
+#: hit, ``bench_lint_incremental.py``) must beat the cold exploration by
+#: at least this factor; anything less means the incremental lint cache
+#: is not paying for itself.
+LINT_MIN_SPEEDUP = 10.0
 
 #: (design, batched benchmark, per-seed benchmark) triples recorded in the
 #: ``mc_batched_200_seeds_s`` block; each batched median must beat its
@@ -194,6 +203,17 @@ def serve_throughput_block(medians_s: dict) -> dict:
     }
 
 
+def lint_incremental_block(medians_s: dict) -> dict:
+    """Cold-vs-warm incremental reach-lint (bench_lint_incremental.py)."""
+    cold = medians_s.get("test_lint_reach_cold")
+    warm = medians_s.get("test_lint_reach_warm")
+    return {
+        "cold_s": round(cold, 4) if cold else None,
+        "warm_s": round(warm, 4) if warm else None,
+        "warm_vs_cold": round(cold / warm, 2) if cold and warm else None,
+    }
+
+
 def compile_cache_block(medians_us: dict) -> dict:
     """Cold-compile vs warm-repeat-simulate comparison (bench_compile.py)."""
     cold = medians_us.get("test_simulate_cold")
@@ -278,6 +298,7 @@ def main(argv=None) -> int:
         ),
         "mc_batched_200_seeds_s": mc_batched_block(medians_s),
         "serve_throughput": serve_throughput_block(medians_s),
+        "lint_incremental": lint_incremental_block(medians_s),
     }
 
     failed = False
@@ -354,6 +375,29 @@ def main(argv=None) -> int:
                 f"REGRESSION: warm serve path is only {speedup}x the "
                 f"cold path (floor {SERVE_MIN_SPEEDUP}x) — the result "
                 f"cache is not paying for itself",
+                file=sys.stderr,
+            )
+            failed = True
+
+    lint = doc["lint_incremental"]
+    speedup = lint["warm_vs_cold"]
+    if speedup is None:
+        print(
+            f"REGRESSION: lint incremental pair incomplete "
+            f"(cold={lint['cold_s']}, warm={lint['warm_s']})",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(
+            f"lint incremental: cold {lint['cold_s']:.3f} s vs "
+            f"warm re-lint {lint['warm_s']:.4f} s ({speedup}x)"
+        )
+        if speedup < LINT_MIN_SPEEDUP:
+            print(
+                f"REGRESSION: warm re-lint is only {speedup}x the cold "
+                f"reach analysis (floor {LINT_MIN_SPEEDUP}x) — the "
+                f"incremental lint cache is not paying for itself",
                 file=sys.stderr,
             )
             failed = True
