@@ -1,0 +1,55 @@
+"""Cold-vs-warm sweep benchmarks for the design-space explorer.
+
+Each timed round sweeps the same small grid through
+:class:`repro.explore.ExploreEngine`:
+
+* ``cold`` — a fresh engine per round: every point pays elaboration,
+  compilation, baseline simulation, and a full Monte-Carlo measurement
+  (the all-miss floor);
+* ``warm`` — one pre-warmed engine reused across rounds: every point is
+  a digest-memo hit plus a result-cache hit, measuring pure lookup and
+  assembly overhead.
+
+``tools/bench_guard.py`` records both medians in the ``explore_cache``
+block of ``BENCH_sim.json`` and fails if warm is less than 10x faster
+than cold — the result cache paying for itself is what makes repeated
+and refined sweeps cheap.
+"""
+
+from repro.explore import ExploreEngine
+
+#: Mirrored in ``tools/bench_guard.py`` (the ``explore_cache`` block) —
+#: keep the two definitions in sync.
+EXPLORE_BENCH_FAMILY = "racetree"
+EXPLORE_BENCH_GRID = {"depth": [1, 2, 3]}
+EXPLORE_BENCH_SIGMA = 0.4
+EXPLORE_BENCH_SEEDS = 12
+
+
+def _sweep(engine: ExploreEngine):
+    return engine.sweep(
+        EXPLORE_BENCH_FAMILY,
+        EXPLORE_BENCH_GRID,
+        sigma=EXPLORE_BENCH_SIGMA,
+        n_seeds=EXPLORE_BENCH_SEEDS,
+    )
+
+
+def test_explore_cold(benchmark):
+    def round():
+        return _sweep(ExploreEngine())
+
+    sweep = benchmark.pedantic(round, rounds=3, iterations=1, warmup_rounds=1)
+    assert all(not point.cached for point in sweep.points)
+    assert sweep.pareto
+
+
+def test_explore_warm(benchmark):
+    engine = ExploreEngine()
+    cold = _sweep(engine)   # prime every cache outside the timed region
+
+    sweep = benchmark.pedantic(
+        lambda: _sweep(engine), rounds=5, iterations=1, warmup_rounds=1
+    )
+    assert all(point.cached for point in sweep.points)
+    assert [p.result for p in sweep.points] == [p.result for p in cold.points]

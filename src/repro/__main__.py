@@ -16,6 +16,7 @@ Usage::
     python -m repro trace Min-Max --stats --provenance max   # + metrics + chain
     python -m repro export Min-Max            # structural JSON
     python -m repro serve --port 8080 --workers 4   # yield-analysis service
+    python -m repro explore adder_sync --grid n=1,2,4,8   # design-space sweep
 
 (The table/figure experiments live under ``python -m repro.exp``.)
 """
@@ -323,6 +324,12 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_explore(args) -> int:
+    from .explore.cli import cmd_explore as run_explore
+
+    return run_explore(args)
+
+
 def cmd_serve(args) -> int:
     from .serve import run_server
 
@@ -479,6 +486,9 @@ def main(argv=None) -> int:
                         "(default 128)")
     p.add_argument("--verbose", action="store_true",
                    help="log one line per handled request")
+    from .explore.cli import add_explore_parser
+
+    add_explore_parser(sub)
     args = parser.parse_args(argv)
     handler = {
         "list": cmd_list,
@@ -492,6 +502,7 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "export": cmd_export,
         "serve": cmd_serve,
+        "explore": cmd_explore,
     }[args.command]
     return handler(args)
 

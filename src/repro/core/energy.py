@@ -9,8 +9,26 @@ metric gives a first-order dynamic-energy estimate for a run:
     E(cell) ~= input pulses consumed * jjs(cell) * E_jj
 
 (a worst-case model: every junction in the cell switches once per processed
-pulse — real cells switch a subset, so this is an upper bound; bias-network
-static power is out of scope).
+pulse — real cells switch a subset, so this is an upper bound).
+
+Beyond the dynamic estimate, :func:`cell_cost` / :func:`circuit_cost`
+extend the same ``jjs`` attribute into a full first-order static cost
+model — bias current, bias-network static power, and layout area — so the
+design-space explorer (:mod:`repro.explore`) can trade cost against
+latency and yield without simulating. All coefficients are per-junction:
+
+* each junction is DC-biased at ``BIAS_FRACTION x Ic`` (~0.7 Ic, the
+  classic RSFQ operating point), so cell bias current is
+  ``jjs x 70 uA``;
+* the resistor-ladder bias network drops ``V_BIAS`` (2.6 mV, the common
+  RSFQ rail) across each tap, so static power is ``I_bias x V_BIAS``
+  (~0.18 uW per junction — the dominant power term in RSFQ, orders of
+  magnitude above the switching energy at GHz rates);
+* layout area is ``AREA_PER_JJ_UM2`` per junction including its shunt
+  resistor and bias tap.
+
+These are first-order upper bounds, like the switching model: good for
+*comparing* design points in a sweep, not for sign-off.
 """
 
 from __future__ import annotations
@@ -29,6 +47,109 @@ DEFAULT_IC_A = 1e-4
 
 #: Energy per junction switching event (J): Ic * PHI0 ~ 0.207 aJ.
 E_JJ = DEFAULT_IC_A * PHI0_WB
+
+#: Fraction of Ic each junction is DC-biased at (typical RSFQ bias point).
+BIAS_FRACTION = 0.7
+
+#: DC bias current per junction (A): 0.7 x 0.1 mA = 70 uA.
+I_BIAS_PER_JJ_A = BIAS_FRACTION * DEFAULT_IC_A
+
+#: Bias-network rail voltage (V): the common 2.6 mV RSFQ supply.
+V_BIAS_V = 2.6e-3
+
+#: Static bias power per junction (W): I_bias x V_bias ~ 0.18 uW.
+P_STATIC_PER_JJ_W = I_BIAS_PER_JJ_A * V_BIAS_V
+
+#: Layout area per junction (um^2), including shunt and bias tap.
+AREA_PER_JJ_UM2 = 50.0
+
+
+@dataclass(frozen=True)
+class CellCost:
+    """Static first-order costs of one cell type, derived from ``jjs``.
+
+    ``switching_energy_j`` is the worst-case energy of processing one
+    input pulse (every junction slips once); the other fields are
+    always-on costs independent of activity.
+    """
+
+    cell: str
+    jjs: int
+    switching_energy_j: float
+    bias_current_a: float
+    static_power_w: float
+    area_um2: float
+
+
+def cell_cost(element) -> CellCost:
+    """The static cost model for one placed element (holes cost zero).
+
+    Accepts anything with a ``jjs`` attribute — an :class:`~repro.sfq.base.SFQ`
+    instance or class; elements without ``jjs`` (Functional holes,
+    ``InGen`` sources) are behavioral placeholders with no junctions yet
+    and cost nothing.
+    """
+    jjs = getattr(element, "jjs", 0)
+    if isinstance(jjs, bool) or not isinstance(jjs, int) or jjs < 0:
+        raise PylseError(
+            f"cell_cost: jjs must be a non-negative integer, got {jjs!r}"
+        )
+    return CellCost(
+        cell=getattr(element, "name", type(element).__name__),
+        jjs=jjs,
+        switching_energy_j=jjs * E_JJ,
+        bias_current_a=jjs * I_BIAS_PER_JJ_A,
+        static_power_w=jjs * P_STATIC_PER_JJ_W,
+        area_um2=jjs * AREA_PER_JJ_UM2,
+    )
+
+
+@dataclass(frozen=True)
+class CircuitCost:
+    """Whole-circuit static cost totals (the explorer's cost axis)."""
+
+    cells: int
+    jjs: int
+    bias_current_a: float
+    static_power_w: float
+    area_um2: float
+    by_cell_type: Dict[str, int]
+
+    def render(self) -> str:
+        lines = [
+            f"cells: {self.cells}   junctions: {self.jjs}",
+            f"bias current: {self.bias_current_a * 1e3:.3f} mA",
+            f"static power: {self.static_power_w * 1e6:.3f} uW",
+            f"area: {self.area_um2:.0f} um^2",
+        ]
+        for cell, count in sorted(self.by_cell_type.items()):
+            lines.append(f"  {cell:<8} x{count}")
+        return "\n".join(lines)
+
+
+def circuit_cost(circuit) -> CircuitCost:
+    """Sum :func:`cell_cost` over every placed cell — no simulation needed.
+
+    ``circuit`` is a :class:`~repro.core.circuit.Circuit`; input
+    generators are excluded (as in :meth:`Circuit.cells`) and holes
+    contribute to the cell count but carry zero junctions.
+    """
+    cells = 0
+    jjs = 0
+    by_type: Dict[str, int] = {}
+    for node in circuit.cells():
+        cost = cell_cost(node.element)
+        cells += 1
+        jjs += cost.jjs
+        by_type[cost.cell] = by_type.get(cost.cell, 0) + 1
+    return CircuitCost(
+        cells=cells,
+        jjs=jjs,
+        bias_current_a=jjs * I_BIAS_PER_JJ_A,
+        static_power_w=jjs * P_STATIC_PER_JJ_W,
+        area_um2=jjs * AREA_PER_JJ_UM2,
+        by_cell_type=by_type,
+    )
 
 
 @dataclass

@@ -8,7 +8,16 @@
 * :mod:`repro.designs.memory` — the Figure 9 memory hole.
 """
 
-from .adder_sync import CLOCK_PERIOD, PIPELINE_DEPTH, adder_test_times, full_adder
+from .adder_sync import (
+    CLOCK_PERIOD,
+    PIPELINE_DEPTH,
+    adder_test_times,
+    full_adder,
+    ripple_adder,
+    ripple_clock_pulses,
+    ripple_clock_skew,
+    ripple_test_times,
+)
 from .adder_xsfq import cells_per_bit, xsfq_full_adder, xsfq_ripple_adder
 from .bitonic import (
     bitonic_comparators,
@@ -33,9 +42,22 @@ from .holes import (
     make_counter,
     make_shift_register,
 )
-from .memory import MEMORY_INPUTS, MEMORY_OUTPUTS, make_memory
+from .memory import (
+    MEMORY_INPUTS,
+    MEMORY_OUTPUTS,
+    make_memory,
+    make_memory_n,
+    memory_port_names,
+)
 from .minmax import MINMAX_DELAY, min_max
-from .racetree import expected_label, race_tree, race_tree_inputs
+from .racetree import (
+    expected_label,
+    expected_leaf,
+    race_tree,
+    race_tree_depth,
+    race_tree_depth_inputs,
+    race_tree_inputs,
+)
 
 __all__ = [
     "CLOCK_PERIOD",
@@ -59,16 +81,25 @@ __all__ = [
     "dr_or",
     "dr_xor",
     "expected_label",
+    "expected_leaf",
     "full_adder",
     "make_accumulator",
     "make_comparator",
     "make_counter",
     "make_memory",
+    "make_memory_n",
     "make_shift_register",
+    "memory_port_names",
     "min_max",
     "network_depth",
     "race_tree",
+    "race_tree_depth",
+    "race_tree_depth_inputs",
     "race_tree_inputs",
+    "ripple_adder",
+    "ripple_clock_pulses",
+    "ripple_clock_skew",
+    "ripple_test_times",
     "xsfq_full_adder",
     "xsfq_ripple_adder",
 ]

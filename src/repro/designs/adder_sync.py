@@ -19,10 +19,12 @@ This is the reproduction of Table 3's "Adder (Sync)" row.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+from ..core.errors import PylseError
 from ..core.wire import Wire
 from ..sfq.functions import and_s, jtl, or_s, split, xor_s
+from ..sfq.splitter import S
 
 #: Clock period (ps) the adder is designed and tested at.
 CLOCK_PERIOD = 50.0
@@ -80,3 +82,99 @@ def adder_test_times(
         "b": [start] if b_bit else [],
         "cin": [start] if cin_bit else [],
     }
+
+
+def _clock_tree_depth(n_bits: int) -> int:
+    """Splitter-tree depth distributing the clock to ``n_bits`` adders."""
+    depth = 0
+    while (1 << depth) < n_bits:
+        depth += 1
+    return depth
+
+
+def ripple_clock_skew(n_bits: int) -> float:
+    """Delay (ps) from the external clock to each bit's adder, pre-tree only.
+
+    The per-bit clock tree is padded to the next power of two so every
+    full adder sees exactly the same skew; inside each adder the clock
+    passes three more splitter levels (see :func:`full_adder`).
+    """
+    return _clock_tree_depth(n_bits) * S.firing_delay
+
+
+def ripple_adder(
+    a_bits: Sequence[Wire],
+    b_bits: Sequence[Wire],
+    cin: Wire,
+    clk: Wire,
+    period: float = CLOCK_PERIOD,
+) -> Tuple[List[Wire], Wire]:
+    """An n-bit wave-pipelined synchronous ripple-carry adder; LSB first.
+
+    Returns the per-bit sum wires and the final carry-out. One
+    :func:`full_adder` per bit; bit ``k``'s carry-out emerges after clock
+    pulse ``3k + 3`` and is consumed by bit ``k + 1`` at pulse
+    ``3(k + 1) + 1`` — one full period of margin. The external clock is
+    distributed through a splitter tree padded to the next power of two
+    (extra leaves dangle) so every bit sees an identical clock phase;
+    without the padding, bits at different tree depths would skew by one
+    splitter delay per level and eat the carry margin.
+
+    Present bit ``k``'s operands ``3 k period`` later than bit 0's (see
+    :func:`ripple_test_times`); the clock needs ``3 n_bits`` pulses.
+    """
+    n_bits = len(a_bits)
+    if n_bits == 0:
+        raise PylseError("ripple_adder needs at least one operand bit")
+    if len(b_bits) != n_bits:
+        raise PylseError(
+            f"Operand widths differ: {n_bits} vs {len(b_bits)}"
+        )
+    if n_bits == 1:
+        leaves: Sequence[Wire] = (clk,)
+    else:
+        leaves = split(clk, n=1 << _clock_tree_depth(n_bits))
+    sums: List[Wire] = []
+    carry = cin
+    for k in range(n_bits):
+        total, carry = full_adder(a_bits[k], b_bits[k], carry, leaves[k], period)
+        sums.append(total)
+    return sums, carry
+
+
+def ripple_test_times(
+    a: int,
+    b: int,
+    cin_bit: int,
+    n_bits: int,
+    start: float = 30.0,
+    period: float = CLOCK_PERIOD,
+) -> Dict[str, List[float]]:
+    """Pulse schedule adding ``a + b + cin`` on an n-bit :func:`ripple_adder`.
+
+    Returns ``{input name: [pulse times]}`` for inputs named ``a0..``,
+    ``b0..`` (LSB first) and ``cin``. Bit ``k``'s operands are presented
+    ``3 k period`` after ``start`` — the wave-pipelining schedule — shifted
+    by the uniform pre-tree clock skew so each bit's operands land in the
+    clock window that consumes them. Drive the clock with
+    ``inp(start=period, period=period, n=ripple_clock_pulses(n_bits))``.
+    """
+    if not 0 <= a < (1 << n_bits) or not 0 <= b < (1 << n_bits):
+        raise PylseError(
+            f"operands must fit in {n_bits} bit(s), got {a} and {b}"
+        )
+    if cin_bit not in (0, 1):
+        raise PylseError(f"cin_bit must be 0 or 1, got {cin_bit}")
+    skew = ripple_clock_skew(n_bits)
+    times: Dict[str, List[float]] = {}
+    for k in range(n_bits):
+        at = start + 3 * k * period + skew
+        times[f"a{k}"] = [at] if (a >> k) & 1 else []
+        times[f"b{k}"] = [at] if (b >> k) & 1 else []
+    times["cin"] = [start + skew] if cin_bit else []
+    return times
+
+
+def ripple_clock_pulses(n_bits: int) -> int:
+    """Clock pulses needed to flush an n-bit addition (3 per bit)."""
+    return PIPELINE_DEPTH * n_bits

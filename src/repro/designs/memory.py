@@ -7,12 +7,17 @@ write (if enabled) is committed, the read value is emitted on the dual-bit
 output, and the latches reset for the next period.
 
 :func:`make_memory` is a factory so each instantiation gets private state.
+:func:`make_memory_n` generalizes it to ``words x bits`` for the design
+explorer; ``make_memory()`` is exactly ``make_memory_n(16, 2)`` with the
+Figure 9 port names.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import List
 
+from ..core.errors import PylseError
 from ..core.functional import hole
 
 #: Input port names, matching Figure 9.
@@ -53,4 +58,66 @@ def make_memory(delay: float = 5.0):
         return ((value >> 1) & 1), value & 1
 
     memory.backing_store = mem
+    return memory
+
+
+def memory_port_names(words: int, bits: int) -> List[str]:
+    """Input port names of a ``words x bits`` memory, MSB first per group.
+
+    ``ra<i>``/``wa<i>`` address bits, ``d<i>`` data bits, then ``we`` and
+    ``clk`` — the Figure 9 layout at arbitrary geometry.
+    """
+    abits = max(1, (words - 1).bit_length())
+    names = [f"ra{i}" for i in reversed(range(abits))]
+    names += [f"wa{i}" for i in reversed(range(abits))]
+    names += [f"d{i}" for i in reversed(range(bits))]
+    names += ["we", "clk"]
+    return names
+
+
+def make_memory_n(words: int = 16, bits: int = 2, delay: float = 5.0):
+    """Create a fresh ``words x bits`` memory hole (LSB-numbered ports).
+
+    ``words`` must be a power of two (the address bus is fully decoded).
+    The returned instantiation function takes wires in
+    :func:`memory_port_names` order and yields ``bits`` output wires
+    ``(q<bits-1>, ..., q0)``, MSB first — for ``bits == 1`` a single wire.
+    """
+    if words < 2 or words & (words - 1):
+        raise PylseError(
+            f"memory words must be a power of two >= 2, got {words}"
+        )
+    if bits < 1:
+        raise PylseError(f"memory bits must be >= 1, got {bits}")
+    abits = (words - 1).bit_length()
+    inputs = memory_port_names(words, bits)
+    outputs = [f"q{i}" for i in reversed(range(bits))]
+    mem = defaultdict(lambda: 0)
+    state = {"raddr": 0, "waddr": 0, "wenable": 0, "data": 0}
+
+    @hole(delay=delay, inputs=inputs, outputs=outputs)
+    def memory(*args):
+        *pulses, time = args
+        ra = pulses[:abits]
+        wa = pulses[abits:2 * abits]
+        d = pulses[2 * abits:2 * abits + bits]
+        we, clk = pulses[2 * abits + bits:]
+        state["raddr"] |= sum(bit << k for k, bit in enumerate(reversed(ra)))
+        state["waddr"] |= sum(bit << k for k, bit in enumerate(reversed(wa)))
+        state["data"] |= sum(bit << k for k, bit in enumerate(reversed(d)))
+        state["wenable"] |= we
+        if clk:
+            if state["wenable"]:
+                mem[state["waddr"]] = state["data"]
+            value = mem[state["raddr"]]
+            state["raddr"] = state["waddr"] = state["wenable"] = state["data"] = 0
+        else:
+            value = 0
+        if bits == 1:
+            return value & 1
+        return tuple((value >> k) & 1 for k in reversed(range(bits)))
+
+    memory.backing_store = mem
+    memory.words = words
+    memory.bits = bits
     return memory

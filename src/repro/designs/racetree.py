@@ -26,8 +26,9 @@ analogue of a comparator metastability window.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.errors import PylseError
 from ..core.wire import Wire
 from ..sfq.functions import c, dro_c, jtl, s
 
@@ -100,3 +101,117 @@ def expected_label(
     if x1_value < t1:
         return "a" if x2_value < t2 else "b"
     return "c" if x2_value < t3 else "d"
+
+
+# -- depth-d generalization (the explorer's "racetree" family) ----------
+
+def _fan(wire: Wire, levels: int) -> List[Wire]:
+    """Pad a decision with ``levels`` JTLs, then split it ``2**levels`` ways.
+
+    The generalization of the depth-2 tree's root padding: a decision made
+    ``levels`` levels above the leaves is delayed by one JTL per remaining
+    level so deeper (less padded) decisions arrive at the leaf C elements
+    first, serializing arrivals by ~16 ps per level — comfortably outside
+    the C element's transition window.
+    """
+    for _ in range(levels):
+        wire = jtl(wire)
+    outs = [wire]
+    while len(outs) < (1 << levels):
+        outs = [leaf for out in outs for leaf in s(out)]
+    return outs
+
+
+def race_tree_depth(pairs: Sequence[Tuple[Wire, Wire]]) -> List[Wire]:
+    """Build a depth-``d`` race tree from ``2**d - 1`` decision nodes.
+
+    ``pairs`` lists one ``(feature, threshold)`` wire pair per internal
+    node in heap order (node ``i``'s children are ``2i + 1`` / ``2i + 2``),
+    so ``len(pairs)`` must be ``2**d - 1``. Returns the ``2**d`` leaf
+    wires, left to right. Each node is one DRO_C (q fires iff the feature
+    pulse beat the threshold pulse); each leaf is a cascade of C elements
+    ANDing the ``d`` decisions along its path. ``d = 1`` degenerates to
+    the bare DRO_C outputs.
+
+    The fixed-topology :func:`race_tree` is the ``d = 2`` instance of this
+    generator (kept verbatim: it is a registry design with a pinned
+    structural hash).
+    """
+    n_nodes = len(pairs)
+    depth = (n_nodes + 1).bit_length() - 1
+    if n_nodes == 0 or (1 << depth) - 1 != n_nodes:
+        raise PylseError(
+            f"race_tree_depth needs 2**d - 1 decision pairs, got {n_nodes}"
+        )
+    n_leaves = 1 << depth
+    decisions = [dro_c(x, t) for x, t in pairs]
+    # leaf_inputs[j] collects the d path decisions arriving at leaf j.
+    leaf_inputs: List[List[Wire]] = [[] for _ in range(n_leaves)]
+    for level in range(depth):
+        fan_levels = depth - 1 - level
+        span = 1 << fan_levels          # leaves gated per decision output
+        for i in range(1 << level):
+            node = (1 << level) - 1 + i
+            lt, ge = decisions[node]
+            for side, wire in ((0, lt), (1, ge)):
+                base = (2 * i + side) * span
+                for offset, copy in enumerate(_fan(wire, fan_levels)):
+                    leaf_inputs[base + offset].append(copy)
+    leaves: List[Wire] = []
+    for inputs in leaf_inputs:
+        acc = inputs[0]
+        for wire in inputs[1:]:
+            acc = c(acc, wire)
+        leaves.append(acc)
+    return leaves
+
+
+def race_tree_depth_inputs(
+    depth: int,
+    feature_values: Sequence[float],
+    thresholds: Optional[Sequence[float]] = None,
+    start: float = 5.0,
+) -> Dict[str, float]:
+    """Pulse schedule for one :func:`race_tree_depth` evaluation.
+
+    One feature per level (an oblivious decision tree: every node at level
+    ``l`` tests ``feature_values[l]``), one threshold per node in heap
+    order (default 10.0 everywhere). Input names are ``x<i>`` / ``t<i>``
+    for heap node ``i``. Feature values must differ from the thresholds
+    they meet by more than the DRO_C hold time (see module docstring).
+    """
+    n_nodes = (1 << depth) - 1
+    if len(feature_values) != depth:
+        raise PylseError(
+            f"depth-{depth} tree needs {depth} feature value(s), "
+            f"got {len(feature_values)}"
+        )
+    if thresholds is None:
+        thresholds = [10.0] * n_nodes
+    if len(thresholds) != n_nodes:
+        raise PylseError(
+            f"depth-{depth} tree needs {n_nodes} threshold(s), "
+            f"got {len(thresholds)}"
+        )
+    times: Dict[str, float] = {}
+    for node in range(n_nodes):
+        level = (node + 1).bit_length() - 1
+        times[f"x{node}"] = start + feature_values[level]
+        times[f"t{node}"] = start + thresholds[node]
+    return times
+
+
+def expected_leaf(
+    depth: int,
+    feature_values: Sequence[float],
+    thresholds: Optional[Sequence[float]] = None,
+) -> int:
+    """Index of the single leaf that should fire for the given features."""
+    n_nodes = (1 << depth) - 1
+    if thresholds is None:
+        thresholds = [10.0] * n_nodes
+    node = 0
+    for level in range(depth):
+        go_right = feature_values[level] >= thresholds[node]
+        node = 2 * node + 1 + int(go_right)
+    return node - n_nodes

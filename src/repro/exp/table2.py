@@ -12,6 +12,17 @@ measure:
 The paper reports PyLSE as 16.6x smaller and ~9879x faster on average; the
 claim reproduced here is the *shape*: netlists are an order of magnitude
 larger and simulation orders of magnitude slower at the analog level.
+
+Two views of "slower" are kept separate:
+
+* the **wall-clock ratio** (``time_ratio``) mirrors the paper's Table 2
+  but depends on the host — it is tracked as the non-gating
+  ``table2_time_ratio`` metric in ``tools/bench_guard.py``;
+* the **work ratio** (``work_ratio``) is machine-independent: per-junction
+  RK4 solver steps (``steps x junctions``, fixed by ``t_end / dt`` and the
+  netlist) against discrete pulses processed by the event loop. The test
+  suite asserts on this one, so it passes identically on slow and fast
+  machines.
 """
 
 from __future__ import annotations
@@ -42,6 +53,10 @@ class Table2Row:
     schematic_seconds: float
     pylse_size: int
     pylse_seconds: float
+    #: RK4 steps x junction count: deterministic analog work.
+    schematic_steps: int = 0
+    #: Pulses processed by the discrete-event loop: deterministic DES work.
+    pylse_events: int = 0
 
     @property
     def size_ratio(self) -> float:
@@ -51,14 +66,25 @@ class Table2Row:
     def time_ratio(self) -> float:
         return self.schematic_seconds / max(self.pylse_seconds, 1e-9)
 
+    @property
+    def work_ratio(self) -> float:
+        """Machine-independent analog-vs-DES work ratio.
 
-def _time_pylse(build: Callable[[], None]) -> float:
+        Both counts are pure functions of the design and the solver
+        configuration (``t_end / dt`` RK4 steps over every junction vs.
+        pulses processed), so this ratio is identical on any host.
+        """
+        return self.schematic_steps / max(self.pylse_events, 1)
+
+
+def _time_pylse(build: Callable[[], None]) -> tuple:
+    """Simulate a PyLSE build; returns (wall seconds, pulses processed)."""
     with fresh_circuit() as circuit:
         build()
     sim = Simulation(circuit)
     start = time.perf_counter()
     sim.simulate()
-    return time.perf_counter() - start
+    return time.perf_counter() - start, sim.pulses_processed
 
 
 def _pylse_c() -> None:
@@ -112,15 +138,18 @@ def run(analog_dt: float = 0.05) -> List[Table2Row]:
     }
     for name, (netlist, t_end, pylse_build, pylse_size) in cases.items():
         start = time.perf_counter()
-        analog_simulate(netlist, t_end, analog_dt)
+        transient = analog_simulate(netlist, t_end, analog_dt)
         schematic_seconds = time.perf_counter() - start
+        pylse_seconds, pylse_events = _time_pylse(pylse_build)
         rows.append(
             Table2Row(
                 name=name,
                 schematic_lines=len(netlist.lines()),
                 schematic_seconds=schematic_seconds,
                 pylse_size=pylse_size,
-                pylse_seconds=_time_pylse(pylse_build),
+                pylse_seconds=pylse_seconds,
+                schematic_steps=transient.steps * netlist.n_junctions,
+                pylse_events=pylse_events,
             )
         )
     return rows
@@ -129,20 +158,22 @@ def run(analog_dt: float = 0.05) -> List[Table2Row]:
 def render(rows: List[Table2Row]) -> str:
     header = (
         f"{'Name':<16} {'Schem.Lines':>11} {'Schem.Time(s)':>13} "
-        f"{'PyLSE Size':>10} {'PyLSE Time(s)':>13} {'Size x':>7} {'Time x':>9}"
+        f"{'PyLSE Size':>10} {'PyLSE Time(s)':>13} {'Size x':>7} "
+        f"{'Time x':>9} {'Work x':>9}"
     )
     lines = ["Table 2: PyLSE vs schematic-level simulation", header, "-" * len(header)]
     for r in rows:
         lines.append(
             f"{r.name:<16} {r.schematic_lines:>11} {r.schematic_seconds:>13.3f} "
             f"{r.pylse_size:>10} {r.pylse_seconds:>13.6f} "
-            f"{r.size_ratio:>7.1f} {r.time_ratio:>9.0f}"
+            f"{r.size_ratio:>7.1f} {r.time_ratio:>9.0f} {r.work_ratio:>9.0f}"
         )
     avg_size = sum(r.size_ratio for r in rows) / len(rows)
     avg_time = sum(r.time_ratio for r in rows) / len(rows)
+    avg_work = sum(r.work_ratio for r in rows) / len(rows)
     lines.append(
         f"{'average':<16} {'':>11} {'':>13} {'':>10} {'':>13} "
-        f"{avg_size:>7.1f} {avg_time:>9.0f}"
+        f"{avg_size:>7.1f} {avg_time:>9.0f} {avg_work:>9.0f}"
     )
     return "\n".join(lines)
 

@@ -1,0 +1,291 @@
+"""The sweep engine: cached Monte-Carlo measurement over parameter grids.
+
+One :class:`ExploreEngine` walks a declarative parameter grid over a
+:class:`~repro.explore.families.DesignFamily`, measuring each point with
+the standard Monte-Carlo stack and caching aggressively at three levels —
+the same layering as the yield service (:mod:`repro.serve.service`), so a
+sweep point and a served request for the same circuit share semantics:
+
+* ``(family, params) -> digest`` memo: repeated sweeps over the same grid
+  never re-elaborate or re-hash a design point;
+* the **resolved cache** (digest -> :class:`ResolvedPoint`): factory,
+  baseline predicate, static cost, and latency, keyed by
+  :func:`~repro.core.ir.structural_hash` — two parameter assignments that
+  elaborate to the same circuit share one entry;
+* the **result cache** (:func:`~repro.core.ir.result_cache_key` ->
+  :class:`~repro.core.montecarlo.YieldResult`): the canonical measurement
+  memo key, so a warm sweep is pure cache lookups.
+
+Every measured point is element-wise identical to a direct
+:func:`~repro.core.montecarlo.measure_yield` call with the same
+parameters — caching can change *when* a result is computed, never its
+value (the determinism contract that makes the key sound).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.energy import CircuitCost, circuit_cost
+from ..core.errors import PylseError
+from ..core.ir import compile_circuit, result_cache_key
+from ..core.montecarlo import YieldResult, measure_yield
+from ..core.parallel import resolve_workers
+from ..core.simulation import Simulation
+from ..exp.registry import PulseCountPredicate
+from ..serve.cache import LRUCache, MISSING
+from .families import DesignFamily, FamilyFactory, get_family
+from .pareto import pareto_frontier
+
+#: Default LRU capacities (a sweep grid is small next to a service's
+#: request stream, but repeated sweeps with disjoint grids accumulate).
+DEFAULT_RESULT_CACHE_SIZE = 4096
+DEFAULT_RESOLVED_CACHE_SIZE = 256
+
+
+@dataclass(frozen=True)
+class ResolvedPoint:
+    """A design point reduced to what measurement needs, keyed by digest."""
+
+    digest: str
+    factory: FamilyFactory
+    predicate: PulseCountPredicate
+    #: Static cost model totals (no simulation involved).
+    cost: CircuitCost
+    #: Last labeled pulse of the canonical noiseless run (ps): the
+    #: makespan of the design point's stimulus, the sweep's latency axis.
+    latency_ps: float
+
+
+@dataclass(frozen=True)
+class ExplorePoint:
+    """One measured grid point: parameters, cost, latency, yield."""
+
+    family: str
+    params: Tuple[Tuple[str, int], ...]
+    digest: str
+    cost: CircuitCost
+    latency_ps: float
+    result: YieldResult
+    #: Whether the measurement came from the result cache (diagnostic —
+    #: cached and computed results are element-wise identical).
+    cached: bool = field(compare=False, default=False)
+
+    @property
+    def yield_fraction(self) -> float:
+        return self.result.yield_fraction
+
+    def objective(self) -> Tuple[float, float, float]:
+        """The minimized (cost, latency, 1 - yield) triple."""
+        return (
+            float(self.cost.jjs),
+            self.latency_ps,
+            1.0 - self.result.yield_fraction,
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full grid sweep plus its Pareto frontier."""
+
+    family: str
+    grid: Tuple[Tuple[str, Tuple[int, ...]], ...]
+    sigma: float
+    n_seeds: int
+    seed0: int
+    batch: Union[int, str, None]
+    points: Tuple[ExplorePoint, ...]
+
+    @property
+    def pareto(self) -> Tuple[ExplorePoint, ...]:
+        """The non-dominated points under (cost, latency, 1 - yield)."""
+        return tuple(pareto_frontier(self.points, key=ExplorePoint.objective))
+
+
+def parse_grid(specs: Sequence[str]) -> Dict[str, List[int]]:
+    """Parse CLI grid specs ``["n=2,4,8", ...]`` into an ordered dict.
+
+    Values must be integers (every family parameter is one); duplicates
+    within one axis are rejected — they would silently re-measure (well,
+    re-look-up) the same point.
+    """
+    grid: Dict[str, List[int]] = {}
+    for spec in specs:
+        name, sep, values = spec.partition("=")
+        name = name.strip()
+        if not sep or not name or not values.strip():
+            raise PylseError(
+                f"grid spec must look like 'name=v1,v2,...', got {spec!r}"
+            )
+        if name in grid:
+            raise PylseError(f"duplicate grid axis {name!r}")
+        parsed: List[int] = []
+        for token in values.split(","):
+            token = token.strip()
+            try:
+                parsed.append(int(token))
+            except ValueError:
+                raise PylseError(
+                    f"grid axis {name!r}: values must be integers, "
+                    f"got {token!r}"
+                ) from None
+        if len(set(parsed)) != len(parsed):
+            raise PylseError(f"grid axis {name!r} has duplicate values")
+        grid[name] = parsed
+    if not grid:
+        raise PylseError("empty grid: give at least one 'name=v1,v2,...'")
+    return grid
+
+
+def grid_points(grid: Mapping[str, Sequence[int]]) -> List[Dict[str, int]]:
+    """The cartesian product of the grid axes, in declaration order."""
+    names = list(grid)
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(grid[name] for name in names))
+    ]
+
+
+class ExploreEngine:
+    """See the module docstring; one instance amortizes across sweeps."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        resolved_cache_size: int = DEFAULT_RESOLVED_CACHE_SIZE,
+    ):
+        self.workers = resolve_workers(workers)
+        self.result_cache = LRUCache(result_cache_size)
+        self.resolved_cache = LRUCache(resolved_cache_size)
+        #: (family, params) -> digest; add-only, like the service's
+        #: name -> digest memo (a design point never changes its hash).
+        self._point_digest: Dict[Tuple[str, Tuple[Tuple[str, int], ...]], str] = {}
+        #: Monte-Carlo measurements actually computed (result-cache misses).
+        self.computations = 0
+        #: Design points elaborated + compiled (digest-memo misses).
+        self.elaborations = 0
+
+    # -- resolution -----------------------------------------------------
+    def resolve(self, family: str, params: Mapping[str, int]) -> ResolvedPoint:
+        """Elaborate/compile/baseline a design point, memoized by digest."""
+        spec: DesignFamily = get_family(family)
+        memo_key = (family, spec.normalize(params))
+        digest = self._point_digest.get(memo_key)
+        if digest is not None:
+            resolved = self.resolved_cache.get(digest)
+            if resolved is not MISSING:
+                return resolved
+        factory = FamilyFactory(family, params)
+        circuit = factory()
+        self.elaborations += 1
+        digest = compile_circuit(circuit).structural_hash
+        self._point_digest[memo_key] = digest
+        resolved = self.resolved_cache.get(digest)
+        if resolved is not MISSING:
+            return resolved
+        baseline = Simulation(circuit).simulate()
+        latency = max(
+            (times[-1] for times in baseline.values() if times),
+            default=0.0,
+        )
+        resolved = ResolvedPoint(
+            digest=digest,
+            factory=factory,
+            predicate=PulseCountPredicate(baseline),
+            cost=circuit_cost(circuit),
+            latency_ps=latency,
+        )
+        self.resolved_cache.put(digest, resolved)
+        return resolved
+
+    # -- measurement ----------------------------------------------------
+    def measure(
+        self,
+        family: str,
+        params: Mapping[str, int],
+        sigma: float,
+        n_seeds: int,
+        seed0: int = 0,
+        batch: Union[int, str, None] = None,
+    ) -> ExplorePoint:
+        """One cached yield measurement for one design point."""
+        resolved = self.resolve(family, params)
+        key = result_cache_key(
+            resolved.digest, sigma=sigma, n_seeds=n_seeds, seed0=seed0,
+            batch=batch,
+        )
+        result = self.result_cache.get(key)
+        cached = result is not MISSING
+        if not cached:
+            result = measure_yield(
+                resolved.factory,
+                resolved.predicate,
+                sigma,
+                seeds=range(seed0, seed0 + n_seeds),
+                workers=self.workers,
+                batch=batch,
+            )
+            self.computations += 1
+            self.result_cache.put(key, result)
+        return ExplorePoint(
+            family=family,
+            params=resolved.factory.params,
+            digest=resolved.digest,
+            cost=resolved.cost,
+            latency_ps=resolved.latency_ps,
+            result=result,
+            cached=cached,
+        )
+
+    # -- sweeps ---------------------------------------------------------
+    def sweep(
+        self,
+        family: str,
+        grid: Mapping[str, Sequence[int]],
+        sigma: float = 0.5,
+        n_seeds: int = 25,
+        seed0: int = 0,
+        batch: Union[int, str, None] = None,
+        progress: Optional[Callable[[ExplorePoint], None]] = None,
+    ) -> SweepResult:
+        """Measure every point of the grid's cartesian product."""
+        points: List[ExplorePoint] = []
+        for assignment in grid_points(grid):
+            point = self.measure(
+                family, assignment, sigma=sigma, n_seeds=n_seeds,
+                seed0=seed0, batch=batch,
+            )
+            points.append(point)
+            if progress is not None:
+                progress(point)
+        return SweepResult(
+            family=family,
+            grid=tuple((name, tuple(values)) for name, values in grid.items()),
+            sigma=float(sigma),
+            n_seeds=n_seeds,
+            seed0=seed0,
+            batch=batch,
+            points=tuple(points),
+        )
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Cache and computation counters (the CI warm-sweep check's view)."""
+        return {
+            "computations": self.computations,
+            "elaborations": self.elaborations,
+            "result_cache": self.result_cache.stats(),
+            "resolved_cache": self.resolved_cache.stats(),
+        }

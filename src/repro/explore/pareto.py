@@ -1,0 +1,47 @@
+"""Pareto-frontier extraction for the sweep engine.
+
+The explorer minimizes a (cost, latency, 1 - yield) triple per design
+point; the frontier is the set of points no other point dominates. Plain
+O(n^2) — sweep grids are tens to hundreds of points, not millions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+Objective = Tuple[float, ...]
+
+
+def dominates(a: Objective, b: Objective) -> bool:
+    """True iff ``a`` is at least as good everywhere and better somewhere.
+
+    All objectives are minimized. Equal vectors do not dominate each
+    other (both survive into the frontier).
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors must have equal length, got {len(a)} "
+            f"and {len(b)}"
+        )
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_frontier(
+    points: Sequence[T], key: Callable[[T], Objective]
+) -> List[T]:
+    """The non-dominated subset of ``points``, in input order.
+
+    Duplicate objective vectors all survive (none dominates its twin), so
+    re-running a sweep never changes the frontier's membership rule.
+    """
+    objectives = [key(point) for point in points]
+    frontier: List[T] = []
+    for i, point in enumerate(points):
+        if not any(
+            dominates(objectives[j], objectives[i])
+            for j in range(len(points))
+            if j != i
+        ):
+            frontier.append(point)
+    return frontier

@@ -18,6 +18,7 @@ every request-handler thread of the ``ThreadingHTTPServer``.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import deque
 from typing import Deque, Dict, Optional
@@ -54,11 +55,16 @@ class LatencyStats:
         self.window.append(seconds)
 
     def quantile(self, q: float) -> Optional[float]:
-        """Nearest-rank quantile over the recent window (None when empty)."""
+        """Nearest-rank quantile over the recent window (None when empty).
+
+        Nearest-rank: the ``ceil(q * n)``-th smallest sample (1-indexed).
+        ``int(q * n)`` would be off by one — the 6th smallest of 10 for
+        p50, and the maximum of a 100-sample window for p99.
+        """
         if not self.window:
             return None
         ordered = sorted(self.window)
-        index = min(len(ordered) - 1, int(q * len(ordered)))
+        index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
         return ordered[index]
 
     def to_jsonable(self) -> Dict[str, object]:

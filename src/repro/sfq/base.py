@@ -45,9 +45,12 @@ class SFQ(Transitional):
             )
         super().__init__(**kwargs)
         if jjs is not None:
-            if not isinstance(jjs, int) or jjs <= 0:
+            # bool is a subclass of int: AND(jjs=True) would silently set
+            # jjs = 1 and corrupt every area/energy metric downstream.
+            if isinstance(jjs, bool) or not isinstance(jjs, int) or jjs <= 0:
                 raise WellFormednessError(
-                    f"{cls.__name__}: jjs override must be a positive integer"
+                    f"{cls.__name__}: jjs override must be a positive "
+                    f"integer, got {jjs!r}"
                 )
             self.jjs = jjs
             self.overrides["jjs"] = jjs

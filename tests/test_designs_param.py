@@ -1,0 +1,200 @@
+"""Tests for the parameterized design generators (repro.explore's families).
+
+The fixed paper designs (one full adder, the depth-2 race tree, …) have
+parametric siblings: n-bit ripple adders, depth-d race trees, and
+words x bits memories. These tests pin down functional correctness across
+parameter ranges — exhaustive where the space is small — plus the
+validation errors on malformed parameters.
+"""
+
+import pytest
+
+from repro.core.errors import PylseError
+from repro.core.helpers import inp, inp_at
+from repro.core.simulation import Simulation
+from repro.designs import (
+    CLOCK_PERIOD,
+    expected_leaf,
+    make_memory_n,
+    memory_port_names,
+    race_tree_depth,
+    race_tree_depth_inputs,
+    ripple_adder,
+    ripple_clock_pulses,
+    ripple_clock_skew,
+    ripple_test_times,
+)
+
+
+def _run_ripple(a_val, b_val, cin_bit, n_bits):
+    schedule = ripple_test_times(a_val, b_val, cin_bit, n_bits)
+    a_bits = [inp_at(*schedule[f"a{k}"], name=f"a{k}") for k in range(n_bits)]
+    b_bits = [inp_at(*schedule[f"b{k}"], name=f"b{k}") for k in range(n_bits)]
+    cin = inp_at(*schedule["cin"], name="cin")
+    clk = inp(start=CLOCK_PERIOD, period=CLOCK_PERIOD,
+              n=ripple_clock_pulses(n_bits), name="clk")
+    sums, cout = ripple_adder(a_bits, b_bits, cin, clk)
+    for k, wire in enumerate(sums):
+        wire.observe(f"s{k}")
+    cout.observe("cout")
+    events = Simulation().simulate()
+    total = sum(len(events[f"s{k}"]) << k for k in range(n_bits))
+    return total + (len(events["cout"]) << n_bits)
+
+
+class TestRippleAdder:
+    @pytest.mark.parametrize("n_bits", [1, 2, 3])
+    def test_exhaustive_small_widths(self, n_bits):
+        from repro.core.circuit import reset_working_circuit
+
+        for a_val in range(1 << n_bits):
+            for b_val in range(1 << n_bits):
+                for cin_bit in (0, 1):
+                    reset_working_circuit()
+                    assert (
+                        _run_ripple(a_val, b_val, cin_bit, n_bits)
+                        == a_val + b_val + cin_bit
+                    )
+
+    def test_worst_case_carry_eight_bits(self):
+        # (2^8 - 1) + 1: the carry ripples through every stage.
+        assert _run_ripple(255, 1, 0, 8) == 256
+
+    def test_clock_skew_uniform_at_non_power_of_two(self):
+        # The clock tree pads to the next power of two, so n=3 shares
+        # n=4's depth (and therefore a uniform per-bit skew).
+        assert ripple_clock_skew(3) == ripple_clock_skew(4)
+        assert ripple_clock_skew(1) == 0.0
+        assert ripple_clock_skew(2) > 0.0
+
+    def test_width_mismatch_rejected(self):
+        a = [inp_at(10.0, name="a0")]
+        b = [inp_at(10.0, name="b0"), inp_at(10.0, name="b1")]
+        cin = inp_at(name="cin")
+        clk = inp(start=50, period=50, n=3, name="clk")
+        with pytest.raises(PylseError, match="width"):
+            ripple_adder(a, b, cin, clk)
+
+    def test_empty_adder_rejected(self):
+        cin = inp_at(name="cin")
+        clk = inp(start=50, period=50, n=3, name="clk")
+        with pytest.raises(PylseError):
+            ripple_adder([], [], cin, clk)
+
+    def test_ripple_test_times_rejects_out_of_range(self):
+        with pytest.raises(PylseError):
+            ripple_test_times(4, 0, 0, 2)   # a needs 3 bits
+        with pytest.raises(PylseError):
+            ripple_test_times(0, 0, 2, 2)   # cin must be 0/1
+
+
+class TestRaceTreeDepth:
+    def _run(self, depth, features, thresholds=None):
+        times = race_tree_depth_inputs(depth, features, thresholds)
+        pairs = []
+        for i in range((1 << depth) - 1):
+            pairs.append(
+                (
+                    inp_at(times[f"x{i}"], name=f"x{i}"),
+                    inp_at(times[f"t{i}"], name=f"t{i}"),
+                )
+            )
+        leaves = race_tree_depth(pairs)
+        for j, leaf in enumerate(leaves):
+            leaf.observe(f"leaf{j}")
+        events = Simulation().simulate()
+        fired = [j for j in range(1 << depth) if events[f"leaf{j}"]]
+        return fired
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_exactly_one_leaf_all_feature_combos(self, depth):
+        from repro.core.circuit import reset_working_circuit
+
+        for combo in range(1 << depth):
+            reset_working_circuit()
+            features = [
+                3.0 if (combo >> level) & 1 else 15.0
+                for level in range(depth)
+            ]
+            fired = self._run(depth, features)
+            assert fired == [expected_leaf(depth, features)]
+
+    def test_depth_four_single_winner(self):
+        features = [3.0, 15.0, 3.0, 15.0]
+        fired = self._run(4, features)
+        assert fired == [expected_leaf(4, features)]
+
+    def test_wrong_pair_count_rejected(self):
+        pairs = [(inp_at(5.0, name="x"), inp_at(10.0, name="t"))] * 2
+        with pytest.raises(PylseError, match="2\\*\\*d - 1|pairs"):
+            race_tree_depth(pairs)
+
+    def test_inputs_reject_feature_count_mismatch(self):
+        with pytest.raises(PylseError):
+            race_tree_depth_inputs(2, [3.0])
+
+
+class TestMemoryN:
+    def _run(self, words, bits, addr, value):
+        mem = make_memory_n(words, bits)
+        names = memory_port_names(words, bits)
+        abits = (words - 1).bit_length()
+        times = {name: [] for name in names}
+        for k in range(abits):
+            if (addr >> k) & 1:
+                times[f"wa{k}"] = [10.0]
+        for k in range(bits):
+            if (value >> k) & 1:
+                times[f"d{k}"] = [10.0]
+        times["we"] = [10.0]
+        for k in range(abits):
+            if (addr >> k) & 1:
+                times[f"ra{k}"] = [60.0]
+        times["clk"] = [50.0, 100.0]
+        wires = [inp_at(*times[name], name=name) for name in names]
+        outs = mem(*wires)
+        outs = outs if isinstance(outs, tuple) else (outs,)
+        for wire, k in zip(outs, reversed(range(bits))):
+            wire.observe(f"q{k}")
+        events = Simulation().simulate()
+        read = 0
+        for k in range(bits):
+            pulses = events[f"q{k}"]
+            assert len(pulses) <= 1
+            if pulses:
+                # The read commits on the second clock edge (plus the
+                # hole's transfer delay).
+                assert pulses[0] > 100.0
+                read |= 1 << k
+        return read
+
+    @pytest.mark.parametrize("words,bits", [(2, 1), (4, 2), (8, 3), (16, 4)])
+    def test_write_then_read_back(self, words, bits):
+        value = sum(1 << k for k in range(0, bits, 2))   # 0b...0101
+        assert self._run(words, bits, words - 1, value) == value
+
+    def test_unwritten_address_reads_zero(self):
+        mem = make_memory_n(4, 2)
+        names = memory_port_names(4, 2)
+        times = {name: [] for name in names}
+        times["clk"] = [50.0]
+        times["ra0"] = [10.0]   # read address 1, never written
+        wires = [inp_at(*times[name], name=name) for name in names]
+        outs = mem(*wires)
+        for k, wire in enumerate(outs):
+            wire.observe(f"q{k}")
+        events = Simulation().simulate()
+        assert all(not events[f"q{k}"] for k in range(2))
+
+    def test_port_names_shape(self):
+        names = memory_port_names(8, 2)
+        assert names == ["ra2", "ra1", "ra0", "wa2", "wa1", "wa0",
+                         "d1", "d0", "we", "clk"]
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(PylseError):
+            make_memory_n(3, 2)    # not a power of two
+        with pytest.raises(PylseError):
+            make_memory_n(1, 2)    # too few words
+        with pytest.raises(PylseError):
+            make_memory_n(4, 0)    # zero-width word

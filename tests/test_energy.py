@@ -126,3 +126,138 @@ class TestDatasheets:
 
         for cell in BASIC_CELLS + EXTENSION_CELLS:
             assert f"Cell: {cell.name}" in datasheet(cell)
+
+
+class TestCostModel:
+    """Static per-cell cost models (jjs -> bias / power / area)."""
+
+    def test_cell_cost_matches_jjs_table(self):
+        from repro.core.energy import (
+            AREA_PER_JJ_UM2,
+            I_BIAS_PER_JJ_A,
+            P_STATIC_PER_JJ_W,
+            cell_cost,
+        )
+        from repro.sfq import BASIC_CELLS, EXTENSION_CELLS
+
+        for cell_class in BASIC_CELLS + EXTENSION_CELLS:
+            cost = cell_cost(cell_class())
+            assert cost.cell == cell_class.name
+            assert cost.jjs == cell_class.jjs
+            assert cost.switching_energy_j == pytest.approx(
+                cell_class.jjs * E_JJ
+            )
+            assert cost.bias_current_a == pytest.approx(
+                cell_class.jjs * I_BIAS_PER_JJ_A
+            )
+            assert cost.static_power_w == pytest.approx(
+                cell_class.jjs * P_STATIC_PER_JJ_W
+            )
+            assert cost.area_um2 == pytest.approx(
+                cell_class.jjs * AREA_PER_JJ_UM2
+            )
+
+    def test_cell_cost_known_values(self):
+        from repro.core.energy import cell_cost
+        from repro.sfq import AND, JTL, S
+
+        assert cell_cost(AND()).jjs == 11
+        assert cell_cost(JTL()).jjs == 2
+        assert cell_cost(S()).jjs == 3
+        # 70 uA per junction at the 0.7 Ic bias point.
+        assert cell_cost(JTL()).bias_current_a == pytest.approx(2 * 7e-5)
+
+    def test_cell_cost_respects_override(self):
+        from repro.core.energy import AREA_PER_JJ_UM2, cell_cost
+        from repro.sfq import jtl
+
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, name="A")
+            jtl(a, jjs=40, name="Q")
+        (node,) = circuit.cells()
+        cost = cell_cost(node.element)
+        assert cost.jjs == 40
+        assert cost.area_um2 == pytest.approx(40 * AREA_PER_JJ_UM2)
+
+    def test_circuit_cost_sums_min_max(self):
+        from repro.core.energy import (
+            AREA_PER_JJ_UM2,
+            P_STATIC_PER_JJ_W,
+            circuit_cost,
+        )
+
+        with fresh_circuit() as circuit:
+            a = inp_at(115.0, name="A")
+            b = inp_at(64.0, name="B")
+            low, high = min_max(a, b)
+            low.observe("low")
+            high.observe("high")
+        cost = circuit_cost(circuit)
+        assert cost.cells == len(list(circuit.cells()))
+        expected_jjs = sum(
+            getattr(node.element, "jjs", 0) for node in circuit.cells()
+        )
+        assert cost.jjs == expected_jjs
+        assert cost.area_um2 == pytest.approx(expected_jjs * AREA_PER_JJ_UM2)
+        assert cost.static_power_w == pytest.approx(
+            expected_jjs * P_STATIC_PER_JJ_W
+        )
+        assert set(cost.by_cell_type) == {"S", "C", "C_INV", "JTL"}
+        assert sum(cost.by_cell_type.values()) == cost.cells
+        assert "junctions:" in cost.render()
+
+    def test_circuit_cost_holes_are_free(self):
+        from repro.core.energy import circuit_cost
+        from repro.core.functional import hole
+
+        @hole(delay=1.0, inputs=["a"], outputs=["q"])
+        def passthrough(a, time):
+            return a
+
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, name="A")
+            q = jtl(passthrough(a), name="Q")
+            q.observe("Q")
+        cost = circuit_cost(circuit)
+        # The hole is a placed cell with zero junctions; the JTL is not.
+        assert cost.cells == 2
+        assert cost.jjs == 2
+        assert cost.by_cell_type["JTL"] == 1
+
+    def test_energy_report_mixed_holes_and_cells(self):
+        from repro.core.functional import hole
+
+        @hole(delay=1.0, inputs=["a"], outputs=["q"])
+        def passthrough(a, time):
+            return a
+
+        with fresh_circuit() as circuit:
+            a = inp_at(10.0, 30.0, name="A")
+            q = jtl(passthrough(a), name="Q")
+            q.observe("Q")
+        sim = Simulation(circuit)
+        sim.simulate()
+        report = energy_report(sim)
+        # Only the JTL contributes energy; the hole rows exist with jjs 0.
+        assert report.total_joules == pytest.approx(2 * JTL.jjs * E_JJ)
+        by_jjs = {cell.cell: cell.jjs for cell in report.cells}
+        assert by_jjs["JTL"] == JTL.jjs
+        assert min(by_jjs.values()) == 0
+
+    def test_memory_design_energy_report(self):
+        from repro.designs import make_memory_n, memory_port_names
+
+        with fresh_circuit() as circuit:
+            mem = make_memory_n(4, 2)
+            names = memory_port_names(4, 2)
+            times = {name: [] for name in names}
+            times["clk"] = [50.0]
+            wires = [inp_at(*times[name], name=name) for name in names]
+            outs = mem(*wires)
+            for k, wire in enumerate(outs):
+                wire.observe(f"q{k}")
+        sim = Simulation(circuit)
+        sim.simulate()
+        report = energy_report(sim)
+        assert report.total_joules == 0.0
+        assert len(report.cells) == 1

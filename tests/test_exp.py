@@ -71,10 +71,25 @@ class TestTable2:
         assert len(rows) == 4
         for row in rows:
             assert row.size_ratio > 1, row.name
-            assert row.time_ratio > 10, row.name
+            # Machine-independent work metric: per-junction RK4 steps vs
+            # discrete pulses processed. The wall-clock time_ratio is
+            # host-dependent and is tracked by tools/bench_guard.py as the
+            # non-gating table2_time_ratio metric instead of asserted here.
+            assert row.work_ratio > 10, row.name
+            assert row.schematic_steps > 0, row.name
+            assert row.pylse_events > 0, row.name
         text = table2.render(rows)
         assert "Bitonic Sort 8" in text
         assert "average" in text
+
+    def test_work_metrics_are_deterministic(self):
+        # Same design, same dt => identical work counts on any host.
+        first = table2.run(analog_dt=1.0)
+        second = table2.run(analog_dt=1.0)
+        for a, b in zip(first, second):
+            assert a.schematic_steps == b.schematic_steps, a.name
+            assert a.pylse_events == b.pylse_events, a.name
+            assert a.work_ratio == b.work_ratio, a.name
 
 
 class TestTable3:

@@ -384,3 +384,35 @@ class TestYieldStats:
                 cell.violations for cell in result.stats.cells.values()
             )
             assert total == result.violations
+
+
+class TestLatencyQuantiles:
+    """Nearest-rank quantile regression: index is ceil(q*n)-1, not int(q*n)."""
+
+    def _stats(self, samples):
+        from repro.obs import LatencyStats
+
+        stats = LatencyStats()
+        for sample in samples:
+            stats.add(sample)
+        return stats
+
+    def test_p50_of_ten_is_fifth_smallest(self):
+        stats = self._stats(range(1, 11))
+        # ceil(0.5 * 10) = 5th smallest (1-indexed) = 5; the old
+        # int(q * n) indexing returned the 6th.
+        assert stats.quantile(0.50) == 5
+
+    def test_p99_of_hundred_is_99th_not_max(self):
+        stats = self._stats(range(1, 101))
+        assert stats.quantile(0.99) == 99
+        assert stats.quantile(1.0) == 100
+
+    def test_single_sample_every_quantile(self):
+        stats = self._stats([7.0])
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert stats.quantile(q) == 7.0
+
+    def test_empty_window_is_none(self):
+        stats = self._stats([])
+        assert stats.quantile(0.5) is None

@@ -203,3 +203,34 @@ class TestBenchGuard:
             pair = block[design]
             assert pair["batched"] > 0 and pair["perseed"] > 0
             assert pair["batched_speedup"] >= guard.MC_BATCHED_MIN_SPEEDUP
+
+    def test_explore_cache_block(self):
+        guard = self._load()
+        block = guard.explore_cache_block(
+            {"test_explore_cold": 0.5, "test_explore_warm": 0.002}
+        )
+        assert block["cold_s"] == 0.5
+        assert block["warm_s"] == 0.002
+        assert block["warm_vs_cold"] == 250.0
+
+    def test_explore_cache_block_missing_pair(self):
+        guard = self._load()
+        block = guard.explore_cache_block({"test_explore_cold": 0.5})
+        assert block["warm_s"] is None
+        assert block["warm_vs_cold"] is None
+
+    def test_committed_artifact_explore_block(self):
+        """The committed artifact records the explorer cache pair and it
+        meets the guard's floor."""
+        guard = self._load()
+        payload = json.loads((ROOT / "BENCH_sim.json").read_text())
+        block = payload["explore_cache"]
+        assert block["cold_s"] > 0 and block["warm_s"] > 0
+        assert block["warm_vs_cold"] >= guard.EXPLORE_MIN_SPEEDUP
+
+    def test_committed_artifact_table2_ratio_nongating(self):
+        payload = json.loads((ROOT / "BENCH_sim.json").read_text())
+        block = payload["table2_time_ratio"]
+        assert block["gating"] is False
+        assert block["avg_work_ratio"] > 10
+        assert block["per_design"]

@@ -205,6 +205,14 @@ class TestSFQ:
         with pytest.raises(WellFormednessError, match="jjs"):
             AND(jjs=-2)
 
+    def test_bool_jjs_override_rejected(self):
+        # bool is an int subclass: AND(jjs=True) would silently become
+        # jjs=1 and corrupt every area/energy metric downstream.
+        with pytest.raises(WellFormednessError, match="jjs"):
+            AND(jjs=True)
+        with pytest.raises(WellFormednessError, match="jjs"):
+            AND(jjs=False)
+
     def test_sfq_requires_jjs(self):
         class NoJJ(SFQ):
             name = "NOJJ"
