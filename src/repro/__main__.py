@@ -227,6 +227,7 @@ def cmd_lint(args) -> int:
         reach_budget=ReachBudget(
             max_states=args.reach_states, time_limit=args.reach_time_limit
         ),
+        reach_cache_dir=args.cache_dir,
     )
     if args.format == "text":
         text = render_text(reports)
@@ -330,6 +331,12 @@ def cmd_explore(args) -> int:
     return run_explore(args)
 
 
+def cmd_cache(args) -> int:
+    from .cache.cli import cmd_cache as run_cache
+
+    return run_cache(args)
+
+
 def cmd_serve(args) -> int:
     from .serve import run_server
 
@@ -341,6 +348,7 @@ def cmd_serve(args) -> int:
             workers=args.workers,
             cache_size=args.cache_size,
             compiled_cache_size=args.compiled_cache_size,
+            cache_dir=args.cache_dir,
         )
     except (OSError, PylseError) as err:
         print(f"cannot start server: {err}", file=sys.stderr)
@@ -351,6 +359,8 @@ def cmd_serve(args) -> int:
           f"(workers={service.workers}, "
           f"result cache={service.result_cache.capacity}, "
           f"compiled cache={service.compiled_cache.capacity})")
+    if service.cache_dir is not None:
+        print(f"persistent result cache: {service.cache_dir}")
     print("endpoints: POST /yield /yield_curve /critical_sigma, "
           "GET /healthz /stats — Ctrl-C to stop", flush=True)
     try:
@@ -444,6 +454,10 @@ def main(argv=None) -> int:
     p.add_argument("--reach-time-limit", type=float, default=15.0,
                    help="wall-clock budget in seconds per design for "
                         "--reach (default 15)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist finished --reach analyses in an on-disk "
+                        "store (lint namespace), so warm re-lints survive "
+                        "process restarts")
     p.add_argument("--workers", type=int, default=1,
                    help="lint designs across a process pool; 0 = one per "
                         "CPU (default 1)")
@@ -484,10 +498,16 @@ def main(argv=None) -> int:
     p.add_argument("--compiled-cache-size", type=int, default=128,
                    help="LRU capacity of the compiled-design cache "
                         "(default 128)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persistent on-disk result cache shared with "
+                        "`repro explore --cache-dir` (survives restarts; "
+                        "manage with `python -m repro cache`)")
     p.add_argument("--verbose", action="store_true",
                    help="log one line per handled request")
+    from .cache.cli import add_cache_parser
     from .explore.cli import add_explore_parser
 
+    add_cache_parser(sub)
     add_explore_parser(sub)
     args = parser.parse_args(argv)
     handler = {
@@ -503,6 +523,7 @@ def main(argv=None) -> int:
         "export": cmd_export,
         "serve": cmd_serve,
         "explore": cmd_explore,
+        "cache": cmd_cache,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,134 @@
+"""The ``python -m repro cache`` subcommand: manage an on-disk store.
+
+One store directory (the ``--cache-dir`` passed to ``serve``,
+``explore``, and ``lint``) holds every namespace; this CLI inspects and
+maintains it regardless of which consumer wrote it::
+
+    python -m repro cache stats --cache-dir /var/cache/repro
+    python -m repro cache gc    --cache-dir /var/cache/repro --max-bytes 64M
+    python -m repro cache clear --cache-dir /var/cache/repro
+    python -m repro cache clear --cache-dir /var/cache/repro --namespace lint
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import time
+
+from ..core.errors import PylseError
+from .disk import clear_store, gc_store, store_stats
+
+_SIZE_RE = re.compile(r"^(\d+)\s*([kKmMgG]?)[bB]?$")
+_SIZE_FACTOR = {"": 1, "k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+
+
+def parse_size(text: str) -> int:
+    """``"64M"``/``"512k"``/``"1G"``/plain bytes -> an integer byte count."""
+    match = _SIZE_RE.match(text.strip())
+    if match is None:
+        raise PylseError(
+            f"size must look like 1048576, 512K, 64M, or 1G, got {text!r}"
+        )
+    return int(match.group(1)) * _SIZE_FACTOR[match.group(2).lower()]
+
+
+def _render_size(n: int) -> str:
+    for unit, factor in (("G", 1024 ** 3), ("M", 1024 ** 2), ("K", 1024)):
+        if n >= factor:
+            return f"{n / factor:.1f} {unit}iB"
+    return f"{n} B"
+
+
+def _render_stats(stats: dict) -> str:
+    lines = [f"cache store at {stats['root']} ({stats['format']})"]
+    namespaces = stats["namespaces"]
+    if not namespaces:
+        lines.append("  (empty: no namespaces written yet)")
+    now = time.time()
+    for name, block in namespaces.items():
+        age = (
+            f", last access {now - block['newest_access']:.0f} s ago"
+            if block["newest_access"] is not None
+            else ""
+        )
+        lines.append(
+            f"  {name:<12} {block['entries']:>6} entr"
+            f"{'y' if block['entries'] == 1 else 'ies'}, "
+            f"{_render_size(block['bytes'])}{age}"
+        )
+    lines.append(
+        f"  total: {stats['entries']} "
+        f"entr{'y' if stats['entries'] == 1 else 'ies'}, "
+        f"{_render_size(stats['bytes'])}; "
+        f"{stats['quarantined']} quarantined file(s)"
+    )
+    return "\n".join(lines)
+
+
+def add_cache_parser(sub) -> None:
+    """Register the ``cache`` subparser on the main CLI."""
+    p = sub.add_parser(
+        "cache",
+        help="inspect or maintain an on-disk cache store (--cache-dir)",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+
+    s = cache_sub.add_parser("stats", help="per-namespace entry counts "
+                                           "and sizes")
+    s.add_argument("--cache-dir", required=True, metavar="DIR",
+                   help="store directory (as passed to serve/explore/lint)")
+    s.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the raw stats document instead of text")
+
+    s = cache_sub.add_parser(
+        "gc",
+        help="evict least-recently-accessed entries down to a size bound",
+    )
+    s.add_argument("--cache-dir", required=True, metavar="DIR")
+    s.add_argument("--max-bytes", required=True, metavar="SIZE",
+                   help="store budget, e.g. 1048576, 512K, 64M, 1G")
+
+    s = cache_sub.add_parser("clear", help="remove every cached entry")
+    s.add_argument("--cache-dir", required=True, metavar="DIR")
+    s.add_argument("--namespace", default=None, metavar="NS",
+                   help="clear only this namespace (default: the whole "
+                        "store including quarantined files)")
+
+
+def cmd_cache(args) -> int:
+    try:
+        if args.cache_command == "stats":
+            stats = store_stats(args.cache_dir)
+            if args.as_json:
+                print(json.dumps(stats, indent=2, sort_keys=True))
+            else:
+                print(_render_stats(stats))
+            return 0
+        if args.cache_command == "gc":
+            summary = gc_store(args.cache_dir, parse_size(args.max_bytes))
+            print(
+                f"gc: removed {summary['removed_entries']} entr"
+                f"{'y' if summary['removed_entries'] == 1 else 'ies'} "
+                f"({_render_size(summary['removed_bytes'])}), kept "
+                f"{summary['kept_entries']} "
+                f"({_render_size(summary['kept_bytes'])})"
+                + (
+                    f"; swept {summary['swept_tmp']} stale temp file(s)"
+                    if summary["swept_tmp"]
+                    else ""
+                )
+            )
+            return 0
+        removed = clear_store(args.cache_dir, namespace=args.namespace)
+        scope = (
+            f"namespace {args.namespace!r}"
+            if args.namespace
+            else "whole store"
+        )
+        print(f"cleared {scope}: removed {removed} file(s)")
+        return 0
+    except PylseError as err:
+        print(str(err), file=sys.stderr)
+        return 1

@@ -1,0 +1,118 @@
+"""A small thread-safe LRU cache with observable counters.
+
+This is the in-memory front tier of the caching subsystem
+(:mod:`repro.cache`): the yield service, the design-space explorer, and
+the reachability lint all put one (or two) instances in front of their
+expensive computations. Instances are independent objects with
+independent capacities and eviction clocks — evicting from one never
+drops entries of another (locked by ``tests/test_serve_cache.py``).
+
+The counters (``hits``/``misses``/``evictions``) are raw cache-level
+telemetry: a coalesced request that probed the cache, missed, and then
+waited on another request's computation still counts one miss here, while
+the endpoint-level metrics (:mod:`repro.obs.serving`) count it as a
+logical hit. ``/stats`` reports both views.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterator, Optional
+
+from ..core.errors import PylseError
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping with a hard capacity bound.
+
+    ``get`` refreshes recency; ``put`` inserts or updates and evicts the
+    least recently used entry once ``capacity`` is exceeded. A capacity of
+    zero disables the cache (every ``get`` misses, every ``put`` is
+    dropped) without callers needing a special case.
+    """
+
+    def __init__(self, capacity: int):
+        if isinstance(capacity, bool) or not isinstance(capacity, int) \
+                or capacity < 0:
+            raise PylseError(
+                f"cache capacity must be a non-negative integer, "
+                f"got {capacity!r}"
+            )
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def get(self, key: Hashable) -> object:
+        """The cached value, or :data:`MISSING`; refreshes recency on hit."""
+        with self._lock:
+            value = self._entries.get(key, MISSING)
+            if value is MISSING:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._entries.move_to_end(key)
+            return value
+
+    def peek(self, key: Hashable) -> object:
+        """Like :meth:`get` but touches neither recency nor the counters."""
+        with self._lock:
+            return self._entries.get(key, MISSING)
+
+    def put(self, key: Hashable, value: object) -> None:
+        with self._lock:
+            if self.capacity == 0:
+                return
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept: they are lifetime totals)."""
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> Iterator[Hashable]:
+        """A snapshot of the keys, least recently used first."""
+        with self._lock:
+            return iter(list(self._entries))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.peek(key) is not MISSING
+
+    def stats(self) -> Dict[str, int]:
+        """Size/capacity plus the lifetime hit/miss/eviction counters."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"LRUCache({s['size']}/{s['capacity']}, hits={s['hits']}, "
+            f"misses={s['misses']}, evictions={s['evictions']})"
+        )
+
+
+def hit_rate(stats: Dict[str, int]) -> Optional[float]:
+    """Lifetime hit fraction from a :meth:`LRUCache.stats` dict (or None)."""
+    total = stats["hits"] + stats["misses"]
+    return stats["hits"] / total if total else None

@@ -257,3 +257,47 @@ def yield_result_to_jsonable(result: "YieldResult") -> Dict[str, object]:
             for seed, kind in sorted(result.failures.items())
         },
     }
+
+
+def yield_result_from_jsonable(doc: Dict[str, object]) -> "YieldResult":
+    """Rebuild a :class:`YieldResult` from its JSON form.
+
+    The inverse of :func:`yield_result_to_jsonable` on the fields that
+    participate in equality: a round-tripped result compares equal to the
+    original (the omitted batched-drain diagnostics are ``compare=False``,
+    and per-cell ``stats`` are never serialized — a measurement that
+    collected them cannot round-trip through this form). This is how the
+    persistent disk tier of :mod:`repro.cache` rehydrates explorer
+    results.
+    """
+    from .montecarlo import YieldResult
+
+    if not isinstance(doc, dict):
+        raise PylseError(
+            f"yield-result document must be an object, "
+            f"got {type(doc).__name__}"
+        )
+    if doc.get("format") != RESULT_FORMAT:
+        raise PylseError(
+            f"unsupported yield-result format {doc.get('format')!r} "
+            f"(expected {RESULT_FORMAT!r})"
+        )
+    try:
+        failures_doc = doc.get("failures", {})
+        if not isinstance(failures_doc, dict):
+            raise TypeError("'failures' must be an object")
+        return YieldResult(
+            sigma=float(doc["sigma"]),
+            runs=int(doc["runs"]),
+            passed=int(doc["passed"]),
+            mis_behaved=int(doc["mis_behaved"]),
+            violations=int(doc["violations"]),
+            failures={
+                int(seed): str(kind)
+                for seed, kind in failures_doc.items()
+            },
+        )
+    except (KeyError, TypeError, ValueError) as err:
+        raise PylseError(
+            f"malformed yield-result document: {err}"
+        ) from None

@@ -52,6 +52,10 @@ def add_explore_parser(sub) -> None:
     p.add_argument("--repeat", type=int, default=1, metavar="N",
                    help="run the sweep N times through one engine; "
                         "passes after the first should be cache-warm")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persistent on-disk result cache: a re-run sweep "
+                        "in a fresh process recomputes nothing, and the "
+                        "store is shared with `repro serve --cache-dir`")
     p.add_argument("--format", choices=["text", "json", "csv"],
                    default="text", help="report format (default: text)")
     p.add_argument("-o", "--output", metavar="FILE",
@@ -212,7 +216,8 @@ def cmd_explore(args) -> int:
             grid = {name: list(values) for name, values in family.default_grid}
         if args.repeat < 1:
             raise PylseError(f"--repeat must be >= 1, got {args.repeat}")
-        engine = ExploreEngine(workers=args.workers)
+        engine = ExploreEngine(workers=args.workers,
+                               cache_dir=args.cache_dir)
         passes: List[Dict[str, object]] = []
         sweep = None
         for _ in range(args.repeat):

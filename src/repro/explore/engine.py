@@ -12,9 +12,13 @@ sweep point and a served request for the same circuit share semantics:
   baseline predicate, static cost, and latency, keyed by
   :func:`~repro.core.ir.structural_hash` — two parameter assignments that
   elaborate to the same circuit share one entry;
-* the **result cache** (:func:`~repro.core.ir.result_cache_key` ->
+* the **result store** (:func:`~repro.core.ir.result_cache_key` ->
   :class:`~repro.core.montecarlo.YieldResult`): the canonical measurement
-  memo key, so a warm sweep is pure cache lookups.
+  memo key, so a warm sweep is pure cache lookups. A
+  :class:`repro.cache.TieredCache` backs it; with ``cache_dir`` set the
+  persistent tier makes a re-run sweep in a *fresh process* recompute
+  nothing, and shares its ``results`` namespace with ``repro serve
+  --cache-dir`` (see docs/caching.md).
 
 Every measured point is element-wise identical to a direct
 :func:`~repro.core.montecarlo.measure_yield` call with the same
@@ -37,14 +41,24 @@ from typing import (
     Union,
 )
 
+from ..cache import (
+    DiskCache,
+    LRUCache,
+    MISSING,
+    RESULTS_NAMESPACE,
+    TieredCache,
+)
 from ..core.energy import CircuitCost, circuit_cost
 from ..core.errors import PylseError
 from ..core.ir import compile_circuit, result_cache_key
 from ..core.montecarlo import YieldResult, measure_yield
 from ..core.parallel import resolve_workers
+from ..core.serialize import (
+    yield_result_from_jsonable,
+    yield_result_to_jsonable,
+)
 from ..core.simulation import Simulation
 from ..exp.registry import PulseCountPredicate
-from ..serve.cache import LRUCache, MISSING
 from .families import DesignFamily, FamilyFactory, get_family
 from .pareto import pareto_frontier
 
@@ -165,9 +179,25 @@ class ExploreEngine:
         workers: Optional[int] = 1,
         result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
         resolved_cache_size: int = DEFAULT_RESOLVED_CACHE_SIZE,
+        cache_dir=None,
     ):
         self.workers = resolve_workers(workers)
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
         self.result_cache = LRUCache(result_cache_size)
+        #: The tiered measurement store. With ``cache_dir`` it shares the
+        #: ``results`` namespace with the yield service — both key by
+        #: :func:`result_cache_key` and store the canonical
+        #: ``yield_result_to_jsonable`` document, so a sweep pre-warms a
+        #: server pointed at the same directory (and vice versa). The
+        #: in-memory tier holds live :class:`YieldResult` objects; the
+        #: codec rehydrates disk hits.
+        self.result_store = TieredCache(
+            self.result_cache,
+            None if cache_dir is None
+            else DiskCache(cache_dir, RESULTS_NAMESPACE),
+            encode=yield_result_to_jsonable,
+            decode=yield_result_from_jsonable,
+        )
         self.resolved_cache = LRUCache(resolved_cache_size)
         #: (family, params) -> digest; add-only, like the service's
         #: name -> digest memo (a design point never changes its hash).
@@ -226,7 +256,7 @@ class ExploreEngine:
             resolved.digest, sigma=sigma, n_seeds=n_seeds, seed0=seed0,
             batch=batch,
         )
-        result = self.result_cache.get(key)
+        result = self.result_store.get(key)
         cached = result is not MISSING
         if not cached:
             result = measure_yield(
@@ -238,7 +268,7 @@ class ExploreEngine:
                 batch=batch,
             )
             self.computations += 1
-            self.result_cache.put(key, result)
+            self.result_store.put(key, result)
         return ExplorePoint(
             family=family,
             params=resolved.factory.params,
@@ -283,9 +313,11 @@ class ExploreEngine:
     # -- introspection --------------------------------------------------
     def stats(self) -> Dict[str, object]:
         """Cache and computation counters (the CI warm-sweep check's view)."""
+        tiers = self.result_store.stats()
         return {
             "computations": self.computations,
             "elaborations": self.elaborations,
-            "result_cache": self.result_cache.stats(),
+            "result_cache": tiers["memory"],
+            "result_disk": tiers["disk"],
             "resolved_cache": self.resolved_cache.stats(),
         }

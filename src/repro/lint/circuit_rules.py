@@ -109,6 +109,7 @@ def lint_circuit(
     design: Optional[str] = None,
     reach: bool = False,
     reach_budget: Optional[ReachBudget] = None,
+    reach_cache_dir=None,
 ) -> LintReport:
     """Run the full static analysis over a circuit.
 
@@ -121,7 +122,10 @@ def lint_circuit(
     layer within ``reach_budget`` (state/time caps with explicit
     ``truncated`` reporting); the underlying analysis is served from the
     incremental cache when the circuit's structural hash, rule subset,
-    tolerance, and budget all match a previous run.
+    tolerance, and budget all match a previous run. ``reach_cache_dir``
+    additionally persists finished analyses on disk (the ``lint``
+    namespace of a :mod:`repro.cache` store), so the warm path survives
+    process restarts.
     """
     circuit = circuit if circuit is not None else working_circuit()
     select = _patterns(select)
@@ -334,7 +338,7 @@ def lint_circuit(
         else:
             analysis, cached = analyze_reach(
                 circuit, budget=reach_budget, rules=enabled,
-                tolerance=tolerance,
+                tolerance=tolerance, cache_dir=reach_cache_dir,
             )
             if analysis.skipped is not None:
                 reach_skipped = analysis.skipped

@@ -41,6 +41,13 @@ import re
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..cache import (
+    DiskCache,
+    LINT_NAMESPACE,
+    LRUCache,
+    MISSING,
+    TieredCache,
+)
 from ..core.circuit import Circuit
 from ..core.errors import PylseError, SimulationError
 from ..core.ir import CompiledCircuit, compile_circuit, lint_cache_key
@@ -48,7 +55,6 @@ from ..core.simulation import Simulation
 from ..core.transitional import Transitional
 from ..mc.explorer import ModelChecker
 from ..obs import Observer
-from ..serve.cache import MISSING, LRUCache
 from ..ta.automaton import SCALE
 from ..ta.queries import deadlock_query, no_error_query
 from ..ta.translate import channel_name, translate_circuit
@@ -226,20 +232,205 @@ class ReachAnalysis:
 
 
 # ----------------------------------------------------------------------
-# The incremental cache (same contract as repro.serve's result cache).
+# The reach-analysis JSON codec (the disk tier's payload format)
+# ----------------------------------------------------------------------
+#: Format tag of a serialized :class:`ReachAnalysis` (bump on shape
+#: changes: the persistent tier quarantines documents it cannot decode).
+REACH_ANALYSIS_FORMAT = "repro-reach-analysis-v1"
+
+
+def _steps_to_jsonable(steps: Tuple[WitnessStep, ...]) -> list:
+    return [[s.label, s.time, s.time_max] for s in steps]
+
+
+def _steps_from_jsonable(doc) -> Tuple[WitnessStep, ...]:
+    return tuple(
+        WitnessStep(label=label, time=time, time_max=time_max)
+        for label, time, time_max in doc
+    )
+
+
+def reach_analysis_to_jsonable(analysis: ReachAnalysis) -> dict:
+    """A stable JSON form of a :class:`ReachAnalysis` (see docs/caching.md).
+
+    Covers every field — the analysis already holds only strings, numbers,
+    and ``None`` — so the round trip through
+    :func:`reach_analysis_from_jsonable` reconstructs an object that
+    compares equal to the original.
+    """
+    return {
+        "format": REACH_ANALYSIS_FORMAT,
+        "digest": analysis.digest,
+        "rules": list(analysis.rules),
+        "budget": {
+            "max_states": analysis.budget.max_states,
+            "time_limit": analysis.budget.time_limit,
+        },
+        "states_explored": analysis.states_explored,
+        "transitions_fired": analysis.transitions_fired,
+        "elapsed_seconds": analysis.elapsed_seconds,
+        "truncated": analysis.truncated,
+        "truncation_reason": analysis.truncation_reason,
+        "skipped": analysis.skipped,
+        "dead": [
+            {
+                "node": d.node, "cell": d.cell,
+                "transition_id": d.transition_id,
+                "source_state": d.source_state,
+                "trigger": d.trigger, "label": d.label,
+            }
+            for d in analysis.dead
+        ],
+        "races": [
+            {
+                "node": r.node, "cell": r.cell, "state": r.state,
+                "port_a": r.port_a, "port_b": r.port_b,
+                "priority": r.priority,
+                "outcome_a": r.outcome_a, "outcome_b": r.outcome_b,
+                "window": [r.window[0], r.window[1]],
+                "confidence": r.confidence, "replay": r.replay,
+            }
+            for r in analysis.races
+        ],
+        "timing": [
+            {
+                "node": t.node, "cell": t.cell,
+                "error_location": t.error_location,
+                "kind": t.kind, "symbol": t.symbol, "time": t.time,
+                "witness": {
+                    "inputs": [
+                        [label, list(times)]
+                        for label, times in t.witness.inputs
+                    ],
+                    "steps": _steps_to_jsonable(t.witness.steps),
+                },
+                "confidence": t.confidence, "replay": t.replay,
+                "provenance": list(t.provenance),
+            }
+            for t in analysis.timing
+        ],
+        "stuck": [
+            {
+                "anchor": s.anchor,
+                "pending": list(s.pending),
+                "steps": _steps_to_jsonable(s.steps),
+            }
+            for s in analysis.stuck
+        ],
+    }
+
+
+def reach_analysis_from_jsonable(doc: dict) -> ReachAnalysis:
+    """Rebuild a :class:`ReachAnalysis` from its JSON form.
+
+    Strict: a document of any other shape (or format tag) raises
+    :class:`PylseError`, which the tiered cache treats as corruption —
+    the entry is quarantined and the analysis recomputed.
+    """
+    try:
+        if doc.get("format") != REACH_ANALYSIS_FORMAT:
+            raise ValueError(
+                f"unsupported reach-analysis format {doc.get('format')!r}"
+            )
+        return ReachAnalysis(
+            digest=doc["digest"],
+            rules=tuple(doc["rules"]),
+            budget=ReachBudget(
+                max_states=doc["budget"]["max_states"],
+                time_limit=doc["budget"]["time_limit"],
+            ),
+            states_explored=doc["states_explored"],
+            transitions_fired=doc["transitions_fired"],
+            elapsed_seconds=doc["elapsed_seconds"],
+            truncated=doc["truncated"],
+            truncation_reason=doc["truncation_reason"],
+            skipped=doc["skipped"],
+            dead=tuple(DeadTransition(**d) for d in doc["dead"]),
+            races=tuple(
+                RaceFinding(
+                    **{**r, "window": (r["window"][0], r["window"][1])}
+                )
+                for r in doc["races"]
+            ),
+            timing=tuple(
+                TimingWitness(
+                    node=t["node"], cell=t["cell"],
+                    error_location=t["error_location"],
+                    kind=t["kind"], symbol=t["symbol"], time=t["time"],
+                    witness=Witness(
+                        inputs=tuple(
+                            (label, tuple(times))
+                            for label, times in t["witness"]["inputs"]
+                        ),
+                        steps=_steps_from_jsonable(t["witness"]["steps"]),
+                    ),
+                    confidence=t["confidence"], replay=t["replay"],
+                    provenance=tuple(t["provenance"]),
+                )
+                for t in doc["timing"]
+            ),
+            stuck=tuple(
+                StuckState(
+                    anchor=s["anchor"],
+                    pending=tuple(s["pending"]),
+                    steps=_steps_from_jsonable(s["steps"]),
+                )
+                for s in doc["stuck"]
+            ),
+        )
+    except (AttributeError, KeyError, TypeError, ValueError) as err:
+        raise PylseError(
+            f"malformed reach-analysis document: {err}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# The incremental cache (same layering as repro.serve's result store).
 # ----------------------------------------------------------------------
 DEFAULT_REACH_CACHE_SIZE = 64
-_reach_cache = LRUCache(DEFAULT_REACH_CACHE_SIZE)
+
+#: One in-memory tier per process, shared by every store below: a
+#: same-process warm re-lint is a dict hit whether or not a disk tier is
+#: attached, and promoting a disk hit warms it for the next call.
+_reach_memory = LRUCache(DEFAULT_REACH_CACHE_SIZE)
+
+#: The memory-only store (no ``cache_dir``).
+_reach_store = TieredCache(_reach_memory)
+
+#: ``cache_dir`` -> store with that persistent tier attached. A memo so
+#: repeated lints against one directory share the disk counters (and the
+#: DiskCache object) instead of rebuilding them per call.
+_disk_stores: Dict[str, TieredCache] = {}
+
+
+def _reach_store_for(cache_dir) -> TieredCache:
+    if cache_dir is None:
+        return _reach_store
+    path = str(cache_dir)
+    store = _disk_stores.get(path)
+    if store is None:
+        store = _disk_stores[path] = TieredCache(
+            _reach_memory,
+            DiskCache(cache_dir, LINT_NAMESPACE),
+            encode=reach_analysis_to_jsonable,
+            decode=reach_analysis_from_jsonable,
+        )
+    return store
 
 
 def reach_cache_stats() -> Dict[str, int]:
     """Hits/misses/size of the process-wide reachability-analysis cache."""
-    return _reach_cache.stats()
+    return _reach_memory.stats()
 
 
 def clear_reach_cache() -> None:
-    """Drop every cached analysis (tests and benchmarks use this)."""
-    _reach_cache.clear()
+    """Drop every in-memory analysis (tests and benchmarks use this).
+
+    The persistent tier is left alone — clear it with ``python -m repro
+    cache clear --cache-dir DIR --namespace lint``.
+    """
+    _reach_memory.clear()
+    _disk_stores.clear()
 
 
 def _normalize_rules(rules: Optional[Sequence[str]]) -> Tuple[str, ...]:
@@ -258,6 +449,7 @@ def analyze_reach(
     rules: Optional[Sequence[str]] = None,
     tolerance: float = 0.0,
     use_cache: bool = True,
+    cache_dir=None,
 ) -> Tuple[ReachAnalysis, bool]:
     """Run (or serve from cache) the PL4xx analysis for one circuit.
 
@@ -265,7 +457,9 @@ def analyze_reach(
     result came from the incremental cache. ``rules`` selects the PL4xx
     subset to compute — a deselected PL402 skips race collection and a
     deselected PL403 skips witness replay, so the subset is part of the
-    cache key.
+    cache key. With ``cache_dir`` set, finished analyses also persist to
+    the ``lint`` namespace of that store (:mod:`repro.cache.disk`), so a
+    warm re-lint of an unchanged design is a hit even in a fresh process.
     """
     budget = budget if budget is not None else ReachBudget()
     rules = _normalize_rules(rules)
@@ -277,13 +471,14 @@ def analyze_reach(
         max_states=budget.max_states,
         time_limit=budget.time_limit,
     )
+    store = _reach_store_for(cache_dir)
     if use_cache:
-        hit = _reach_cache.get(key)
+        hit = store.get(key)
         if hit is not MISSING:
             return hit, True  # type: ignore[return-value]
     analysis = _compute_analysis(circuit, compiled, budget, rules)
     if use_cache:
-        _reach_cache.put(key, analysis)
+        store.put(key, analysis)
     return analysis, False
 
 

@@ -1,118 +1,25 @@
-"""A small thread-safe LRU cache with observable counters.
+"""Deprecated re-export shim: this module moved to :mod:`repro.cache.lru`.
 
-Two instances back the yield service (:mod:`repro.serve.service`): the
-*result* cache (measurement key → served result) and the *compiled* cache
-(structural hash → resolved design). They are independent objects with
-independent capacities and eviction clocks — evicting a compiled design
-never drops its cached results, and vice versa (locked by
-``tests/test_serve_cache.py``).
-
-The counters (``hits``/``misses``/``evictions``) are raw cache-level
-telemetry: a coalesced request that probed the cache, missed, and then
-waited on another request's computation still counts one miss here, while
-the endpoint-level metrics (:mod:`repro.obs.serving`) count it as a
-logical hit. ``/stats`` reports both views.
+The LRU cache started life here as a private helper of the yield service
+and was promoted to the shared :mod:`repro.cache` subsystem (the explorer
+and the reachability lint use the same implementation, and the tiered
+persistent store builds on it). Import :class:`~repro.cache.lru.LRUCache`,
+:data:`~repro.cache.lru.MISSING`, and :func:`~repro.cache.lru.hit_rate`
+from :mod:`repro.cache` instead; this shim will be removed once nothing
+imports it.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
-from typing import Dict, Hashable, Iterator, Optional
+import warnings
 
-from ..core.errors import PylseError
+from ..cache.lru import LRUCache, MISSING, hit_rate
 
-#: Sentinel distinguishing "not cached" from a cached ``None``.
-MISSING = object()
+warnings.warn(
+    "repro.serve.cache has moved to repro.cache.lru; import LRUCache, "
+    "MISSING, and hit_rate from repro.cache instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-
-class LRUCache:
-    """Least-recently-used mapping with a hard capacity bound.
-
-    ``get`` refreshes recency; ``put`` inserts or updates and evicts the
-    least recently used entry once ``capacity`` is exceeded. A capacity of
-    zero disables the cache (every ``get`` misses, every ``put`` is
-    dropped) without callers needing a special case.
-    """
-
-    def __init__(self, capacity: int):
-        if isinstance(capacity, bool) or not isinstance(capacity, int) \
-                or capacity < 0:
-            raise PylseError(
-                f"cache capacity must be a non-negative integer, "
-                f"got {capacity!r}"
-            )
-        self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
-
-    def get(self, key: Hashable) -> object:
-        """The cached value, or :data:`MISSING`; refreshes recency on hit."""
-        with self._lock:
-            value = self._entries.get(key, MISSING)
-            if value is MISSING:
-                self.misses += 1
-            else:
-                self.hits += 1
-                self._entries.move_to_end(key)
-            return value
-
-    def peek(self, key: Hashable) -> object:
-        """Like :meth:`get` but touches neither recency nor the counters."""
-        with self._lock:
-            return self._entries.get(key, MISSING)
-
-    def put(self, key: Hashable, value: object) -> None:
-        with self._lock:
-            if self.capacity == 0:
-                return
-            if key in self._entries:
-                self._entries.move_to_end(key)
-            self._entries[key] = value
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-
-    def clear(self) -> None:
-        """Drop every entry (counters are kept: they are lifetime totals)."""
-        with self._lock:
-            self._entries.clear()
-
-    def keys(self) -> Iterator[Hashable]:
-        """A snapshot of the keys, least recently used first."""
-        with self._lock:
-            return iter(list(self._entries))
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def __contains__(self, key: Hashable) -> bool:
-        return self.peek(key) is not MISSING
-
-    def stats(self) -> Dict[str, int]:
-        """Size/capacity plus the lifetime hit/miss/eviction counters."""
-        with self._lock:
-            return {
-                "size": len(self._entries),
-                "capacity": self.capacity,
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-            }
-
-    def __repr__(self) -> str:
-        s = self.stats()
-        return (
-            f"LRUCache({s['size']}/{s['capacity']}, hits={s['hits']}, "
-            f"misses={s['misses']}, evictions={s['evictions']})"
-        )
-
-
-def hit_rate(stats: Dict[str, int]) -> Optional[float]:
-    """Lifetime hit fraction from a :meth:`LRUCache.stats` dict (or None)."""
-    total = stats["hits"] + stats["misses"]
-    return stats["hits"] / total if total else None
+__all__ = ["LRUCache", "MISSING", "hit_rate"]

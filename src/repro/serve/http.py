@@ -182,9 +182,9 @@ def run_server(
     """Bind (but do not start) a yield server; port 0 picks an ephemeral one.
 
     ``service_kwargs`` (``workers``, ``cache_size``,
-    ``compiled_cache_size``) construct the service when one is not passed
-    in. The caller drives ``serve_forever()`` — or uses :func:`serving`
-    for a background-thread lifetime.
+    ``compiled_cache_size``, ``cache_dir``) construct the service when one
+    is not passed in. The caller drives ``serve_forever()`` — or uses
+    :func:`serving` for a background-thread lifetime.
     """
     if service is None:
         service = YieldService(**service_kwargs)

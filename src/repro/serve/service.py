@@ -14,12 +14,15 @@ Two caches make repeated analysis of identical designs nearly free:
   :class:`~repro.exp.registry.PulseCountPredicate`, and the digest — so a
   re-submitted design skips elaboration, compilation, and the baseline
   simulation;
-* the **result cache** maps :func:`repro.core.ir.result_cache_key` — the
-  ``(structural_hash, sigma, n_seeds, seed0, batch)`` tuple — to the
-  served result. Identical designs submitted by different clients (or the
-  same design under a different name) hit the same entry, and a
-  ``/critical_sigma`` bisection populates the same cache its ``/yield``
-  siblings read.
+* the **result store** — a :class:`repro.cache.TieredCache` — maps
+  :func:`repro.core.ir.result_cache_key` — the ``(structural_hash, sigma,
+  n_seeds, seed0, batch)`` tuple — to the served result. Identical designs
+  submitted by different clients (or the same design under a different
+  name) hit the same entry, and a ``/critical_sigma`` bisection populates
+  the same cache its ``/yield`` siblings read. With ``cache_dir`` set the
+  store gains a persistent disk tier (:mod:`repro.cache.disk`): results
+  survive restarts, and an ``repro explore --cache-dir`` sweep pointed at
+  the same directory pre-warms the service (see docs/caching.md).
 
 Computation is **single-lane**: one re-entrant lock serializes circuit
 elaboration (the ambient working circuit is process-global) and every
@@ -56,9 +59,15 @@ from ..core.serialize import (
     yield_result_to_jsonable,
 )
 from ..core.simulation import Simulation
+from ..cache import (
+    DiskCache,
+    LRUCache,
+    MISSING,
+    RESULTS_NAMESPACE,
+    TieredCache,
+)
 from ..exp.registry import PulseCountPredicate, RegistryFactory, registry
-from ..obs.serving import ServiceMetrics
-from .cache import LRUCache, MISSING
+from ..obs.serving import ServiceMetrics, cache_tiers_jsonable
 
 #: Version tag reported by ``GET /healthz``.
 SERVE_VERSION = "repro-serve-v1"
@@ -171,26 +180,42 @@ class YieldService:
         workers: Optional[int] = 1,
         cache_size: int = DEFAULT_CACHE_SIZE,
         compiled_cache_size: int = DEFAULT_COMPILED_CACHE_SIZE,
+        cache_dir=None,
     ):
         self.workers = resolve_workers(workers)
-        self.result_cache = LRUCache(cache_size)
-        self.compiled_cache = LRUCache(compiled_cache_size)
-        self.metrics = ServiceMetrics()
-        #: Engine computations actually performed (cache misses that ran).
-        self.computations = 0
-        #: Requests that missed, queued on the compute lock, and were then
-        #: served another request's freshly cached computation.
-        self.coalesced = 0
-        self.started = time.time()
         #: Single compute lane: elaboration mutates the process-global
         #: working circuit and the shared YieldEngine runs one sweep at a
         #: time, so all cold work serializes here. Re-entrant because a
         #: /critical_sigma computation issues nested cached measurements.
         self._compute_lock = threading.RLock()
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.result_cache = LRUCache(cache_size)
+        #: The tiered store fronting every measurement: the LRU above plus
+        #: (with ``cache_dir``) the persistent disk tier that survives
+        #: restarts and is shared with ``repro explore`` sweeps. The
+        #: served documents are already canonical JSON, so no codec is
+        #: needed; the compute lock doubles as the coalescing lane.
+        self.result_store = TieredCache(
+            self.result_cache,
+            None if cache_dir is None
+            else DiskCache(cache_dir, RESULTS_NAMESPACE),
+            lock=self._compute_lock,
+        )
+        self.compiled_cache = LRUCache(compiled_cache_size)
+        self.metrics = ServiceMetrics()
+        #: Engine computations actually performed (cache misses that ran).
+        self.computations = 0
+        self.started = time.time()
         #: Registry-name -> digest memo so the hot path for named designs
         #: never elaborates. Entries are only ever added (the registry is
         #: static); the compiled cache holds the evictable heavy part.
         self._design_digest: Dict[str, str] = {}
+
+    @property
+    def coalesced(self) -> int:
+        """Requests that missed, queued on the compute lock, and were then
+        served another request's freshly cached computation."""
+        return self.result_store.coalesced
 
     # -- design resolution ---------------------------------------------
     def _resolve(self, payload: dict) -> ResolvedDesign:
@@ -284,27 +309,16 @@ class YieldService:
     def _cached(
         self, key, compute: Callable[[], object]
     ) -> Tuple[object, bool]:
-        """Serve ``key`` from the result cache, computing (once) on miss.
+        """Serve ``key`` from the result store, computing (once) on miss.
 
-        Returns ``(value, served_from_cache)``. Concurrent misses on the
-        same key coalesce: followers queue on the compute lock and find
-        the leader's result on the re-check, so ``compute`` runs exactly
-        once per distinct key (absent eviction churn).
+        Returns ``(value, served_from_cache)``. The store owns the
+        double-checked-lock coalescing this service pioneered (see
+        :meth:`repro.cache.tiered.TieredCache.get_or_compute`): concurrent
+        misses on one key queue on the compute lock, find the leader's
+        result on the re-check, and ``compute`` runs exactly once per
+        distinct key (absent eviction churn).
         """
-        value = self.result_cache.get(key)
-        if value is not MISSING:
-            return value, True
-        with self._compute_lock:
-            # peek, not get: this request already took its one miss above,
-            # so the raw cache counters stay one-probe-per-request and a
-            # coalesced wait shows up only in the `coalesced` counter.
-            value = self.result_cache.peek(key)
-            if value is not MISSING:
-                self.coalesced += 1
-                return value, True
-            value = compute()
-            self.result_cache.put(key, value)
-            return value, False
+        return self.result_store.get_or_compute(key, compute)
 
     def _measure(
         self,
@@ -477,9 +491,9 @@ class YieldService:
             "workers": self.workers,
             "computations": self.computations,
             "coalesced": self.coalesced,
-            "cache": {
-                "result": self.result_cache.stats(),
-                "compiled": self.compiled_cache.stats(),
-            },
+            "cache_dir": self.cache_dir,
+            "cache": cache_tiers_jsonable(
+                self.result_store, self.compiled_cache
+            ),
             "endpoints": payload["endpoints"],
         }

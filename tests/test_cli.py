@@ -231,3 +231,88 @@ class TestCliExtensions:
         rebuilt = circuit_from_json(target.read_text())
         events = Simulation(rebuilt).simulate()
         assert events["low"] == [89.0, 209.0, 329.0]
+
+
+class TestCacheCli:
+    """`python -m repro cache stats|gc|clear` against real stores.
+
+    The stores are written by the actual consumers — the yield service,
+    the explore engine, and the reach lint — so these tests also pin that
+    one directory serves all three (distinct namespaces, one CLI).
+    """
+
+    @pytest.fixture()
+    def populated_store(self, tmp_path):
+        from repro.exp.registry import build_in_fresh_circuit, registry
+        from repro.explore.engine import ExploreEngine
+        from repro.lint.reach_rules import analyze_reach, clear_reach_cache
+        from repro.serve import YieldService
+
+        store = tmp_path / "store"
+        YieldService(cache_dir=store).yield_(
+            {"design": "Min-Max", "sigma": 0.5, "n_seeds": 4}
+        )
+        ExploreEngine(cache_dir=store).measure(
+            "bitonic", {"n": 2}, sigma=0.5, n_seeds=4
+        )
+        entry = next(e for e in registry() if e.name == "AND")
+        clear_reach_cache()
+        analyze_reach(build_in_fresh_circuit(entry), cache_dir=store)
+        return store
+
+    def test_stats_text_and_json(self, populated_store, capsys):
+        assert main(["cache", "stats", "--cache-dir",
+                     str(populated_store)]) == 0
+        out = capsys.readouterr().out
+        assert "results" in out and "lint" in out
+
+        assert main(["cache", "stats", "--cache-dir",
+                     str(populated_store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["namespaces"]["results"]["entries"] == 2
+        assert payload["namespaces"]["lint"]["entries"] == 1
+
+    def test_gc_bounds_the_store(self, populated_store, capsys):
+        assert main(["cache", "gc", "--cache-dir", str(populated_store),
+                     "--max-bytes", "1K"]) == 0
+        assert "gc: removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir",
+                     str(populated_store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bytes"] <= 1024
+
+    def test_clear_namespace_then_all(self, populated_store, capsys):
+        assert main(["cache", "clear", "--cache-dir", str(populated_store),
+                     "--namespace", "lint"]) == 0
+        assert "namespace 'lint'" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir",
+                     str(populated_store)]) == 0
+        assert "whole store" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir",
+                     str(populated_store), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_gc_rejects_bad_size(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-bytes", "lots"]) == 1
+        assert "size must look like" in capsys.readouterr().err
+
+    def test_serve_cli_accepts_cache_dir(self, tmp_path, capsys):
+        # The explore path exercises --cache-dir end-to-end through the
+        # CLI; a second run against the same store computes nothing.
+        store = tmp_path / "explore-store"
+        assert main(["explore", "bitonic", "--grid", "n=2", "--seeds", "4",
+                     "--cache-dir", str(store), "--format", "json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["passes"][0]["computations"] == 1
+        assert main(["explore", "bitonic", "--grid", "n=2", "--seeds", "4",
+                     "--cache-dir", str(store), "--format", "json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["passes"][0]["computations"] == 0
+        # Identical measurements; only the cached diagnostic flips.
+        strip = [
+            [dict(p, cached=None) for p in run["points"]]
+            for run in (first, second)
+        ]
+        assert strip[0] == strip[1]
+        assert all(p["cached"] for p in second["points"])

@@ -5,8 +5,9 @@ compile-cache comparison in ``bench_compile.py``, the Monte-Carlo sweep
 in ``bench_mc_scaling.py``, the vectorized-drain comparison in
 ``bench_mc_batched.py``, the served warm-vs-cold throughput pair in
 ``bench_serve.py``, the incremental-lint pair in
-``bench_lint_incremental.py``, and the explorer sweep pair in
-``bench_explore.py``) via pytest-benchmark, writes the medians
+``bench_lint_incremental.py``, the explorer sweep pair in
+``bench_explore.py``, and the persistent-tier restart pairs in
+``bench_disk_cache.py``) via pytest-benchmark, writes the medians
 to ``BENCH_sim.json`` at the repository root, and fails (exit code 1) if
 the bitonic-8 median regressed more than the tolerance against the
 committed baseline, if a repeated ``simulate()`` on a warm compile
@@ -14,8 +15,10 @@ cache is no faster than a cold compile+simulate, if the batched
 Monte-Carlo drain is less than 5x faster than its per-seed reference
 on any recorded design, if the warm (all-hit) serve path is less
 than 10x the cold (all-miss) path, if a warm re-lint with PL4xx
-reachability enabled is less than 10x a cold one, or if a warm
-explorer sweep is less than 10x a cold all-miss sweep. The measured
+reachability enabled is less than 10x a cold one, if a warm
+explorer sweep is less than 10x a cold all-miss sweep, or if a fresh
+consumer on a warm *disk* store is less than 5x its fully-cold
+counterpart for either explore or serve. The measured
 Table 2 wall-clock ratio is recorded (``table2_time_ratio``) but never
 gates — the machine-independent work-ratio assertion lives in
 ``tests/test_exp.py``.
@@ -77,6 +80,7 @@ BENCH_GROUPS = [
     ["benchmarks/bench_serve.py"],
     ["benchmarks/bench_lint_incremental.py"],
     ["benchmarks/bench_explore.py"],
+    ["benchmarks/bench_disk_cache.py"],
 ]
 
 #: Requests per timed round in ``benchmarks/bench_serve.py`` — mirrored
@@ -99,6 +103,21 @@ LINT_MIN_SPEEDUP = 10.0
 #: this factor; anything less means repeated design-space refinement
 #: pays full Monte-Carlo cost every time.
 EXPLORE_MIN_SPEEDUP = 10.0
+
+#: A fresh consumer (empty in-memory tiers, the restart scenario) on a
+#: pre-populated ``--cache-dir`` must beat the same consumer on an empty
+#: store by at least this factor (``bench_disk_cache.py``); anything
+#: less means persisting results to disk is not worth a restart's while.
+DISK_MIN_SPEEDUP = 5.0
+
+#: (consumer, warm benchmark, cold benchmark) triples recorded in the
+#: ``disk_cache`` block; each pair is guarded by ``DISK_MIN_SPEEDUP``.
+DISK_CACHE_PAIRS = [
+    ("explore", "test_explore_fresh_process_warm_disk",
+     "test_explore_fresh_process_cold"),
+    ("serve", "test_serve_fresh_process_warm_disk",
+     "test_serve_fresh_process_cold"),
+]
 
 #: (design, batched benchmark, per-seed benchmark) triples recorded in the
 #: ``mc_batched_200_seeds_s`` block; each batched median must beat its
@@ -237,6 +256,40 @@ def explore_cache_block(medians_s: dict) -> dict:
     }
 
 
+def disk_cache_block(medians_s: dict, committed: dict | None = None) -> dict:
+    """Fresh-process warm-disk vs fully-cold pairs (bench_disk_cache.py).
+
+    Like :func:`mc_comparison`, a pair that did not run on this host is
+    carried forward verbatim from the committed baseline (with a note)
+    rather than overwritten with nulls — regenerating must not erase the
+    only persistent-tier measurement the artifact has.
+    """
+    prior = committed or {}
+    block = {}
+    for consumer, warm_name, cold_name in DISK_CACHE_PAIRS:
+        warm = medians_s.get(warm_name)
+        cold = medians_s.get(cold_name)
+        if cold and warm:
+            block[consumer] = {
+                "cold_s": round(cold, 4),
+                "warm_disk_s": round(warm, 6),
+                "warm_vs_cold": round(cold / warm, 2),
+            }
+        elif prior.get(consumer, {}).get("warm_vs_cold") is not None:
+            block[consumer] = dict(
+                prior[consumer],
+                note="carried forward from committed baseline; the pair "
+                     "did not run on this host",
+            )
+        else:
+            block[consumer] = {
+                "cold_s": round(cold, 4) if cold else None,
+                "warm_disk_s": round(warm, 6) if warm else None,
+                "warm_vs_cold": None,
+            }
+    return block
+
+
 def table2_time_ratio_block() -> dict:
     """Measured Table 2 wall-clock ratio (schematic analog vs PyLSE).
 
@@ -355,6 +408,9 @@ def main(argv=None) -> int:
         "serve_throughput": serve_throughput_block(medians_s),
         "lint_incremental": lint_incremental_block(medians_s),
         "explore_cache": explore_cache_block(medians_s),
+        "disk_cache": disk_cache_block(
+            medians_s, committed=committed.get("disk_cache")
+        ),
         "table2_time_ratio": table2_time_ratio_block(),
     }
 
@@ -478,6 +534,32 @@ def main(argv=None) -> int:
                 f"REGRESSION: warm explorer sweep is only {speedup}x the "
                 f"cold sweep (floor {EXPLORE_MIN_SPEEDUP}x) — the result "
                 f"cache is not paying for itself",
+                file=sys.stderr,
+            )
+            failed = True
+
+    for consumer, pair in doc["disk_cache"].items():
+        speedup = pair["warm_vs_cold"]
+        if speedup is None:
+            print(
+                f"REGRESSION: disk_cache[{consumer}] pair incomplete "
+                f"(cold={pair['cold_s']}, warm={pair['warm_disk_s']})",
+                file=sys.stderr,
+            )
+            failed = True
+            continue
+        carried = " (carried forward)" if "note" in pair else ""
+        print(
+            f"disk cache [{consumer}]: cold {pair['cold_s']:.3f} s vs "
+            f"fresh-process warm disk {pair['warm_disk_s']:.5f} s "
+            f"({speedup}x{carried})"
+        )
+        if speedup < DISK_MIN_SPEEDUP:
+            print(
+                f"REGRESSION: a fresh {consumer} consumer on a warm disk "
+                f"store is only {speedup}x its fully-cold counterpart "
+                f"(floor {DISK_MIN_SPEEDUP}x) — the persistent tier is "
+                f"not paying for itself",
                 file=sys.stderr,
             )
             failed = True

@@ -28,6 +28,17 @@ Modes:
 The generator is *closed-loop*: each client waits for its response before
 sending the next request, so offered load adapts to service latency
 instead of overrunning it.
+
+``--restart-warm CACHE_DIR`` runs the persistent-cache scenario instead
+of targeting an already-running server: the tool spawns its own
+``python -m repro serve --cache-dir CACHE_DIR``, runs a *fill* phase,
+kills the server, starts a fresh one on the same store, and runs a
+*measure* phase — whose hit rate shows the disk tier surviving the
+restart (``--assert-hit-rate`` applies to the measure phase)::
+
+    PYTHONPATH=src python tools/loadtest.py --port 8199 \
+        --restart-warm /tmp/repro-cache --mode hot \
+        --requests 30 --clients 4 --assert-hit-rate 0.9
 """
 
 from __future__ import annotations
@@ -35,7 +46,9 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import random
+import subprocess
 import sys
 import time
 from typing import Dict, List, Optional, Tuple
@@ -292,6 +305,88 @@ def render(report: dict) -> str:
     return "\n".join(lines)
 
 
+def _spawn_server(args) -> subprocess.Popen:
+    """Launch `python -m repro serve` against the restart-warm store."""
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--host", args.host,
+        "--port", str(args.port),
+        "--workers", str(args.server_workers),
+        "--cache-dir", args.restart_warm,
+    ]
+    # Inherit the caller's environment: PYTHONPATH=src from the repo root
+    # is exactly what the child needs to find the package.
+    return subprocess.Popen(
+        cmd, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+        env=dict(os.environ),
+    )
+
+
+def _stop_server(proc: subprocess.Popen) -> None:
+    proc.terminate()
+    try:
+        proc.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+
+
+def run_restart_warm(args) -> int:
+    """Fill a persistent store, restart the server, measure warm traffic.
+
+    Two phases against two *distinct server processes* sharing one
+    ``--cache-dir``: every measure-phase hit is proof the result came off
+    disk — the second process starts with empty in-memory tiers.
+    """
+    if args.port == 0:
+        print("--restart-warm needs a fixed --port (not 0): the spawned "
+              "server must be reachable at a known address",
+              file=sys.stderr)
+        return 2
+    proc = _spawn_server(args)
+    try:
+        fill = asyncio.run(run_loadtest(args))
+    finally:
+        _stop_server(proc)
+    print("fill phase (cold server, cold store):")
+    print(render(fill))
+
+    proc = _spawn_server(args)
+    try:
+        measure = asyncio.run(run_loadtest(args))
+    finally:
+        _stop_server(proc)
+    print("\nmeasure phase (restarted server, warm store):")
+    print(render(measure))
+
+    report = {
+        "scenario": "restart-warm",
+        "cache_dir": args.restart_warm,
+        "fill": fill,
+        "measure": measure,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.json}")
+    if fill["errors"] or measure["errors"]:
+        return 1
+    rate = measure["cache"]["hit_rate"]
+    if args.assert_hit_rate is not None:
+        if rate is None or rate < args.assert_hit_rate:
+            print(
+                f"FAIL: measure-phase hit rate {rate} below required "
+                f"{args.assert_hit_rate} — the store did not survive the "
+                f"restart",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"restart-warm assertion ok: {rate:.1%} >= "
+              f"{args.assert_hit_rate:.1%} across a server restart")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
@@ -332,9 +427,19 @@ def main(argv=None) -> int:
                         metavar="FRACTION",
                         help="exit 1 unless the measured hit rate is at "
                              "least FRACTION")
+    parser.add_argument("--restart-warm", metavar="CACHE_DIR", default=None,
+                        help="spawn the server itself with this persistent "
+                             "--cache-dir, fill, kill + restart it, and "
+                             "measure the warm phase across the restart")
+    parser.add_argument("--server-workers", type=int, default=1,
+                        help="--workers for the spawned server "
+                             "(--restart-warm only; default 1)")
     args = parser.parse_args(argv)
     if args.requests < 1 or args.clients < 1:
         parser.error("--requests and --clients must be >= 1")
+
+    if args.restart_warm:
+        return run_restart_warm(args)
 
     report = asyncio.run(run_loadtest(args))
     print(render(report))
